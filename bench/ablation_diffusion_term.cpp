@@ -1,0 +1,18 @@
+// Ablation: what does the diffusion term buy?
+// Full DL model vs per-distance logistic (d = 0, temporal-only — the kind
+// of model prior work used) vs heat equation (r = 0, diffusion-only) on
+// story s1's 6-hour prediction task.
+
+#include <iostream>
+
+#include "eval/ablations.h"
+
+int main() {
+  const dlm::eval::experiment_context ctx =
+      dlm::eval::experiment_context::make();
+  const dlm::eval::diffusion_ablation_result result =
+      dlm::eval::run_diffusion_ablation(
+          ctx, 0, dlm::social::distance_metric::friendship_hops, 6);
+  dlm::eval::print_diffusion_ablation(std::cout, result);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Ablation: growth-rate family r(t).  Paper's decaying exponential (Eq. 7)
+// vs constant rates vs a rate calibrated by least squares on the t ≤ 4
+// window — all evaluated on story s1's t = 2..6 prediction task.
+
+#include <iostream>
+
+#include "eval/ablations.h"
+
+int main() {
+  const dlm::eval::experiment_context ctx =
+      dlm::eval::experiment_context::make();
+  dlm::eval::print_growth_ablation(std::cout,
+                                   dlm::eval::run_growth_ablation(ctx, 0));
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Ablation: numerical scheme choice (FTCS vs Strang-CN vs implicit Newton
+// vs method-of-lines RK4) on the same s1 prediction task — accuracy,
+// deviation from a fine reference solution, and wall time per solve.
+
+#include <iostream>
+
+#include "eval/ablations.h"
+
+int main() {
+  const dlm::eval::experiment_context ctx =
+      dlm::eval::experiment_context::make();
+  dlm::eval::print_scheme_ablation(std::cout,
+                                   dlm::eval::run_scheme_ablation(ctx, 0));
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Regenerates paper Figure 4: story s1's density-vs-distance profile, one
+// curve per hour t = 1..50.  Paper shape: curves rise with t while the
+// hour-over-hour increments shrink — the observation motivating the
+// decaying growth-rate function r(t) of Eq. 7.
+
+#include <iostream>
+
+#include "eval/experiments.h"
+
+int main() {
+  const dlm::eval::experiment_context ctx =
+      dlm::eval::experiment_context::make();
+  dlm::eval::print_fig4(std::cout, dlm::eval::run_fig4(ctx));
+  return 0;
+}

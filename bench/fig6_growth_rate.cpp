@@ -1,0 +1,13 @@
+// Regenerates paper Figure 6: the growth-rate function
+// r(t) = 1.4·e^{−1.5(t−1)} + 0.25 (Eq. 7) used for the friendship-hop
+// prediction experiment.  Paper shape: r decreases from 1.65 at t = 1
+// towards the 0.25 floor.
+
+#include <iostream>
+
+#include "eval/experiments.h"
+
+int main() {
+  dlm::eval::print_fig6(std::cout, dlm::eval::run_fig6());
+  return 0;
+}

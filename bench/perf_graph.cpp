@@ -1,0 +1,68 @@
+// Performance micro-benchmarks: graph generation, BFS hop partitioning,
+// and interest-distance computation on Digg-scale inputs.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "numerics/rng.h"
+#include "social/interest.h"
+#include "social/network.h"
+
+namespace {
+
+using namespace dlm;
+
+void bm_digg_graph_generation(benchmark::State& state) {
+  const auto users = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    num::rng rand(1);
+    graph::digg_graph_params params;
+    params.users = users;
+    const graph::digraph g = graph::digg_follower_graph(params, rand);
+    benchmark::DoNotOptimize(g.edge_count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(users));
+}
+BENCHMARK(bm_digg_graph_generation)->Arg(10000)->Arg(40000);
+
+void bm_bfs_partition(benchmark::State& state) {
+  const auto users = static_cast<std::size_t>(state.range(0));
+  num::rng rand(2);
+  graph::digg_graph_params params;
+  params.users = users;
+  const graph::digraph g = graph::digg_follower_graph(params, rand);
+  for (auto _ : state) {
+    const auto dist =
+        graph::bfs_distances(g, 12, graph::bfs_direction::predecessors);
+    benchmark::DoNotOptimize(dist.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.edge_count()));
+}
+BENCHMARK(bm_bfs_partition)->Arg(10000)->Arg(40000);
+
+void bm_jaccard_distances(benchmark::State& state) {
+  // Vote histories for 5k users over 100 stories.
+  const std::size_t users = 5000;
+  num::rng rand(3);
+  social::social_network_builder builder(graph::digraph(users), 100);
+  for (social::user_id u = 0; u < users; ++u) {
+    const std::size_t history = 3 + rand.index(12);
+    for (std::size_t k = 0; k < history; ++k) {
+      builder.add_vote(u, static_cast<social::story_id>(rand.index(100)),
+                       1000 + k);
+    }
+  }
+  const social::social_network net = builder.build();
+  for (auto _ : state) {
+    const std::vector<double> dist = social::interest_distances_from(net, 0);
+    benchmark::DoNotOptimize(dist.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(users));
+}
+BENCHMARK(bm_jaccard_distances);
+
+}  // namespace

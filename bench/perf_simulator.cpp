@@ -1,0 +1,44 @@
+// Performance micro-benchmarks: dataset synthesis and the mechanistic
+// cascade engine.
+
+#include <benchmark/benchmark.h>
+
+#include "digg/simulator.h"
+
+namespace {
+
+using namespace dlm;
+
+void bm_make_dataset(benchmark::State& state) {
+  digg::scenario_config cfg = digg::test_scale_scenario();
+  cfg.graph.users = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const digg::digg_dataset data = digg::make_dataset(cfg);
+    benchmark::DoNotOptimize(data.network.vote_count());
+  }
+}
+BENCHMARK(bm_make_dataset)->Arg(6000)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+void bm_mechanistic_cascade(benchmark::State& state) {
+  num::rng graph_rng(7);
+  graph::digg_graph_params gp;
+  gp.users = static_cast<std::size_t>(state.range(0));
+  const graph::digraph g = graph::digg_follower_graph(gp, graph_rng);
+  graph::node_id init = 0;
+  for (graph::node_id v = 0; v < g.node_count(); ++v) {
+    if (g.in_degree(v) > g.in_degree(init)) init = v;
+  }
+  std::uint64_t seed = 100;
+  for (auto _ : state) {
+    num::rng rand(seed++);
+    const auto votes =
+        digg::simulate_cascade(g, init, 0, 0, digg::cascade_params{}, rand);
+    benchmark::DoNotOptimize(votes.size());
+  }
+}
+BENCHMARK(bm_mechanistic_cascade)
+    ->Arg(10000)
+    ->Arg(40000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

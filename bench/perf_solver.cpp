@@ -1,0 +1,81 @@
+// Performance micro-benchmarks: DL solver schemes, spline construction,
+// and the tridiagonal kernel.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/dl_model.h"
+#include "core/dl_solver.h"
+#include "numerics/cubic_spline.h"
+#include "numerics/tridiagonal.h"
+
+namespace {
+
+using namespace dlm;
+
+const std::vector<double> observed{1.9, 0.8, 1.1, 0.6, 0.4, 0.3};
+
+void bm_solve_scheme(benchmark::State& state, core::dl_scheme scheme) {
+  const core::dl_parameters params = core::dl_parameters::paper_hops(6.0);
+  const core::initial_condition phi(observed);
+  core::dl_solver_options opts;
+  opts.scheme = scheme;
+  opts.points_per_unit = static_cast<std::size_t>(state.range(0));
+  opts.dt = scheme == core::dl_scheme::ftcs ? 0.005 : 0.02;
+  for (auto _ : state) {
+    const core::dl_solution sol = solve_dl(params, phi, 1.0, 6.0, opts);
+    benchmark::DoNotOptimize(sol.states().back().data());
+  }
+}
+
+void bm_ftcs(benchmark::State& s) { bm_solve_scheme(s, core::dl_scheme::ftcs); }
+void bm_strang(benchmark::State& s) {
+  bm_solve_scheme(s, core::dl_scheme::strang_cn);
+}
+void bm_newton(benchmark::State& s) {
+  bm_solve_scheme(s, core::dl_scheme::implicit_newton);
+}
+void bm_rk4(benchmark::State& s) {
+  bm_solve_scheme(s, core::dl_scheme::mol_rk4);
+}
+
+BENCHMARK(bm_ftcs)->Arg(20)->Arg(80);
+BENCHMARK(bm_strang)->Arg(20)->Arg(80)->Arg(320);
+BENCHMARK(bm_newton)->Arg(20)->Arg(80);
+BENCHMARK(bm_rk4)->Arg(20)->Arg(80);
+
+void bm_spline_build(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<double>(i);
+    y[i] = std::sin(0.1 * static_cast<double>(i));
+  }
+  for (auto _ : state) {
+    const num::cubic_spline s = num::cubic_spline::flat_ends(x, y);
+    benchmark::DoNotOptimize(s(0.5 * static_cast<double>(n)));
+  }
+}
+BENCHMARK(bm_spline_build)->Arg(8)->Arg(64)->Arg(512);
+
+void bm_tridiagonal_solve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  num::tridiagonal_matrix a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.diag[i] = 4.0;
+    if (i + 1 < n) a.upper[i] = -1.0;
+    if (i > 0) a.lower[i - 1] = -1.0;
+  }
+  std::vector<double> rhs(n, 1.0), scratch;
+  for (auto _ : state) {
+    std::vector<double> x = rhs;
+    num::solve_tridiagonal_in_place(a, x, scratch);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(bm_tridiagonal_solve)->Arg(101)->Arg(1001)->Arg(10001);
+
+}  // namespace

@@ -1,0 +1,127 @@
+// Campaign planning with the DL model.
+//
+// A practical use the paper's introduction motivates: you are about to
+// seed a message and want to know, BEFORE committing, how influence will
+// spread from each candidate source.  Strategy: run a 1-hour pilot from
+// each candidate (here: simulated with the mechanistic cascade engine),
+// feed the observed hour-1 densities to the DL model, and compare the
+// forecast coverage at 24 hours.
+//
+// Build & run:  ./build/examples/campaign_planner
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/dl_model.h"
+#include "digg/simulator.h"
+#include "graph/generators.h"
+#include "social/density.h"
+#include "social/network.h"
+
+namespace {
+
+struct candidate_forecast {
+  dlm::social::user_id source;
+  std::size_t followers;
+  double forecast_coverage_24h;  // group-size weighted density, percent
+  double forecast_influenced;    // expected influenced users at 24 h
+};
+
+}  // namespace
+
+int main() {
+  using namespace dlm;
+
+  // The audience graph (shared by all candidate sources).
+  num::rng rand(4242);
+  graph::digg_graph_params gp;
+  gp.users = 8000;
+  gp.attach = 5;
+  const graph::digraph followers = graph::digg_follower_graph(gp, rand);
+
+  // Candidate sources: a celebrity account, a mid-tier account, a fresh
+  // account (ranked by follower count).
+  std::vector<std::pair<std::size_t, graph::node_id>> ranked;
+  for (graph::node_id v = 0; v < followers.node_count(); ++v)
+    ranked.emplace_back(followers.in_degree(v), v);
+  std::sort(ranked.rbegin(), ranked.rend());
+  const std::vector<social::user_id> candidates = {
+      ranked[5].second, ranked[200].second, ranked[4000].second};
+
+  std::printf("campaign planner: %zu-user audience, 3 candidate sources\n\n",
+              followers.node_count());
+
+  std::vector<candidate_forecast> forecasts;
+  for (social::user_id source : candidates) {
+    // 1-hour pilot: mechanistic cascade, observed for exactly one hour.
+    // An engaging creative: strong per-exposure conversion, fast responses.
+    digg::cascade_params pilot;
+    pilot.horizon_hours = 1;
+    pilot.promote_threshold = 20;
+    pilot.p_follow = 0.08;
+    pilot.response_rate = 2.5;
+    num::rng pilot_rand(1000 + source);
+    const std::vector<social::vote> votes =
+        digg::simulate_cascade(followers, source, 0, 0, pilot, pilot_rand);
+
+    social::social_network_builder builder(followers, 1);
+    for (const auto& v : votes) builder.add_vote(v.user, v.story, v.time);
+    const social::social_network pilot_net = builder.build();
+
+    const social::distance_partition hops =
+        social::partition_by_hops(pilot_net, source, /*max_hops=*/6);
+    const int max_d = std::min(6, hops.max_distance());
+    if (max_d < 2) continue;
+    const social::density_field field(pilot_net, 0, hops, /*horizon=*/1);
+
+    std::vector<double> hour1;
+    double signal = 0.0;
+    for (int x = 1; x <= max_d; ++x) {
+      hour1.push_back(field.at(x, 1));
+      signal += hour1.back();
+    }
+    if (signal <= 0.0) {
+      // Pilot produced no early votes beyond the initiator: the DL model
+      // (like the paper's) needs a non-zero hour-1 profile.
+      forecasts.push_back({source, followers.in_degree(source), 0.0, 0.0});
+      continue;
+    }
+
+    // Forecast with the DL model (paper hop parameters, domain [1,max_d]).
+    const core::dl_parameters params = core::dl_parameters::paper_hops(max_d);
+    const core::dl_model model(params, hour1, 1.0, 24.0);
+    const std::vector<double> profile24 = model.predict_profile(24.0);
+
+    // Coverage forecast: group-size-weighted mean density, and the
+    // absolute expected headcount (the decision metric — coverage alone
+    // flatters sources with small reachable sets).
+    double weighted = 0.0;
+    double total = 0.0;
+    for (int x = 1; x <= max_d; ++x) {
+      const auto size = static_cast<double>(field.group_size(x));
+      weighted += profile24[static_cast<std::size_t>(x - 1)] * size;
+      total += size;
+    }
+    forecasts.push_back({source, followers.in_degree(source),
+                         total > 0.0 ? weighted / total : 0.0,
+                         weighted / 100.0});
+  }
+
+  std::printf("%12s %12s %25s %22s\n", "source", "followers",
+              "forecast coverage @24h", "forecast influenced");
+  for (const auto& f : forecasts)
+    std::printf("%12u %12zu %24.2f%% %22.0f\n", f.source, f.followers,
+                f.forecast_coverage_24h, f.forecast_influenced);
+
+  const auto best = std::max_element(
+      forecasts.begin(), forecasts.end(), [](const auto& a, const auto& b) {
+        return a.forecast_influenced < b.forecast_influenced;
+      });
+  if (best != forecasts.end())
+    std::printf("\nrecommended source: %u (forecast %.0f users influenced by "
+                "hour 24, %.2f%% of its reachable audience)\n",
+                best->source, best->forecast_influenced,
+                best->forecast_coverage_24h);
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include "core/dl_parameters.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace dlm::core {
+
+dl_parameters dl_parameters::paper_hops(double x_max) {
+  dl_parameters p;
+  p.d = 0.01;
+  p.k = 25.0;
+  p.r = growth_rate::paper_hops();
+  p.x_min = 1.0;
+  p.x_max = x_max;
+  p.validate();
+  return p;
+}
+
+dl_parameters dl_parameters::paper_interest(double x_max) {
+  dl_parameters p;
+  p.d = 0.05;
+  p.k = 60.0;
+  p.r = growth_rate::paper_interest();
+  p.x_min = 1.0;
+  p.x_max = x_max;
+  p.validate();
+  return p;
+}
+
+void dl_parameters::validate() const {
+  if (d < 0.0) throw std::invalid_argument("dl_parameters: d must be >= 0");
+  if (!(k > 0.0)) throw std::invalid_argument("dl_parameters: K must be > 0");
+  if (!(x_min < x_max))
+    throw std::invalid_argument("dl_parameters: require x_min < x_max");
+}
+
+std::string dl_parameters::describe() const {
+  std::ostringstream out;
+  out << "DL{d=" << d << ", K=" << k << ", r=" << r.label() << ", x=["
+      << x_min << "," << x_max << "]}";
+  return out.str();
+}
+
+}  // namespace dlm::core

@@ -1,0 +1,40 @@
+// Parameter set of the Diffusive Logistic equation (paper Eq. 4).
+//
+//   ∂I/∂t = d ∂²I/∂x² + r(t) I (1 − I/K),   x ∈ [l, L], t ≥ t0
+//   ∂I/∂x = 0 at x = l and x = L            (Neumann / no-flux)
+//
+// d — diffusion rate (how fast influence travels across distances)
+// K — carrying capacity (max density at any distance; percent scale)
+// r — intrinsic growth rate within a distance group (growth_rate)
+// [l, L] — distance domain bounds.
+#pragma once
+
+#include <string>
+
+#include "core/growth_rate.h"
+
+namespace dlm::core {
+
+/// Validated DL parameter set.
+struct dl_parameters {
+  double d = 0.01;                              ///< diffusion rate
+  double k = 25.0;                              ///< carrying capacity
+  growth_rate r = growth_rate::paper_hops();    ///< intrinsic growth rate
+  double x_min = 1.0;                           ///< l: nearest distance
+  double x_max = 5.0;                           ///< L: farthest distance
+
+  /// Paper §III.C values for the friendship-hop experiment on story s1:
+  /// d = 0.01, K = 25, r(t) = 1.4·e^{−1.5(t−1)} + 0.25, x ∈ [1, L].
+  [[nodiscard]] static dl_parameters paper_hops(double x_max = 6.0);
+
+  /// Paper §III.C values for the shared-interest experiment:
+  /// d = 0.05, K = 60, r(t) = 1.6·e^{−(t−1)} + 0.1, x ∈ [1, 5].
+  [[nodiscard]] static dl_parameters paper_interest(double x_max = 5.0);
+
+  /// Throws std::invalid_argument unless d ≥ 0, K > 0 and x_min < x_max.
+  void validate() const;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace dlm::core

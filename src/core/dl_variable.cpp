@@ -1,0 +1,182 @@
+#include "core/dl_variable.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dlm::core {
+
+dl_variable_parameters dl_variable_parameters::from_constant(
+    const dl_parameters& params) {
+  params.validate();
+  dl_variable_parameters out;
+  const growth_rate rate = params.r;
+  out.r = [rate](double, double t) { return rate(t); };
+  const double d_value = params.d;
+  out.d = [d_value](double) { return d_value; };
+  const double k_value = params.k;
+  out.k = [k_value](double) { return k_value; };
+  out.x_min = params.x_min;
+  out.x_max = params.x_max;
+  return out;
+}
+
+void dl_variable_parameters::validate() const {
+  if (!r || !d || !k)
+    throw std::invalid_argument("dl_variable_parameters: missing coefficient");
+  if (!(x_min < x_max))
+    throw std::invalid_argument("dl_variable_parameters: bad domain");
+}
+
+dl_solution solve_dl_variable_profile(const dl_variable_parameters& params,
+                                      std::span<const double> phi_samples,
+                                      double t0, double t_end,
+                                      const dl_variable_options& options) {
+  params.validate();
+  if (!(t_end > t0))
+    throw std::invalid_argument("solve_dl_variable: t_end must exceed t0");
+  if (!(options.dt > 0.0))
+    throw std::invalid_argument("solve_dl_variable: dt must be positive");
+
+  const double units = params.x_max - params.x_min;
+  const auto intervals = static_cast<std::size_t>(std::lround(
+      units * static_cast<double>(options.points_per_unit)));
+  if (intervals == 0)
+    throw std::invalid_argument("solve_dl_variable: degenerate domain");
+  const std::size_t n = intervals + 1;
+  if (phi_samples.size() != n)
+    throw std::invalid_argument("solve_dl_variable: profile size mismatch");
+
+  const num::uniform_grid grid(params.x_min, params.x_max, n);
+  const double dx = grid.spacing();
+
+  // Precompute nodal capacities and half-point diffusion coefficients.
+  std::vector<double> k_at(n), d_half(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    k_at[i] = params.k(grid.x(i));
+    if (!(k_at[i] > 0.0))
+      throw std::invalid_argument("solve_dl_variable: K(x) must be positive");
+  }
+  double d_max = 0.0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double d_mid = params.d(0.5 * (grid.x(i) + grid.x(i + 1)));
+    if (d_mid < 0.0)
+      throw std::invalid_argument("solve_dl_variable: d(x) must be >= 0");
+    d_half[i] = d_mid;
+    d_max = std::max(d_max, d_mid);
+  }
+  // Explicit RK4 diffusion stability: λ = d·dt/dx² must stay below ≈0.69
+  // (the RK4 stability interval on the negative real axis is ~2.78, and
+  // the Neumann Laplacian's extreme eigenvalue is −4/dx²).
+  if (d_max > 0.0 && options.dt > 0.6 * dx * dx / d_max) {
+    throw std::invalid_argument(
+        "solve_dl_variable: dt too large for explicit stability; need dt <= "
+        + std::to_string(0.6 * dx * dx / d_max));
+  }
+
+  // Conservative-form RHS: flux differences plus local logistic growth.
+  // No-flux boundaries: the boundary fluxes are identically zero.
+  const auto rhs = [&](double t, std::span<const double> u,
+                       std::span<double> dudt) {
+    const double inv_dx2 = 1.0 / (dx * dx);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double flux_right =
+          (i + 1 < n) ? d_half[i] * (u[i + 1] - u[i]) : 0.0;
+      const double flux_left = (i > 0) ? d_half[i - 1] * (u[i] - u[i - 1]) : 0.0;
+      const double diffusion = (flux_right - flux_left) * inv_dx2;
+      const double growth =
+          params.r(grid.x(i), t) * u[i] * (1.0 - u[i] / k_at[i]);
+      dudt[i] = diffusion + growth;
+    }
+  };
+
+  std::vector<double> u(phi_samples.begin(), phi_samples.end());
+  std::vector<double> k1(n), k2(n), k3(n), k4(n), tmp(n);
+
+  std::vector<double> times{t0};
+  std::vector<std::vector<double>> states{u};
+  double next_record = t0 + options.record_dt;
+
+  const auto total_steps = static_cast<std::size_t>(
+      std::ceil((t_end - t0) / options.dt - 1e-12));
+  for (std::size_t step = 0; step < total_steps; ++step) {
+    const double t = t0 + static_cast<double>(step) * options.dt;
+    const double h = std::min(options.dt, t_end - t);
+    if (h <= 0.0) break;
+
+    rhs(t, u, k1);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = u[i] + 0.5 * h * k1[i];
+    rhs(t + 0.5 * h, tmp, k2);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = u[i] + 0.5 * h * k2[i];
+    rhs(t + 0.5 * h, tmp, k3);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = u[i] + h * k3[i];
+    rhs(t + h, tmp, k4);
+    for (std::size_t i = 0; i < n; ++i)
+      u[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+
+    const double t_new = t + h;
+    if (t_new + 1e-12 >= next_record || step + 1 == total_steps) {
+      times.push_back(t_new);
+      states.push_back(u);
+      while (next_record <= t_new + 1e-12) next_record += options.record_dt;
+    }
+  }
+  return dl_solution(grid, std::move(times), std::move(states));
+}
+
+dl_solution solve_dl_variable(const dl_variable_parameters& params,
+                              const initial_condition& phi, double t0,
+                              double t_end,
+                              const dl_variable_options& options) {
+  params.validate();
+  const double units = params.x_max - params.x_min;
+  const auto intervals = static_cast<std::size_t>(std::lround(
+      units * static_cast<double>(options.points_per_unit)));
+  std::vector<double> samples =
+      phi.sample(params.x_min, params.x_max, intervals + 1);
+  for (double& v : samples) v = std::max(v, 0.0);
+  return solve_dl_variable_profile(params, samples, t0, t_end, options);
+}
+
+std::vector<double> fit_rate_profile(std::span<const double> initial,
+                                     std::span<const double> observed_at_tobs,
+                                     const growth_rate& base_rate, double k,
+                                     double t0, double t_obs) {
+  if (initial.size() != observed_at_tobs.size())
+    throw std::invalid_argument("fit_rate_profile: size mismatch");
+  if (!(t_obs > t0))
+    throw std::invalid_argument("fit_rate_profile: t_obs must exceed t0");
+  if (!(k > 0.0))
+    throw std::invalid_argument("fit_rate_profile: K must be positive");
+
+  const double base_integral = base_rate.integral(t0, t_obs);
+  std::vector<double> multipliers(initial.size(), 1.0);
+  for (std::size_t i = 0; i < initial.size(); ++i) {
+    if (initial[i] <= 0.0 || observed_at_tobs[i] <= initial[i]) continue;
+    // Logistic-braking correction with the window-average density.
+    const double mean_density = 0.5 * (initial[i] + observed_at_tobs[i]);
+    const double braking = std::max(1.0 - mean_density / k, 1e-3);
+    const double log_growth = std::log(observed_at_tobs[i] / initial[i]);
+    multipliers[i] =
+        std::max(0.0, log_growth / (base_integral * braking));
+  }
+  return multipliers;
+}
+
+std::function<double(double, double)> scaled_rate_field(
+    std::vector<double> multipliers, growth_rate base_rate, double x_min) {
+  if (multipliers.empty())
+    throw std::invalid_argument("scaled_rate_field: no multipliers");
+  return [m = std::move(multipliers), base = std::move(base_rate),
+          x_min](double x, double t) {
+    const double pos = x - x_min;
+    const auto lo = static_cast<std::size_t>(std::clamp(
+        pos, 0.0, static_cast<double>(m.size() - 1)));
+    const std::size_t hi = std::min(lo + 1, m.size() - 1);
+    const double frac = std::clamp(pos - static_cast<double>(lo), 0.0, 1.0);
+    const double mult = m[lo] * (1.0 - frac) + m[hi] * frac;
+    return mult * base(t);
+  };
+}
+
+}  // namespace dlm::core

@@ -1,0 +1,85 @@
+// Variable-coefficient Diffusive Logistic equation (paper §V future work).
+//
+//   ∂I/∂t = ∂/∂x( d(x) ∂I/∂x ) + r(x, t)·I·(1 − I / K(x))
+//
+// The paper closes with: "Our future work lies in developing new models
+// that consider diffusion rate, growth rate and carrying capacity as
+// functions of time and distance" — motivated by the Table II
+// distance-5 anomaly, where a single r(t) over-predicts the slow
+// outermost interest group ("the model can be refined by choosing a
+// function of both distance and time for growth rate r").  This module
+// implements that refinement: all three coefficients may vary over the
+// domain, the diffusion term is discretized in conservative (flux) form,
+// and `fit_rate_profile` recovers the per-distance rate multipliers from
+// an early observation window.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/dl_parameters.h"
+#include "core/dl_solver.h"
+#include "core/initial_condition.h"
+
+namespace dlm::core {
+
+/// Coefficient fields of the generalized DL equation.
+struct dl_variable_parameters {
+  /// Growth rate r(x, t).
+  std::function<double(double x, double t)> r;
+  /// Diffusion rate d(x) ≥ 0.
+  std::function<double(double x)> d;
+  /// Carrying capacity K(x) > 0.
+  std::function<double(double x)> k;
+  double x_min = 1.0;
+  double x_max = 5.0;
+
+  /// Lifts constant-coefficient parameters into the variable model
+  /// (same dynamics as the plain solver; used for cross-checks).
+  [[nodiscard]] static dl_variable_parameters from_constant(
+      const dl_parameters& params);
+
+  /// Throws std::invalid_argument on missing fields or a bad domain.
+  void validate() const;
+};
+
+/// Solver options for the variable-coefficient equation (method of lines,
+/// classical RK4; the conservative flux form keeps Neumann no-flux
+/// boundaries exact for spatially varying d).
+struct dl_variable_options {
+  std::size_t points_per_unit = 20;
+  double dt = 0.01;
+  double record_dt = 1.0;
+};
+
+/// Solves the variable-coefficient DL equation from φ over [t0, t_end].
+[[nodiscard]] dl_solution solve_dl_variable(
+    const dl_variable_parameters& params, const initial_condition& phi,
+    double t0, double t_end, const dl_variable_options& options = {});
+
+/// Raw-profile variant (size must match the implied node count).
+[[nodiscard]] dl_solution solve_dl_variable_profile(
+    const dl_variable_parameters& params, std::span<const double> phi_samples,
+    double t0, double t_end, const dl_variable_options& options = {});
+
+/// Per-distance rate multipliers recovered from an early window.
+///
+/// For each integer distance x with observations, estimates m(x) such
+/// that the data's realized log-growth over [t0, t_obs] matches
+/// m(x)·∫r(t)dt after logistic-braking correction:
+///
+///   m(x) = log(I_obs(x,t_obs)/I_obs(x,t0)) / ∫_{t0}^{t_obs} r(s)(1−Ī/K) ds
+///
+/// with Ī the window-average density.  Returns one multiplier per
+/// observation; combine with `base_rate` via `scaled_rate_field`.
+[[nodiscard]] std::vector<double> fit_rate_profile(
+    std::span<const double> initial, std::span<const double> observed_at_tobs,
+    const growth_rate& base_rate, double k, double t0, double t_obs);
+
+/// Builds r(x, t) = m(x)·base(t) with m linearly interpolated between the
+/// integer-distance multipliers (m clamped to be non-negative).
+[[nodiscard]] std::function<double(double, double)> scaled_rate_field(
+    std::vector<double> multipliers, growth_rate base_rate, double x_min);
+
+}  // namespace dlm::core

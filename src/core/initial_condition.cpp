@@ -1,0 +1,48 @@
+#include "core/initial_condition.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "numerics/grid.h"
+
+namespace dlm::core {
+namespace {
+
+num::cubic_spline build_spline(std::span<const double> distances,
+                               std::span<const double> density) {
+  if (distances.size() != density.size())
+    throw std::invalid_argument("initial_condition: size mismatch");
+  if (distances.size() < 2)
+    throw std::invalid_argument("initial_condition: need >= 2 observations");
+  for (double v : density) {
+    if (v < 0.0)
+      throw std::invalid_argument("initial_condition: negative density");
+  }
+  num::cubic_spline spline = num::cubic_spline::flat_ends(distances, density);
+  spline.set_extrapolation(num::spline_extrapolation::clamp_flat);
+  return spline;
+}
+
+}  // namespace
+
+initial_condition::initial_condition(std::span<const double> distances,
+                                     std::span<const double> density)
+    : spline_(build_spline(distances, density)) {}
+
+initial_condition::initial_condition(std::span<const double> density)
+    : spline_(build_spline(
+          [&] {
+            std::vector<double> xs(density.size());
+            for (std::size_t i = 0; i < xs.size(); ++i)
+              xs[i] = static_cast<double>(i + 1);
+            return xs;
+          }(),
+          density)) {}
+
+std::vector<double> initial_condition::sample(double x_min, double x_max,
+                                              std::size_t n) const {
+  const std::vector<double> xs = num::linspace(x_min, x_max, n);
+  return spline_.sample(xs);
+}
+
+}  // namespace dlm::core

@@ -1,0 +1,67 @@
+// Initial density function φ(x) construction (paper §II.D).
+//
+// The DL model needs a twice-continuously-differentiable φ with flat ends
+// (φ'(l) = φ'(L) = 0) built from the *discrete* densities observed at
+// integer distances during the first hour.  The paper interpolates with
+// cubic splines and "sets the two ends to be flat"; here that is a clamped
+// spline with zero end slopes.  The third requirement — the
+// lower-solution inequality d·φ'' + r·φ·(1 − φ/K) ≥ 0 (Eq. 6), which
+// guarantees the strictly-increasing property — is checked by
+// `lower_solution_margin` in core/properties.h.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "numerics/cubic_spline.h"
+
+namespace dlm::core {
+
+/// The constructed initial condition.
+class initial_condition {
+ public:
+  /// Builds φ from discrete observations: `density[i]` observed at
+  /// distance `distances[i]` (strictly increasing, typically 1, 2, 3, …).
+  /// Requires ≥ 2 points and non-negative densities.
+  initial_condition(std::span<const double> distances,
+                    std::span<const double> density);
+
+  /// Convenience: observations at integer distances 1..density.size().
+  explicit initial_condition(std::span<const double> density);
+
+  /// φ(x); flat (boundary value) outside the observed range.
+  [[nodiscard]] double operator()(double x) const noexcept {
+    return spline_(x);
+  }
+
+  /// φ'(x) / φ''(x) of the interpolant.
+  [[nodiscard]] double derivative(double x) const noexcept {
+    return spline_.derivative(x);
+  }
+  [[nodiscard]] double second_derivative(double x) const noexcept {
+    return spline_.second_derivative(x);
+  }
+
+  /// Samples φ on `n` uniform points covering [x_min, x_max].
+  [[nodiscard]] std::vector<double> sample(double x_min, double x_max,
+                                           std::size_t n) const;
+
+  [[nodiscard]] double x_min() const noexcept { return spline_.x_min(); }
+  [[nodiscard]] double x_max() const noexcept { return spline_.x_max(); }
+
+  /// Minimum of φ over the observed range — must be ≥ 0 for a valid
+  /// density (checked at construction with a small tolerance; splines can
+  /// undershoot between sparse knots, in which case construction clips by
+  /// re-interpolating with the offending knot values raised to zero).
+  [[nodiscard]] double min_value() const { return spline_.min_value(); }
+
+  /// The underlying spline (e.g. for plotting).
+  [[nodiscard]] const num::cubic_spline& spline() const noexcept {
+    return spline_;
+  }
+
+ private:
+  num::cubic_spline spline_;
+};
+
+}  // namespace dlm::core

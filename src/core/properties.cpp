@@ -1,0 +1,63 @@
+#include "core/properties.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "numerics/grid.h"
+
+namespace dlm::core {
+
+bounds_report check_bounds(const dl_solution& sol, double k,
+                           double tolerance) {
+  bounds_report report;
+  report.min_value = std::numeric_limits<double>::infinity();
+  report.max_value = -std::numeric_limits<double>::infinity();
+  for (const auto& state : sol.states()) {
+    for (double v : state) {
+      report.min_value = std::min(report.min_value, v);
+      report.max_value = std::max(report.max_value, v);
+    }
+  }
+  report.within = report.min_value >= -tolerance &&
+                  report.max_value <= k + tolerance;
+  return report;
+}
+
+monotonicity_report check_monotonicity(const dl_solution& sol,
+                                       double tolerance) {
+  monotonicity_report report;
+  report.worst_increment = std::numeric_limits<double>::infinity();
+  const auto& states = sol.states();
+  if (states.size() < 2) {
+    report.worst_increment = 0.0;
+    report.non_decreasing = true;
+    return report;
+  }
+  for (std::size_t s = 1; s < states.size(); ++s) {
+    for (std::size_t i = 0; i < states[s].size(); ++i) {
+      report.worst_increment =
+          std::min(report.worst_increment, states[s][i] - states[s - 1][i]);
+    }
+  }
+  report.non_decreasing = report.worst_increment >= -tolerance;
+  return report;
+}
+
+double lower_solution_margin(const initial_condition& phi,
+                             const dl_parameters& params, double t0,
+                             std::size_t samples) {
+  params.validate();
+  const double r0 = params.r(t0);
+  double margin = std::numeric_limits<double>::infinity();
+  const std::vector<double> xs =
+      num::linspace(params.x_min, params.x_max, std::max<std::size_t>(samples, 2));
+  for (double x : xs) {
+    const double p = phi(x);
+    const double value =
+        params.d * phi.second_derivative(x) + r0 * p * (1.0 - p / params.k);
+    margin = std::min(margin, value);
+  }
+  return margin;
+}
+
+}  // namespace dlm::core

@@ -1,0 +1,51 @@
+// Verifiers for the DL model's theoretical properties (paper §II.C).
+//
+// The paper proves two properties that justify using the DL equation for
+// cumulative influence:
+//   * Unique property        — 0 ≤ I(x, t) ≤ K for all (x, t);
+//   * Strictly increasing    — I is strictly increasing in t whenever φ is
+//                              a lower time-independent solution, i.e.
+//                              d·φ'' + r·φ·(1 − φ/K) ≥ 0 (Eq. 5/6).
+// These functions check the discrete counterparts on solved trajectories
+// and candidate initial conditions; the property test-suite exercises them
+// across parameter sweeps.
+#pragma once
+
+#include "core/dl_parameters.h"
+#include "core/dl_solver.h"
+#include "core/initial_condition.h"
+
+namespace dlm::core {
+
+/// Result of the 0 ≤ I ≤ K bound check.
+struct bounds_report {
+  double min_value = 0.0;
+  double max_value = 0.0;
+  bool within = false;  ///< min ≥ −tol and max ≤ K + tol
+};
+
+/// Scans every recorded snapshot of `sol`.
+[[nodiscard]] bounds_report check_bounds(const dl_solution& sol, double k,
+                                         double tolerance = 1e-9);
+
+/// Result of the monotone-growth check.
+struct monotonicity_report {
+  /// Most negative inter-snapshot increment found (≥ 0 when monotone).
+  double worst_increment = 0.0;
+  bool non_decreasing = false;
+};
+
+/// Verifies I(x, t+Δ) ≥ I(x, t) across consecutive snapshots.
+[[nodiscard]] monotonicity_report check_monotonicity(const dl_solution& sol,
+                                                     double tolerance = 1e-9);
+
+/// The minimum over the domain of the lower-solution expression
+/// d·φ''(x) + r(t0)·φ(x)·(1 − φ(x)/K)  (paper Eq. 6) sampled at `samples`
+/// points.  Non-negative ⇒ φ is a lower time-independent solution ⇒ the
+/// solution grows monotonically (paper's strictly-increasing property).
+[[nodiscard]] double lower_solution_margin(const initial_condition& phi,
+                                           const dl_parameters& params,
+                                           double t0 = 1.0,
+                                           std::size_t samples = 512);
+
+}  // namespace dlm::core

@@ -1,0 +1,127 @@
+#include "digg/dataset.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dlm::digg {
+
+void write_votes_csv(std::ostream& out, const social::social_network& net) {
+  out << "timestamp,user,story\n";
+  for (social::story_id s = 0; s < net.story_count(); ++s) {
+    for (const social::vote& v : net.votes_for(s))
+      out << v.time << "," << v.user << "," << v.story << "\n";
+  }
+  if (!out) throw std::runtime_error("write_votes_csv: stream failure");
+}
+
+void write_friends_csv(std::ostream& out, const social::social_network& net) {
+  out << "follower,followee\n";
+  const graph::digraph& g = net.followers();
+  for (graph::node_id v = 0; v < g.node_count(); ++v) {
+    for (graph::node_id w : g.successors(v)) out << v << "," << w << "\n";
+  }
+  if (!out) throw std::runtime_error("write_friends_csv: stream failure");
+}
+
+vote_table read_votes_csv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != "timestamp,user,story")
+    throw std::runtime_error("read_votes_csv: bad header");
+  vote_table table;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::uint64_t ts = 0;
+    std::uint64_t user = 0;
+    std::uint64_t story = 0;
+    char c1 = 0, c2 = 0;
+    if (!(row >> ts >> c1 >> user >> c2 >> story) || c1 != ',' || c2 != ',')
+      throw std::runtime_error("read_votes_csv: malformed row at line " +
+                               std::to_string(line_no));
+    table.votes.push_back({static_cast<social::user_id>(user),
+                           static_cast<social::story_id>(story), ts});
+    table.max_user = std::max<std::size_t>(table.max_user, user);
+    table.max_story = std::max<std::size_t>(table.max_story, story);
+  }
+  return table;
+}
+
+graph::digraph read_friends_csv(std::istream& in, std::size_t n_users) {
+  std::string line;
+  if (!std::getline(in, line) || line != "follower,followee")
+    throw std::runtime_error("read_friends_csv: bad header");
+  graph::digraph_builder builder(n_users);
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::uint64_t a = 0, b = 0;
+    char comma = 0;
+    if (!(row >> a >> comma >> b) || comma != ',')
+      throw std::runtime_error("read_friends_csv: malformed row at line " +
+                               std::to_string(line_no));
+    builder.add_edge(static_cast<graph::node_id>(a),
+                     static_cast<graph::node_id>(b));
+  }
+  return builder.build();
+}
+
+void save_dataset(const std::string& directory,
+                  const social::social_network& net) {
+  std::filesystem::create_directories(directory);
+  {
+    std::ofstream votes(directory + "/votes.csv");
+    if (!votes) throw std::runtime_error("save_dataset: cannot open votes.csv");
+    write_votes_csv(votes, net);
+  }
+  {
+    std::ofstream friends(directory + "/friends.csv");
+    if (!friends)
+      throw std::runtime_error("save_dataset: cannot open friends.csv");
+    write_friends_csv(friends, net);
+  }
+}
+
+social::social_network load_dataset(const std::string& directory) {
+  std::ifstream votes_file(directory + "/votes.csv");
+  if (!votes_file)
+    throw std::runtime_error("load_dataset: cannot open votes.csv");
+  const vote_table table = read_votes_csv(votes_file);
+
+  std::ifstream friends_file(directory + "/friends.csv");
+  if (!friends_file)
+    throw std::runtime_error("load_dataset: cannot open friends.csv");
+
+  // Users present only in the friendship table still need node slots; scan
+  // the friends file for its max id first.
+  std::string header;
+  std::getline(friends_file, header);
+  std::size_t max_user = table.max_user;
+  {
+    std::string line;
+    while (std::getline(friends_file, line)) {
+      if (line.empty()) continue;
+      std::istringstream row(line);
+      std::uint64_t a = 0, b = 0;
+      char comma = 0;
+      if (row >> a >> comma >> b) {
+        max_user = std::max<std::size_t>(max_user, std::max(a, b));
+      }
+    }
+  }
+  friends_file.clear();
+  friends_file.seekg(0);
+  graph::digraph g = read_friends_csv(friends_file, max_user + 1);
+
+  social::social_network_builder builder(std::move(g), table.max_story + 1);
+  for (const social::vote& v : table.votes)
+    builder.add_vote(v.user, v.story, v.time);
+  return builder.build();
+}
+
+}  // namespace dlm::digg

@@ -1,0 +1,49 @@
+// Dataset serialization in the Digg-2009 release shape.
+//
+// Lerman's Digg 2009 release shipped two flat files: a vote table
+// (timestamp, voter, story) and a friendship table (follower, followee).
+// Synthetic datasets round-trip through the same shape so downstream
+// tooling written for the original release would work unchanged.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "social/network.h"
+#include "social/story.h"
+
+namespace dlm::digg {
+
+/// Writes the vote table as CSV: header "timestamp,user,story" then one
+/// row per vote (story-major, time-ascending).
+void write_votes_csv(std::ostream& out, const social::social_network& net);
+
+/// Writes the friendship table as CSV: header "follower,followee".
+void write_friends_csv(std::ostream& out, const social::social_network& net);
+
+/// Parsed vote table.
+struct vote_table {
+  std::vector<social::vote> votes;
+  std::size_t max_user = 0;   ///< largest user id seen
+  std::size_t max_story = 0;  ///< largest story id seen
+};
+
+/// Reads a votes CSV produced by `write_votes_csv` (or hand-made in the
+/// same format).  Throws std::runtime_error on malformed rows.
+[[nodiscard]] vote_table read_votes_csv(std::istream& in);
+
+/// Reads a friendship CSV into a digraph with `n_users` nodes.
+[[nodiscard]] graph::digraph read_friends_csv(std::istream& in,
+                                              std::size_t n_users);
+
+/// Writes both tables under `directory` as votes.csv / friends.csv.
+void save_dataset(const std::string& directory,
+                  const social::social_network& net);
+
+/// Loads a dataset saved by `save_dataset`; `n_stories` of the resulting
+/// network is max_story + 1.
+[[nodiscard]] social::social_network load_dataset(const std::string& directory);
+
+}  // namespace dlm::digg

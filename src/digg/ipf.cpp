@@ -1,0 +1,110 @@
+#include "digg/ipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dlm::digg {
+
+ipf_result fit_vote_probabilities(
+    const std::vector<std::vector<std::size_t>>& cell_count,
+    const std::vector<double>& row_target, const std::vector<double>& col_target,
+    std::size_t max_iterations, double tolerance, double total_tolerance) {
+  const std::size_t rows = cell_count.size();
+  if (rows == 0) throw std::invalid_argument("ipf: empty table");
+  const std::size_t cols = cell_count.front().size();
+  if (cols == 0) throw std::invalid_argument("ipf: empty row");
+  for (const auto& row : cell_count) {
+    if (row.size() != cols)
+      throw std::invalid_argument("ipf: ragged cell table");
+  }
+  if (row_target.size() != rows || col_target.size() != cols)
+    throw std::invalid_argument("ipf: target size mismatch");
+
+  double row_total = 0.0, col_total = 0.0;
+  for (double v : row_target) {
+    if (v < 0.0) throw std::invalid_argument("ipf: negative row target");
+    row_total += v;
+  }
+  for (double v : col_target) {
+    if (v < 0.0) throw std::invalid_argument("ipf: negative column target");
+    col_total += v;
+  }
+  if (row_total <= 0.0 || col_total <= 0.0)
+    throw std::invalid_argument("ipf: all-zero targets");
+  const double ratio = std::max(row_total / col_total, col_total / row_total);
+  if (ratio > 1.0 + total_tolerance)
+    throw std::invalid_argument(
+        "ipf: row/column target totals disagree beyond tolerance");
+
+  // Rescale column targets onto the row total so a solution can exist.
+  std::vector<double> cols_scaled(col_target);
+  const double scale = row_total / col_total;
+  for (double& v : cols_scaled) v *= scale;
+
+  // Start from the row-only solution: uniform probability within each row.
+  ipf_result res;
+  res.probability.assign(rows, std::vector<double>(cols, 0.0));
+  for (std::size_t h = 0; h < rows; ++h) {
+    std::size_t row_users = 0;
+    for (std::size_t g = 0; g < cols; ++g) row_users += cell_count[h][g];
+    const double p = row_users > 0
+                         ? std::clamp(row_target[h] / static_cast<double>(row_users),
+                                      0.0, 1.0)
+                         : 0.0;
+    for (std::size_t g = 0; g < cols; ++g) res.probability[h][g] = p;
+  }
+
+  const auto expected_row = [&](std::size_t h) {
+    double acc = 0.0;
+    for (std::size_t g = 0; g < cols; ++g)
+      acc += res.probability[h][g] * static_cast<double>(cell_count[h][g]);
+    return acc;
+  };
+  const auto expected_col = [&](std::size_t g) {
+    double acc = 0.0;
+    for (std::size_t h = 0; h < rows; ++h)
+      acc += res.probability[h][g] * static_cast<double>(cell_count[h][g]);
+    return acc;
+  };
+
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    res.iterations = it + 1;
+    // Row sweep.
+    for (std::size_t h = 0; h < rows; ++h) {
+      const double cur = expected_row(h);
+      if (cur <= 0.0) continue;
+      const double f = row_target[h] / cur;
+      for (std::size_t g = 0; g < cols; ++g)
+        res.probability[h][g] = std::clamp(res.probability[h][g] * f, 0.0, 1.0);
+    }
+    // Column sweep.
+    for (std::size_t g = 0; g < cols; ++g) {
+      const double cur = expected_col(g);
+      if (cur <= 0.0) continue;
+      const double f = cols_scaled[g] / cur;
+      for (std::size_t h = 0; h < rows; ++h)
+        res.probability[h][g] = std::clamp(res.probability[h][g] * f, 0.0, 1.0);
+    }
+    // Convergence check on both marginals.
+    double worst = 0.0;
+    for (std::size_t h = 0; h < rows; ++h) {
+      if (row_target[h] > 0.0)
+        worst = std::max(worst,
+                         std::abs(expected_row(h) - row_target[h]) / row_target[h]);
+    }
+    for (std::size_t g = 0; g < cols; ++g) {
+      if (cols_scaled[g] > 0.0)
+        worst = std::max(worst, std::abs(expected_col(g) - cols_scaled[g]) /
+                                    cols_scaled[g]);
+    }
+    res.max_marginal_error = worst;
+    if (worst <= tolerance) {
+      res.converged = true;
+      break;
+    }
+  }
+  return res;
+}
+
+}  // namespace dlm::digg

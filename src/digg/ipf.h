@@ -1,0 +1,42 @@
+// Iterative proportional fitting (IPF) of joint vote probabilities.
+//
+// One vote stream must induce TWO density surfaces at once: the paper
+// evaluates the same story s1 under friendship-hop distance (Fig. 3a,
+// Table I) and shared-interest distance (Fig. 5a, Table II).  Users sit in
+// a (hop group h, interest group g) contingency table; IPF finds per-cell
+// vote probabilities p[h][g] whose row marginals hit the hop targets and
+// whose column marginals hit the interest targets simultaneously.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dlm::digg {
+
+/// Result of the probability-raking run.
+struct ipf_result {
+  /// p[h][g]: probability that a user in cell (h, g) eventually votes.
+  std::vector<std::vector<double>> probability;
+  std::size_t iterations = 0;
+  double max_marginal_error = 0.0;  ///< worst relative miss on any marginal
+  bool converged = false;
+};
+
+/// Computes cell vote probabilities.
+///
+/// `cell_count[h][g]` — users in each cell (H×G, rectangular).
+/// `row_target[h]`    — expected voters among row h (0 ≤ target ≤ row size).
+/// `col_target[g]`    — expected voters among column g.
+/// The column targets are always rescaled to the row total before fitting
+/// (a joint distribution can only honor one grand total); `total_tolerance`
+/// bounds how large that rescaling may be before the inputs are considered
+/// irreconcilable and rejected.  Probabilities are clamped to [0, 1];
+/// clamping makes exact fitting impossible in extreme cases, so check
+/// `max_marginal_error`.
+[[nodiscard]] ipf_result fit_vote_probabilities(
+    const std::vector<std::vector<std::size_t>>& cell_count,
+    const std::vector<double>& row_target,
+    const std::vector<double>& col_target, std::size_t max_iterations = 200,
+    double tolerance = 1e-9, double total_tolerance = 4.0);
+
+}  // namespace dlm::digg

@@ -1,0 +1,69 @@
+// Story presets calibrated to the paper's published surfaces.
+//
+// The paper demonstrates everything on four representative June-2009 Digg
+// stories: s1 (most popular, 24,099 votes), s2 (8,521), s3 (5,988) and
+// s4 (1,618).  Each preset encodes, per distance metric, the plateau
+// densities, hour-1 densities and per-group rate multipliers read off
+// Fig. 3 (hops), Fig. 5 (interests) and Fig. 7, plus the story's growth
+// clock: popular stories stabilize by ~10 h, less popular ones by 20–30 h
+// (paper §III.B observations).  See DESIGN.md §3 for why the dataset is
+// synthetic and what the calibration preserves.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "digg/target_curves.h"
+#include "graph/generators.h"
+
+namespace dlm::digg {
+
+/// Complete target description of one story.
+struct story_preset {
+  std::string name;
+  std::size_t paper_votes = 0;  ///< vote count reported in the paper
+  /// Hop-distance groups; index k describes distance k+1.  Stories define
+  /// ten groups (the paper observes users out to hop 10 in Fig. 2).
+  std::vector<group_target> hop_groups;
+  surface_params hop_surface;
+  /// Interest-distance groups; index k describes group k+1 of 5.
+  std::vector<group_target> interest_groups;
+  surface_params interest_surface;
+  /// Initiator popularity: the story's submitter is the node holding this
+  /// follower-count rank in the synthetic graph (0 = most followed).
+  std::size_t initiator_rank = 0;
+};
+
+/// The paper's four representative stories.
+[[nodiscard]] story_preset story_s1();
+[[nodiscard]] story_preset story_s2();
+[[nodiscard]] story_preset story_s3();
+[[nodiscard]] story_preset story_s4();
+[[nodiscard]] std::vector<story_preset> paper_stories();
+
+/// Scenario: everything needed to synthesize the June-2009-like dataset.
+struct scenario_config {
+  graph::digg_graph_params graph{.users = 40000, .local_window = 120};
+  std::uint64_t seed = 20090601;       ///< dataset collection month :-)
+  int horizon_hours = 50;              ///< paper tracks 50 hours
+  std::size_t background_stories = 300;///< corpus building vote histories
+  std::size_t topic_clusters = 24;     ///< interest structure granularity
+  double corpus_mean_activity = 8.0;   ///< mean background votes per user
+  /// Share of a story's votes cast by users OUTSIDE the hop-reachable set
+  /// (front-page-only voters).  Sizes the interest bins: the interest
+  /// marginal totals are hop totals / (1 − share).
+  double front_page_vote_share = 0.5;
+  int max_hops = 10;                   ///< hop partition depth
+  std::size_t interest_groups = 5;     ///< paper uses 5 interest bins
+  std::vector<story_preset> stories = paper_stories();
+};
+
+/// Scenario scaled down for unit tests (small graph, fewer background
+/// stories) while keeping every preset shape.
+[[nodiscard]] scenario_config test_scale_scenario();
+
+/// Scenario at the paper's population scale (139,409 voters).
+[[nodiscard]] scenario_config paper_scale_scenario();
+
+}  // namespace dlm::digg

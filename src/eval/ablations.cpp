@@ -1,0 +1,320 @@
+#include "eval/ablations.h"
+
+#include <chrono>
+#include <cmath>
+#include <ostream>
+
+#include "core/accuracy.h"
+#include "core/dl_model.h"
+#include "eval/table.h"
+#include "fit/calibrate.h"
+#include "models/heat_model.h"
+#include "models/per_distance_logistic.h"
+#include "numerics/stats.h"
+
+namespace dlm::eval {
+namespace {
+
+double elapsed_ms(const std::chrono::steady_clock::time_point& start) {
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+/// Mean prediction accuracy of `predicted` against `r.actual` over
+/// t = 2..6 for one distance row.
+double row_accuracy(const std::vector<double>& predicted,
+                    const std::vector<double>& actual) {
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (std::size_t j = 1; j < actual.size(); ++j) {  // skip t = 1
+    acc += core::prediction_accuracy(predicted[j], actual[j]);
+    ++n;
+  }
+  return n > 0 ? acc / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace
+
+diffusion_ablation_result run_diffusion_ablation(
+    const experiment_context& ctx, std::size_t story_index,
+    social::distance_metric metric, int max_distance) {
+  const prediction_experiment dl =
+      run_prediction(ctx, story_index, metric, max_distance);
+
+  diffusion_ablation_result out;
+  out.distances = dl.distances;
+
+  // Initial profile shared by all three models.
+  std::vector<double> initial;
+  for (const auto& row : dl.actual) initial.push_back(row.front());
+
+  // Temporal-only baseline: per-distance logistic with the same r(t), K.
+  const core::growth_rate rate = dl.params.r;
+  models::per_distance_logistic logistic(
+      initial, /*t0=*/1.0, dl.params.k, [rate](double t) { return rate(t); });
+
+  // Diffusion-only baseline: Neumann heat equation from the same profile.
+  const std::size_t heat_nodes = 101;
+  core::initial_condition phi(initial);
+  const std::vector<double> phi_samples =
+      phi.sample(dl.params.x_min, static_cast<double>(max_distance),
+                 heat_nodes);
+
+  double dl_acc = 0.0, log_acc = 0.0, heat_acc = 0.0;
+  for (std::size_t i = 0; i < dl.distances.size(); ++i) {
+    // DL rows come from the prediction experiment.
+    out.dl_accuracy.push_back(
+        row_accuracy(dl.predicted[i], dl.actual[i]));
+
+    // Logistic rows.
+    std::vector<double> log_pred{initial[i]};
+    for (std::size_t j = 1; j < dl.times.size(); ++j)
+      log_pred.push_back(logistic.predict(dl.times[j])[i]);
+    out.logistic_accuracy.push_back(row_accuracy(log_pred, dl.actual[i]));
+
+    // Heat rows: evaluate the series solution at the integer distance.
+    std::vector<double> heat_pred{initial[i]};
+    for (std::size_t j = 1; j < dl.times.size(); ++j) {
+      const std::vector<double> profile = models::heat_neumann_series(
+          phi_samples, dl.params.x_min, static_cast<double>(max_distance),
+          dl.params.d, dl.times[j] - 1.0);
+      const double pos = (static_cast<double>(dl.distances[i]) -
+                          dl.params.x_min) /
+                         (static_cast<double>(max_distance) - dl.params.x_min);
+      const auto idx = static_cast<std::size_t>(
+          std::lround(pos * static_cast<double>(heat_nodes - 1)));
+      heat_pred.push_back(profile[idx]);
+    }
+    out.heat_accuracy.push_back(row_accuracy(heat_pred, dl.actual[i]));
+
+    dl_acc += out.dl_accuracy.back();
+    log_acc += out.logistic_accuracy.back();
+    heat_acc += out.heat_accuracy.back();
+  }
+  const auto n = static_cast<double>(dl.distances.size());
+  out.dl_overall = dl_acc / n;
+  out.logistic_overall = log_acc / n;
+  out.heat_overall = heat_acc / n;
+  return out;
+}
+
+void print_diffusion_ablation(std::ostream& out,
+                              const diffusion_ablation_result& r) {
+  out << "Ablation — what the diffusion term buys (story s1, hops)\n"
+      << "DL = full model; logistic = growth only (d=0, temporal baseline);\n"
+      << "heat = diffusion only (r=0; mass-conserving, cannot grow)\n\n";
+  text_table table({"distance", "DL", "logistic (d=0)", "heat (r=0)"});
+  for (std::size_t i = 0; i < r.distances.size(); ++i) {
+    table.add_row({std::to_string(r.distances[i]),
+                   text_table::pct(r.dl_accuracy[i], 2),
+                   text_table::pct(r.logistic_accuracy[i], 2),
+                   text_table::pct(r.heat_accuracy[i], 2)});
+  }
+  table.add_row({"overall", text_table::pct(r.dl_overall, 2),
+                 text_table::pct(r.logistic_overall, 2),
+                 text_table::pct(r.heat_overall, 2)});
+  out << table << "\n";
+}
+
+std::vector<scheme_ablation_row> run_scheme_ablation(
+    const experiment_context& ctx, std::size_t story_index) {
+  const int max_distance = 6;
+  const social::density_field field =
+      ctx.density(story_index, social::distance_metric::friendship_hops);
+  const int upper = std::min(max_distance, field.max_distance());
+
+  std::vector<double> initial;
+  std::vector<int> distances;
+  for (int x = 1; x <= upper; ++x) {
+    distances.push_back(x);
+    initial.push_back(field.at(x, 1));
+  }
+  const core::dl_parameters params = core::dl_parameters::paper_hops(upper);
+
+  // Fine MOL-RK4 reference.
+  core::dl_solver_options ref_opts;
+  ref_opts.scheme = core::dl_scheme::mol_rk4;
+  ref_opts.points_per_unit = 80;
+  ref_opts.dt = 0.002;
+  const core::dl_model reference(params, initial, 1.0, 6.0, ref_opts);
+  const std::vector<double> ref_profile = reference.predict_profile(6.0);
+
+  std::vector<scheme_ablation_row> rows;
+  for (core::dl_scheme scheme :
+       {core::dl_scheme::ftcs, core::dl_scheme::strang_cn,
+        core::dl_scheme::implicit_newton, core::dl_scheme::mol_rk4}) {
+    core::dl_solver_options opts;
+    opts.scheme = scheme;
+    opts.points_per_unit = 20;
+    opts.dt = scheme == core::dl_scheme::ftcs ? 0.01 : 0.02;
+
+    const auto start = std::chrono::steady_clock::now();
+    const core::dl_model model(params, initial, 1.0, 6.0, opts);
+    const double ms = elapsed_ms(start);
+
+    scheme_ablation_row row;
+    row.scheme = scheme;
+    row.solve_ms = ms;
+    const std::vector<double> profile = model.predict_profile(6.0);
+    for (std::size_t i = 0; i < profile.size(); ++i)
+      row.deviation_vs_reference =
+          std::max(row.deviation_vs_reference,
+                   std::abs(profile[i] - ref_profile[i]));
+    // Accuracy against the actual surface.
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (int t = 2; t <= 6; ++t) {
+      const std::vector<double> p =
+          model.predict_profile(static_cast<double>(t));
+      for (std::size_t i = 0; i < distances.size(); ++i) {
+        acc += core::prediction_accuracy(p[i], field.at(distances[i], t));
+        ++n;
+      }
+    }
+    row.overall_accuracy = acc / static_cast<double>(n);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void print_scheme_ablation(std::ostream& out,
+                           const std::vector<scheme_ablation_row>& rows) {
+  out << "Ablation — numerical scheme (story s1, hops, t = 1..6)\n"
+      << "deviation = max |difference| vs fine MOL-RK4 reference at t=6\n\n";
+  text_table table({"scheme", "overall accuracy", "deviation", "solve ms"});
+  for (const auto& row : rows) {
+    table.add_row({core::to_string(row.scheme),
+                   text_table::pct(row.overall_accuracy, 2),
+                   text_table::num(row.deviation_vs_reference, 6),
+                   text_table::num(row.solve_ms, 2)});
+  }
+  out << table << "\n";
+}
+
+std::vector<growth_ablation_row> run_growth_ablation(
+    const experiment_context& ctx, std::size_t story_index) {
+  const int max_distance = 6;
+  const social::density_field field =
+      ctx.density(story_index, social::distance_metric::friendship_hops);
+  const int upper = std::min(max_distance, field.max_distance());
+
+  std::vector<double> initial;
+  std::vector<int> distances;
+  for (int x = 1; x <= upper; ++x) {
+    distances.push_back(x);
+    initial.push_back(field.at(x, 1));
+  }
+
+  const auto evaluate = [&](const core::dl_parameters& params) {
+    const core::dl_model model(params, initial, 1.0, 6.0);
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (int t = 2; t <= 6; ++t) {
+      const std::vector<double> p =
+          model.predict_profile(static_cast<double>(t));
+      for (std::size_t i = 0; i < distances.size(); ++i) {
+        acc += core::prediction_accuracy(p[i], field.at(distances[i], t));
+        ++n;
+      }
+    }
+    return acc / static_cast<double>(n);
+  };
+
+  std::vector<growth_ablation_row> rows;
+
+  core::dl_parameters paper = core::dl_parameters::paper_hops(upper);
+  rows.push_back({"paper r(t) = 1.4 exp(-1.5(t-1)) + 0.25", evaluate(paper)});
+
+  for (double c : {0.25, 0.5, 0.8}) {
+    core::dl_parameters constant = paper;
+    constant.r = core::growth_rate::constant(c);
+    rows.push_back({"constant r = " + text_table::num(c, 2),
+                    evaluate(constant)});
+  }
+
+  // Calibrated rate: fit (a, b, c) plus (d, K) on the t = 2..4 window,
+  // evaluate on the full t = 2..6 range.
+  fit::observation_window window;
+  window.t0 = 1.0;
+  window.initial = initial;
+  window.times = {2.0, 3.0, 4.0};
+  window.observed.resize(initial.size());
+  for (std::size_t i = 0; i < initial.size(); ++i) {
+    for (double t : window.times)
+      window.observed[i].push_back(
+          field.at(distances[i], static_cast<int>(t)));
+  }
+  fit::calibration_options cal;
+  cal.coarse_steps = 4;
+  cal.a_max = 3.0;
+  cal.b_min = 0.5;
+  cal.c_max = 0.6;
+  const fit::calibration_result fitted = fit::calibrate_dl(window, paper, cal);
+  rows.push_back({"calibrated (fit on t<=4): " + fitted.params.r.label(),
+                  evaluate(fitted.params)});
+  return rows;
+}
+
+void print_growth_ablation(std::ostream& out,
+                           const std::vector<growth_ablation_row>& rows) {
+  out << "Ablation — growth-rate family r(t) (story s1, hops, t = 2..6)\n\n";
+  text_table table({"growth rate", "overall accuracy"});
+  for (const auto& row : rows)
+    table.add_row({row.label, text_table::pct(row.overall_accuracy, 2)});
+  out << table << "\n";
+}
+
+std::vector<resolution_row> run_resolution_ablation() {
+  // Synthetic smooth initial profile on [1, 6].
+  const std::vector<double> initial{1.9, 0.8, 1.1, 0.6, 0.4, 0.3};
+  const core::dl_parameters params = core::dl_parameters::paper_hops(6.0);
+
+  struct level {
+    std::size_t ppu;
+    double dt;
+  };
+  const std::vector<level> levels{{5, 0.08}, {10, 0.04}, {20, 0.02},
+                                  {40, 0.01}, {80, 0.005}};
+
+  // Finest level as reference.
+  core::dl_solver_options fine;
+  fine.points_per_unit = 160;
+  fine.dt = 0.0025;
+  const core::dl_model reference(params, initial, 1.0, 6.0, fine);
+  const std::vector<double> ref = reference.predict_profile(6.0);
+
+  std::vector<resolution_row> rows;
+  for (const level& lv : levels) {
+    core::dl_solver_options opts;
+    opts.points_per_unit = lv.ppu;
+    opts.dt = lv.dt;
+    const auto start = std::chrono::steady_clock::now();
+    const core::dl_model model(params, initial, 1.0, 6.0, opts);
+    resolution_row row;
+    row.points_per_unit = lv.ppu;
+    row.dt = lv.dt;
+    row.solve_ms = elapsed_ms(start);
+    const std::vector<double> profile = model.predict_profile(6.0);
+    for (std::size_t i = 0; i < profile.size(); ++i)
+      row.deviation = std::max(row.deviation, std::abs(profile[i] - ref[i]));
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void print_resolution_ablation(std::ostream& out,
+                               const std::vector<resolution_row>& rows) {
+  out << "Ablation — grid resolution (Strang-CN, paper s1 parameters)\n"
+      << "deviation = max |difference| at integer distances, t = 6, vs a\n"
+      << "160-points-per-unit, dt=0.0025 reference\n\n";
+  text_table table({"points/unit", "dt", "deviation", "solve ms"});
+  for (const auto& row : rows) {
+    table.add_row({std::to_string(row.points_per_unit),
+                   text_table::num(row.dt, 4),
+                   text_table::num(row.deviation, 7),
+                   text_table::num(row.solve_ms, 2)});
+  }
+  out << table << "\n";
+}
+
+}  // namespace dlm::eval

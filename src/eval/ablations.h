@@ -1,0 +1,75 @@
+// Ablation experiment runners (DESIGN.md §2, non-paper benches).
+//
+// Each ablation isolates one design choice of the DL model or its solver:
+// the diffusion term, the r(t) family, the numerical scheme, and the grid
+// resolution.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/dl_solver.h"
+#include "eval/experiments.h"
+
+namespace dlm::eval {
+
+// -------------------------------------------------- diffusion-term ablation
+/// DL vs temporal-only (per-distance logistic, d = 0) vs diffusion-only
+/// (heat equation, r = 0) on one story's prediction task.
+struct diffusion_ablation_result {
+  std::vector<int> distances;
+  /// Per-distance average accuracy (t = 2..6) of each model.
+  std::vector<double> dl_accuracy;
+  std::vector<double> logistic_accuracy;
+  std::vector<double> heat_accuracy;
+  double dl_overall = 0.0;
+  double logistic_overall = 0.0;
+  double heat_overall = 0.0;
+};
+[[nodiscard]] diffusion_ablation_result run_diffusion_ablation(
+    const experiment_context& ctx, std::size_t story_index,
+    social::distance_metric metric, int max_distance);
+void print_diffusion_ablation(std::ostream& out,
+                              const diffusion_ablation_result& r);
+
+// ----------------------------------------------------- solver-scheme ablation
+/// Same prediction task solved with every scheme.
+struct scheme_ablation_row {
+  core::dl_scheme scheme = core::dl_scheme::strang_cn;
+  double overall_accuracy = 0.0;
+  /// Max |deviation| from the finest MOL-RK4 reference at t = 6.
+  double deviation_vs_reference = 0.0;
+  double solve_ms = 0.0;
+};
+[[nodiscard]] std::vector<scheme_ablation_row> run_scheme_ablation(
+    const experiment_context& ctx, std::size_t story_index);
+void print_scheme_ablation(std::ostream& out,
+                           const std::vector<scheme_ablation_row>& rows);
+
+// ------------------------------------------------------ growth-rate ablation
+/// Paper decaying r(t) vs constant rates vs least-squares-calibrated rate.
+struct growth_ablation_row {
+  std::string label;
+  double overall_accuracy = 0.0;
+};
+[[nodiscard]] std::vector<growth_ablation_row> run_growth_ablation(
+    const experiment_context& ctx, std::size_t story_index);
+void print_growth_ablation(std::ostream& out,
+                           const std::vector<growth_ablation_row>& rows);
+
+// -------------------------------------------------- grid-resolution ablation
+/// Solution convergence under Δx, Δt refinement (no dataset needed).
+struct resolution_row {
+  std::size_t points_per_unit = 0;
+  double dt = 0.0;
+  /// Max |difference| at integer distances, t = 6, vs the finest level.
+  double deviation = 0.0;
+  double solve_ms = 0.0;
+};
+[[nodiscard]] std::vector<resolution_row> run_resolution_ablation();
+void print_resolution_ablation(std::ostream& out,
+                               const std::vector<resolution_row>& rows);
+
+}  // namespace dlm::eval

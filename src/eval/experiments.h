@@ -1,0 +1,118 @@
+// Experiment runners: one per paper figure/table (DESIGN.md §2).
+//
+// Bench binaries stay thin — they build an `experiment_context` (the
+// synthetic June-2009 dataset) and call the matching run_/print_ pair.
+// Paper reference values are embedded so each bench prints paper-vs-
+// measured side by side, which EXPERIMENTS.md records.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/accuracy.h"
+#include "core/dl_parameters.h"
+#include "digg/simulator.h"
+#include "social/density.h"
+#include "social/distance.h"
+
+namespace dlm::eval {
+
+/// Shared dataset context, built once per bench process.
+struct experiment_context {
+  digg::digg_dataset data;
+
+  /// Density field of flagship story `story_index` under `metric`
+  /// (horizon = scenario horizon).
+  [[nodiscard]] social::density_field density(
+      std::size_t story_index, social::distance_metric metric) const;
+
+  /// Builds the dataset for `config` (defaults to the standard scenario).
+  [[nodiscard]] static experiment_context make(
+      const digg::scenario_config& config = digg::scenario_config{});
+};
+
+// ---------------------------------------------------------------- Fig. 2
+/// Distribution of users over friendship-hop distance per story.
+struct fig2_result {
+  std::vector<std::string> story_names;
+  /// fraction[story][k]: share of reachable users at hop k+1 (k < 10).
+  std::vector<std::vector<double>> fraction;
+};
+[[nodiscard]] fig2_result run_fig2(const experiment_context& ctx);
+void print_fig2(std::ostream& out, const fig2_result& result);
+
+// ------------------------------------------------------- Fig. 3 / Fig. 5
+/// Density over 50 hours at distances 1..max for one story and metric.
+struct density_series_result {
+  std::string story_name;
+  social::distance_metric metric = social::distance_metric::friendship_hops;
+  std::vector<int> distances;
+  /// density[i][h]: density of distances[i] at hour h+1.
+  std::vector<std::vector<double>> density;
+  /// First hour at which the top-distance series is within 5% of its final
+  /// value — the paper's "stable after about N hours" observation.
+  [[nodiscard]] int saturation_hour() const;
+};
+[[nodiscard]] density_series_result run_density_series(
+    const experiment_context& ctx, std::size_t story_index,
+    social::distance_metric metric, int max_distance = 5);
+void print_density_series(std::ostream& out, const density_series_result& r,
+                          const std::string& figure_name);
+
+// ---------------------------------------------------------------- Fig. 4
+/// s1 density-vs-distance profiles, one per hour.
+struct fig4_result {
+  std::vector<int> distances;
+  /// profile[h][i]: density at distances[i], hour h+1.
+  std::vector<std::vector<double>> profile;
+  /// Largest hour-over-hour increment at distance 1 per hour (shows the
+  /// shrinking increments that motivate a decaying r(t)).
+  [[nodiscard]] std::vector<double> increments_at_distance1() const;
+};
+[[nodiscard]] fig4_result run_fig4(const experiment_context& ctx);
+void print_fig4(std::ostream& out, const fig4_result& result);
+
+// ---------------------------------------------------------------- Fig. 6
+/// The paper's growth-rate function sampled over [1, 6].
+struct fig6_result {
+  std::vector<double> times;
+  std::vector<double> rate;
+};
+[[nodiscard]] fig6_result run_fig6();
+void print_fig6(std::ostream& out, const fig6_result& result);
+
+// ------------------------------------------- Fig. 7 / Table I / Table II
+/// Full prediction experiment: DL model built from the hour-1 profile,
+/// evaluated against the actual surface at t = 2..6.
+struct prediction_experiment {
+  std::string story_name;
+  social::distance_metric metric = social::distance_metric::friendship_hops;
+  core::dl_parameters params;
+  std::vector<int> distances;
+  std::vector<double> times;  ///< includes t = 1 (the initial profile)
+  /// actual/predicted[i][j]: density at distances[i], times[j].
+  std::vector<std::vector<double>> actual;
+  std::vector<std::vector<double>> predicted;
+  /// Accuracy over times[1..] (t = 2..6), paper Eq. 8 convention.
+  core::accuracy_table accuracy;
+};
+[[nodiscard]] prediction_experiment run_prediction(
+    const experiment_context& ctx, std::size_t story_index,
+    social::distance_metric metric, int max_distance, int t_max = 6);
+void print_fig7(std::ostream& out, const prediction_experiment& result);
+
+/// Paper Table I (hops) and Table II (interests) reference accuracies for
+/// story s1, laid out as {distance, average, t2, t3, t4, t5, t6} percent.
+using paper_accuracy_row = std::array<double, 7>;
+[[nodiscard]] const std::vector<paper_accuracy_row>& paper_table1();
+[[nodiscard]] const std::vector<paper_accuracy_row>& paper_table2();
+
+/// Prints measured accuracy beside the paper's reference rows.
+void print_accuracy_table(std::ostream& out, const prediction_experiment& r,
+                          const std::vector<paper_accuracy_row>& reference,
+                          const std::string& table_name);
+
+}  // namespace dlm::eval

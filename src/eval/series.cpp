@@ -1,0 +1,67 @@
+#include "eval/series.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace dlm::eval {
+
+std::string sparkline(std::span<const double> values, double scale_max) {
+  static constexpr char levels[] = {' ', '.', ':', '-', '=', '+', '*', '#'};
+  constexpr int n_levels = 8;
+  if (values.empty()) return {};
+  double lo = 0.0;
+  double hi = scale_max;
+  if (scale_max <= 0.0) {
+    hi = *std::max_element(values.begin(), values.end());
+  }
+  if (hi <= lo) hi = lo + 1.0;
+  std::string out;
+  out.reserve(values.size());
+  for (double v : values) {
+    const double norm = std::clamp((v - lo) / (hi - lo), 0.0, 1.0);
+    const int idx = std::min(static_cast<int>(norm * n_levels), n_levels - 1);
+    out += levels[idx];
+  }
+  return out;
+}
+
+void print_series_chart(std::ostream& out, const std::string& title,
+                        std::span<const labeled_series> series,
+                        std::span<const std::size_t> sample_at,
+                        const std::string& x_label) {
+  out << title << "\n";
+  std::size_t label_width = x_label.size();
+  for (const labeled_series& s : series)
+    label_width = std::max(label_width, s.label.size());
+
+  // Global scale so line ordering is visible across series.
+  double hi = 0.0;
+  for (const labeled_series& s : series) {
+    for (double v : s.values) hi = std::max(hi, v);
+  }
+
+  // Header: sampled columns.
+  out << "  " << std::left << std::setw(static_cast<int>(label_width))
+      << x_label << "  ";
+  for (std::size_t idx : sample_at) out << std::setw(8) << idx + 1;
+  out << "  shape\n";
+
+  for (const labeled_series& s : series) {
+    out << "  " << std::left << std::setw(static_cast<int>(label_width))
+        << s.label << "  ";
+    for (std::size_t idx : sample_at) {
+      std::ostringstream cell;
+      if (idx < s.values.size())
+        cell << std::fixed << std::setprecision(2) << s.values[idx];
+      else
+        cell << "-";
+      out << std::setw(8) << cell.str();
+    }
+    out << "  |" << sparkline(s.values, hi) << "|\n";
+  }
+  out << "\n";
+}
+
+}  // namespace dlm::eval

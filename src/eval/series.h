@@ -1,0 +1,33 @@
+// Time-series rendering: labeled rows plus ASCII sparklines.
+//
+// The paper's figures are line charts; in a terminal we print each line as
+// a labeled row of sampled values followed by a sparkline so the *shape*
+// (growth, saturation, orderings, crossovers) is visible at a glance.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dlm::eval {
+
+/// Eight-level ASCII sparkline of `values` scaled to [min, max] of the
+/// data (or to [0, `scale_max`] when scale_max > 0).
+[[nodiscard]] std::string sparkline(std::span<const double> values,
+                                    double scale_max = 0.0);
+
+/// One labeled series.
+struct labeled_series {
+  std::string label;
+  std::vector<double> values;
+};
+
+/// Prints a figure-like block: title, per-series sparkline + sampled
+/// values at the column positions in `sample_at` (indices into values).
+void print_series_chart(std::ostream& out, const std::string& title,
+                        std::span<const labeled_series> series,
+                        std::span<const std::size_t> sample_at,
+                        const std::string& x_label = "hour");
+
+}  // namespace dlm::eval

@@ -1,0 +1,79 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dlm::eval {
+
+text_table::text_table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty())
+    throw std::invalid_argument("text_table: need at least one column");
+}
+
+void text_table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("text_table: cell count mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string text_table::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  std::ostringstream out;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+      if (c + 1 < row.size()) out << "  ";
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c], '-');
+    if (c + 1 < headers_.size()) out << "  ";
+  }
+  out << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& out, const text_table& t) {
+  return out << t.str();
+}
+
+std::string text_table::pct(double fraction, int decimals) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(decimals) << fraction * 100.0 << "%";
+  return out.str();
+}
+
+std::string text_table::num(double value, int decimals) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(decimals) << value;
+  return out.str();
+}
+
+std::string text_table::count(std::size_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  out.append(digits, 0, lead);
+  for (std::size_t i = lead; i < digits.size(); i += 3) {
+    out += ',';
+    out.append(digits, i, 3);
+  }
+  return out;
+}
+
+}  // namespace dlm::eval

@@ -1,0 +1,44 @@
+// Plain-text table rendering for the figure/table benches.
+//
+// Every bench prints the same rows/series its paper counterpart reports;
+// this module does the column alignment and number formatting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dlm::eval {
+
+/// Column-aligned ASCII table.
+class text_table {
+ public:
+  explicit text_table(std::vector<std::string> headers);
+
+  /// Adds one row; the cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders with padded columns, a header separator and a trailing
+  /// newline.
+  [[nodiscard]] std::string str() const;
+
+  friend std::ostream& operator<<(std::ostream& out, const text_table& t);
+
+  /// "92.81%" — percentage with `decimals` places (value is a fraction).
+  [[nodiscard]] static std::string pct(double fraction, int decimals = 2);
+
+  /// Fixed-precision number.
+  [[nodiscard]] static std::string num(double value, int decimals = 3);
+
+  /// Integer with thousands separators ("24,099").
+  [[nodiscard]] static std::string count(std::size_t value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dlm::eval

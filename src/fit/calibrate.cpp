@@ -1,0 +1,74 @@
+#include "fit/calibrate.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "numerics/optimize/grid_search.h"
+#include "numerics/optimize/nelder_mead.h"
+
+namespace dlm::fit {
+namespace {
+
+core::dl_parameters params_from_vector(const core::dl_parameters& base,
+                                       std::span<const double> v,
+                                       bool fit_rate) {
+  core::dl_parameters p = base;
+  p.d = v[0];
+  p.k = v[1];
+  if (fit_rate)
+    p.r = core::growth_rate::exponential_decay(v[2], v[3], v[4]);
+  return p;
+}
+
+}  // namespace
+
+calibration_result calibrate_dl(const observation_window& window,
+                                const core::dl_parameters& start,
+                                const calibration_options& options) {
+  window.validate();
+
+  std::size_t evaluations = 0;
+  const auto objective = [&](std::span<const double> v) {
+    ++evaluations;
+    return dl_sse(params_from_vector(start, v, options.fit_rate), window,
+                  options.solver);
+  };
+
+  const std::size_t dims = options.fit_rate ? 5 : 2;
+
+  // Coarse lattice scan.
+  std::vector<num::grid_axis> axes;
+  axes.push_back({options.d_min, options.d_max, options.coarse_steps});
+  axes.push_back({options.k_min, options.k_max, options.coarse_steps});
+  if (options.fit_rate) {
+    axes.push_back({options.a_min, options.a_max, options.coarse_steps});
+    axes.push_back({options.b_min, options.b_max, options.coarse_steps});
+    axes.push_back({options.c_min, options.c_max, options.coarse_steps});
+  }
+  const num::grid_search_result coarse = num::minimize_grid(objective, axes);
+
+  // Refinement with bounded Nelder–Mead from the best lattice point.
+  std::vector<double> lower{options.d_min, options.k_min};
+  std::vector<double> upper{options.d_max, options.k_max};
+  if (options.fit_rate) {
+    lower.insert(lower.end(), {options.a_min, options.b_min, options.c_min});
+    upper.insert(upper.end(), {options.a_max, options.b_max, options.c_max});
+  }
+  num::nelder_mead_options nm;
+  nm.max_iterations = 600;
+  nm.initial_step = 0.15;
+  nm.f_tolerance = 1e-9;
+  nm.x_tolerance = 1e-7;
+  const num::nelder_mead_result refined = num::minimize_nelder_mead_bounded(
+      objective, std::span<const double>(coarse.x.data(), dims), lower, upper,
+      nm);
+
+  calibration_result result;
+  result.params = params_from_vector(start, refined.x, options.fit_rate);
+  result.sse = refined.f_value;
+  result.evaluations = evaluations;
+  result.converged = refined.converged;
+  return result;
+}
+
+}  // namespace dlm::fit

@@ -1,0 +1,43 @@
+// DL parameter calibration from the early observation window.
+//
+// Coarse lattice scan (grid search) followed by bounded Nelder–Mead
+// refinement over (d, K, a, b, c) where r(t) = a·e^{−b(t−1)} + c — the
+// paper's growth-rate family.  The paper tunes by hand; this automates the
+// same procedure and is used by the `model_comparison` example and the
+// r(t)-family ablation bench.
+#pragma once
+
+#include <cstddef>
+
+#include "core/dl_parameters.h"
+#include "fit/objective.h"
+
+namespace dlm::fit {
+
+/// Box bounds and switches for calibration.
+struct calibration_options {
+  double d_min = 0.0, d_max = 0.5;
+  double k_min = 1.0, k_max = 100.0;
+  double a_min = 0.0, a_max = 4.0;   ///< rate amplitude
+  double b_min = 0.1, b_max = 4.0;   ///< rate decay
+  double c_min = 0.0, c_max = 1.0;   ///< rate floor
+  bool fit_rate = true;   ///< false: keep the rate from `start`, fit (d, K)
+  std::size_t coarse_steps = 4;  ///< lattice points per axis in the scan
+  core::dl_solver_options solver{};
+};
+
+/// Calibration outcome.
+struct calibration_result {
+  core::dl_parameters params;  ///< best-fit parameters
+  double sse = 0.0;            ///< objective at the optimum
+  std::size_t evaluations = 0; ///< PDE solves spent
+  bool converged = false;
+};
+
+/// Calibrates DL parameters against `window`, starting from `start`
+/// (which also fixes x_min/x_max and, when !fit_rate, the rate function).
+[[nodiscard]] calibration_result calibrate_dl(
+    const observation_window& window, const core::dl_parameters& start,
+    const calibration_options& options = {});
+
+}  // namespace dlm::fit

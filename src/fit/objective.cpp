@@ -1,0 +1,54 @@
+#include "fit/objective.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/dl_model.h"
+
+namespace dlm::fit {
+
+void observation_window::validate() const {
+  if (initial.size() < 2)
+    throw std::invalid_argument("observation_window: need >= 2 distances");
+  if (times.empty())
+    throw std::invalid_argument("observation_window: no observed times");
+  double prev = t0;
+  for (double t : times) {
+    if (!(t > prev))
+      throw std::invalid_argument(
+          "observation_window: times must be ascending and > t0");
+    prev = t;
+  }
+  if (observed.size() != initial.size())
+    throw std::invalid_argument("observation_window: observed row mismatch");
+  for (const auto& row : observed) {
+    if (row.size() != times.size())
+      throw std::invalid_argument("observation_window: observed column mismatch");
+  }
+}
+
+double dl_sse(const core::dl_parameters& params,
+              const observation_window& window,
+              const core::dl_solver_options& solver) {
+  window.validate();
+  try {
+    params.validate();
+    const core::dl_model model(params, window.initial, window.t0,
+                               window.times.back(), solver);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < window.times.size(); ++j) {
+      const std::vector<double> profile =
+          model.predict_profile(window.times[j]);
+      for (std::size_t i = 0; i < window.initial.size(); ++i) {
+        const double e = profile[i] - window.observed[i][j];
+        acc += e * e;
+      }
+    }
+    return std::isfinite(acc) ? acc : std::numeric_limits<double>::infinity();
+  } catch (const std::exception&) {
+    return std::numeric_limits<double>::infinity();
+  }
+}
+
+}  // namespace dlm::fit

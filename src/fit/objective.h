@@ -1,0 +1,37 @@
+// Least-squares objective for DL calibration.
+//
+// The paper selects d, K and the r(t) family manually (§II.D guidelines:
+// "r controls the gap between I(x,t) and I(x,t+1) … d controls the slope
+// of I … K controls the upper bound").  This module turns those guidelines
+// into an objective: sum of squared residuals between the DL solution and
+// the densities observed during the early window, which `calibrate_dl`
+// minimizes.
+#pragma once
+
+#include <vector>
+
+#include "core/dl_parameters.h"
+#include "core/dl_solver.h"
+
+namespace dlm::fit {
+
+/// The early observations available for calibration.
+struct observation_window {
+  double t0 = 1.0;                ///< time of the initial profile (hour 1)
+  std::vector<double> initial;    ///< densities at integer distances, t = t0
+  std::vector<double> times;      ///< observed times, all > t0, ascending
+  /// observed[i][j]: density at distance x_min + i, time times[j].
+  std::vector<std::vector<double>> observed;
+
+  /// Throws std::invalid_argument when shapes are inconsistent.
+  void validate() const;
+};
+
+/// Sum of squared residuals of the DL solution for `params` against the
+/// window (solves the PDE once).  Returns +inf for invalid parameters so
+/// optimizers can probe freely.
+[[nodiscard]] double dl_sse(const core::dl_parameters& params,
+                            const observation_window& window,
+                            const core::dl_solver_options& solver = {});
+
+}  // namespace dlm::fit

@@ -1,0 +1,117 @@
+#include "graph/components.h"
+
+#include <algorithm>
+#include <stack>
+#include <stdexcept>
+
+namespace dlm::graph {
+
+std::size_t component_partition::giant() const {
+  if (sizes.empty()) return 0;
+  return static_cast<std::size_t>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+}
+
+double component_partition::giant_fraction() const {
+  if (component_of.empty()) return 0.0;
+  std::size_t best = 0;
+  for (std::size_t s : sizes) best = std::max(best, s);
+  return static_cast<double>(best) / static_cast<double>(component_of.size());
+}
+
+component_partition weakly_connected_components(const digraph& g) {
+  const std::size_t n = g.node_count();
+  component_partition part;
+  part.component_of.assign(n, UINT32_MAX);
+
+  std::vector<node_id> stack;
+  for (node_id start = 0; start < n; ++start) {
+    if (part.component_of[start] != UINT32_MAX) continue;
+    const auto comp = static_cast<std::uint32_t>(part.sizes.size());
+    std::size_t size = 0;
+    stack.push_back(start);
+    part.component_of[start] = comp;
+    while (!stack.empty()) {
+      const node_id v = stack.back();
+      stack.pop_back();
+      ++size;
+      const auto visit = [&](node_id w) {
+        if (part.component_of[w] == UINT32_MAX) {
+          part.component_of[w] = comp;
+          stack.push_back(w);
+        }
+      };
+      for (node_id w : g.successors(v)) visit(w);
+      for (node_id w : g.predecessors(v)) visit(w);
+    }
+    part.sizes.push_back(size);
+  }
+  return part;
+}
+
+component_partition strongly_connected_components(const digraph& g) {
+  const std::size_t n = g.node_count();
+  constexpr std::uint32_t undefined = UINT32_MAX;
+
+  std::vector<std::uint32_t> index_of(n, undefined);
+  std::vector<std::uint32_t> low_link(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<node_id> scc_stack;
+
+  component_partition part;
+  part.component_of.assign(n, undefined);
+  std::uint32_t next_index = 0;
+
+  // Iterative Tarjan: frame = (node, index of next successor to visit).
+  struct frame {
+    node_id v;
+    std::size_t child;
+  };
+  std::stack<frame> call_stack;
+
+  for (node_id root = 0; root < n; ++root) {
+    if (index_of[root] != undefined) continue;
+    call_stack.push({root, 0});
+    index_of[root] = low_link[root] = next_index++;
+    scc_stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!call_stack.empty()) {
+      frame& top = call_stack.top();
+      const auto succ = g.successors(top.v);
+      if (top.child < succ.size()) {
+        const node_id w = succ[top.child++];
+        if (index_of[w] == undefined) {
+          index_of[w] = low_link[w] = next_index++;
+          scc_stack.push_back(w);
+          on_stack[w] = true;
+          call_stack.push({w, 0});
+        } else if (on_stack[w]) {
+          low_link[top.v] = std::min(low_link[top.v], index_of[w]);
+        }
+      } else {
+        const node_id v = top.v;
+        call_stack.pop();
+        if (!call_stack.empty())
+          low_link[call_stack.top().v] =
+              std::min(low_link[call_stack.top().v], low_link[v]);
+        if (low_link[v] == index_of[v]) {
+          const auto comp = static_cast<std::uint32_t>(part.sizes.size());
+          std::size_t size = 0;
+          node_id w;
+          do {
+            w = scc_stack.back();
+            scc_stack.pop_back();
+            on_stack[w] = false;
+            part.component_of[w] = comp;
+            ++size;
+          } while (w != v);
+          part.sizes.push_back(size);
+        }
+      }
+    }
+  }
+  return part;
+}
+
+}  // namespace dlm::graph

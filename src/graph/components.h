@@ -1,0 +1,36 @@
+// Connected-component decomposition.
+//
+// Density denominators in the paper ("total number of users in U_x") are
+// defined over the users reachable from the initiator; component analysis
+// validates that the synthetic follower graph has the same giant-component
+// structure as crawled OSNs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace dlm::graph {
+
+/// Result of a component decomposition.
+struct component_partition {
+  std::vector<std::uint32_t> component_of;  ///< node → component index
+  std::vector<std::size_t> sizes;           ///< component index → node count
+
+  [[nodiscard]] std::size_t count() const noexcept { return sizes.size(); }
+
+  /// Index of the largest component (0 if the graph is empty).
+  [[nodiscard]] std::size_t giant() const;
+
+  /// Fraction of all nodes inside the largest component.
+  [[nodiscard]] double giant_fraction() const;
+};
+
+/// Weakly connected components (edges treated as undirected).
+[[nodiscard]] component_partition weakly_connected_components(const digraph& g);
+
+/// Strongly connected components (Tarjan, iterative — safe for deep graphs).
+[[nodiscard]] component_partition strongly_connected_components(const digraph& g);
+
+}  // namespace dlm::graph

@@ -1,0 +1,91 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dlm::graph {
+
+digraph::digraph(std::size_t n)
+    : out_offsets_(n + 1, 0), in_offsets_(n + 1, 0) {}
+
+std::span<const node_id> digraph::successors(node_id v) const {
+  if (v >= node_count()) throw std::out_of_range("digraph::successors: bad node");
+  return {out_targets_.data() + out_offsets_[v],
+          out_offsets_[v + 1] - out_offsets_[v]};
+}
+
+std::span<const node_id> digraph::predecessors(node_id v) const {
+  if (v >= node_count()) throw std::out_of_range("digraph::predecessors: bad node");
+  return {in_sources_.data() + in_offsets_[v],
+          in_offsets_[v + 1] - in_offsets_[v]};
+}
+
+std::size_t digraph::out_degree(node_id v) const {
+  if (v >= node_count()) throw std::out_of_range("digraph::out_degree: bad node");
+  return out_offsets_[v + 1] - out_offsets_[v];
+}
+
+std::size_t digraph::in_degree(node_id v) const {
+  if (v >= node_count()) throw std::out_of_range("digraph::in_degree: bad node");
+  return in_offsets_[v + 1] - in_offsets_[v];
+}
+
+bool digraph::has_edge(node_id src, node_id dst) const {
+  const auto row = successors(src);
+  return std::binary_search(row.begin(), row.end(), dst);
+}
+
+std::vector<edge> digraph::edges() const {
+  std::vector<edge> out;
+  out.reserve(edge_count());
+  for (node_id v = 0; v < node_count(); ++v) {
+    for (node_id w : successors(v)) out.push_back({v, w});
+  }
+  return out;
+}
+
+digraph_builder::digraph_builder(std::size_t n_nodes) : n_(n_nodes) {}
+
+void digraph_builder::add_edge(node_id src, node_id dst) {
+  if (src >= n_ || dst >= n_)
+    throw std::out_of_range("digraph_builder::add_edge: node out of range");
+  if (src == dst) return;  // drop self-loops
+  edges_.push_back({src, dst});
+}
+
+void digraph_builder::add_bidirectional(node_id a, node_id b) {
+  add_edge(a, b);
+  add_edge(b, a);
+}
+
+digraph digraph_builder::build() const {
+  std::vector<edge> sorted = edges_;
+  std::sort(sorted.begin(), sorted.end(), [](const edge& a, const edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  digraph g(n_);
+  g.out_targets_.reserve(sorted.size());
+  g.in_sources_.reserve(sorted.size());
+
+  // Out-CSR directly from the sorted edge list.
+  for (const edge& e : sorted) {
+    ++g.out_offsets_[e.src + 1];
+    g.out_targets_.push_back(e.dst);
+  }
+  for (std::size_t v = 0; v < n_; ++v)
+    g.out_offsets_[v + 1] += g.out_offsets_[v];
+
+  // In-CSR: counting sort by destination.
+  for (const edge& e : sorted) ++g.in_offsets_[e.dst + 1];
+  for (std::size_t v = 0; v < n_; ++v) g.in_offsets_[v + 1] += g.in_offsets_[v];
+  g.in_sources_.assign(sorted.size(), 0);
+  std::vector<std::size_t> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+  for (const edge& e : sorted) g.in_sources_[cursor[e.dst]++] = e.src;
+  // Rows of in_sources_ are sorted automatically because `sorted` is
+  // src-major and the counting sort is stable in src order.
+  return g;
+}
+
+}  // namespace dlm::graph

@@ -1,0 +1,94 @@
+// Compressed-sparse-row directed graph.
+//
+// The Digg follower network ("user a follows user b") is a directed graph;
+// friendship-hop distances, cascade exposure, and all structural metrics in
+// the paper's §III are computed over this representation.  The graph is
+// immutable once built; use `digraph_builder` to assemble edges.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dlm::graph {
+
+/// Node identifier (dense, 0-based).
+using node_id = std::uint32_t;
+
+/// A directed edge from `src` to `dst`.
+struct edge {
+  node_id src = 0;
+  node_id dst = 0;
+
+  friend bool operator==(const edge&, const edge&) = default;
+};
+
+class digraph_builder;
+
+/// Immutable directed graph in CSR form with both out- and in-adjacency.
+///
+/// Edge direction convention: an edge (a, b) means "a follows b" in the
+/// social layer; information flows b → a (a sees what b votes for).  The
+/// graph itself is direction-agnostic — the social layer decides semantics.
+class digraph {
+ public:
+  /// Empty graph with `n` nodes and no edges.
+  explicit digraph(std::size_t n = 0);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return out_offsets_.size() - 1; }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return out_targets_.size(); }
+
+  /// Successors of `v` (targets of edges leaving v).  O(1) view.
+  [[nodiscard]] std::span<const node_id> successors(node_id v) const;
+
+  /// Predecessors of `v` (sources of edges entering v).  O(1) view.
+  [[nodiscard]] std::span<const node_id> predecessors(node_id v) const;
+
+  [[nodiscard]] std::size_t out_degree(node_id v) const;
+  [[nodiscard]] std::size_t in_degree(node_id v) const;
+
+  /// True if the edge (src, dst) exists.  O(log out_degree(src)).
+  [[nodiscard]] bool has_edge(node_id src, node_id dst) const;
+
+  /// All edges in (src-major, dst-minor) order.
+  [[nodiscard]] std::vector<edge> edges() const;
+
+ private:
+  friend class digraph_builder;
+
+  std::vector<std::size_t> out_offsets_;  ///< size n+1
+  std::vector<node_id> out_targets_;      ///< sorted within each row
+  std::vector<std::size_t> in_offsets_;   ///< size n+1
+  std::vector<node_id> in_sources_;       ///< sorted within each row
+};
+
+/// Mutable edge accumulator that produces an immutable `digraph`.
+/// Duplicate edges and self-loops are silently dropped at build time
+/// (neither occurs meaningfully in follower networks).
+class digraph_builder {
+ public:
+  explicit digraph_builder(std::size_t n_nodes);
+
+  /// Number of nodes the final graph will have.
+  [[nodiscard]] std::size_t node_count() const noexcept { return n_; }
+
+  /// Records the directed edge (src, dst).  Throws std::out_of_range if an
+  /// endpoint is not a valid node.
+  void add_edge(node_id src, node_id dst);
+
+  /// Records both (a, b) and (b, a).
+  void add_bidirectional(node_id a, node_id b);
+
+  /// Number of edges recorded so far (before dedup).
+  [[nodiscard]] std::size_t pending_edges() const noexcept { return edges_.size(); }
+
+  /// Assembles the CSR graph.  The builder may be reused afterwards.
+  [[nodiscard]] digraph build() const;
+
+ private:
+  std::size_t n_;
+  std::vector<edge> edges_;
+};
+
+}  // namespace dlm::graph

@@ -1,0 +1,253 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace dlm::graph {
+
+digraph erdos_renyi(std::size_t n, double p, num::rng& rand) {
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument("erdos_renyi: p must be in [0,1]");
+  digraph_builder b(n);
+  for (node_id i = 0; i < n; ++i) {
+    for (node_id j = 0; j < n; ++j) {
+      if (i != j && rand.bernoulli(p)) b.add_edge(i, j);
+    }
+  }
+  return b.build();
+}
+
+digraph erdos_renyi_m(std::size_t n, std::size_t m, num::rng& rand) {
+  if (n < 2 && m > 0)
+    throw std::invalid_argument("erdos_renyi_m: too few nodes for any edge");
+  const std::size_t max_edges = n * (n - 1);
+  if (m > max_edges)
+    throw std::invalid_argument("erdos_renyi_m: m exceeds n(n-1)");
+  digraph_builder b(n);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(m * 2);
+  while (seen.size() < m) {
+    const auto i = static_cast<node_id>(rand.index(n));
+    const auto j = static_cast<node_id>(rand.index(n));
+    if (i == j) continue;
+    const std::uint64_t key = (static_cast<std::uint64_t>(i) << 32) | j;
+    if (seen.insert(key).second) b.add_edge(i, j);
+  }
+  return b.build();
+}
+
+digraph barabasi_albert(std::size_t n, std::size_t attach, num::rng& rand) {
+  if (attach == 0) throw std::invalid_argument("barabasi_albert: attach == 0");
+  if (n <= attach)
+    throw std::invalid_argument("barabasi_albert: need n > attach");
+
+  digraph_builder b(n);
+  // `endpoints` holds one entry per edge endpoint; sampling uniformly from
+  // it realizes degree-proportional (preferential) attachment.
+  std::vector<node_id> endpoints;
+  endpoints.reserve(2 * n * attach);
+
+  // Seed: a small complete kernel of (attach + 1) nodes.
+  const std::size_t kernel = attach + 1;
+  for (node_id i = 0; i < kernel; ++i) {
+    for (node_id j = 0; j < kernel; ++j) {
+      if (i == j) continue;
+      b.add_edge(i, j);
+      endpoints.push_back(i);
+      endpoints.push_back(j);
+    }
+  }
+
+  for (node_id v = static_cast<node_id>(kernel); v < n; ++v) {
+    std::unordered_set<node_id> chosen;
+    while (chosen.size() < attach) {
+      const node_id target = endpoints[rand.index(endpoints.size())];
+      if (target != v) chosen.insert(target);
+    }
+    for (node_id target : chosen) {
+      b.add_edge(v, target);
+      endpoints.push_back(v);
+      endpoints.push_back(target);
+    }
+  }
+  return b.build();
+}
+
+digraph watts_strogatz(std::size_t n, std::size_t k, double beta,
+                       num::rng& rand) {
+  if (k == 0) throw std::invalid_argument("watts_strogatz: k == 0");
+  if (n <= 2 * k)
+    throw std::invalid_argument("watts_strogatz: need n > 2k");
+  if (beta < 0.0 || beta > 1.0)
+    throw std::invalid_argument("watts_strogatz: beta must be in [0,1]");
+
+  // Undirected edge set as canonical (min, max) pairs.
+  std::unordered_set<std::uint64_t> edges;
+  const auto key = [](node_id a, node_id b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  };
+  for (node_id v = 0; v < n; ++v) {
+    for (std::size_t d = 1; d <= k; ++d) {
+      const auto w = static_cast<node_id>((v + d) % n);
+      edges.insert(key(v, w));
+    }
+  }
+  // Rewire each ring edge with probability beta.
+  std::vector<std::uint64_t> initial(edges.begin(), edges.end());
+  for (std::uint64_t e : initial) {
+    if (!rand.bernoulli(beta)) continue;
+    const auto a = static_cast<node_id>(e >> 32);
+    edges.erase(e);
+    node_id c;
+    std::uint64_t candidate;
+    int guard = 0;
+    do {
+      c = static_cast<node_id>(rand.index(n));
+      candidate = key(a, c);
+      if (++guard > 1000) {  // pathological density; keep the original edge
+        candidate = e;
+        break;
+      }
+    } while (c == a || edges.contains(candidate));
+    edges.insert(candidate);
+  }
+
+  digraph_builder b(n);
+  for (std::uint64_t e : edges) {
+    const auto a = static_cast<node_id>(e >> 32);
+    const auto c = static_cast<node_id>(e & 0xffffffffu);
+    b.add_bidirectional(a, c);
+  }
+  return b.build();
+}
+
+digraph digg_follower_graph(const digg_graph_params& params, num::rng& rand) {
+  const std::size_t n = params.users;
+  const std::size_t attach = params.attach;
+  if (attach == 0)
+    throw std::invalid_argument("digg_follower_graph: attach == 0");
+  if (n <= attach + params.local_links + 1)
+    throw std::invalid_argument("digg_follower_graph: too few users");
+  if (params.hub_reciprocation < 0.0 || params.hub_reciprocation > 1.0 ||
+      params.local_reciprocation < 0.0 || params.local_reciprocation > 1.0)
+    throw std::invalid_argument("digg_follower_graph: bad reciprocation");
+  if (params.random_follow_ratio < 0.0 || params.random_follow_ratio > 1.0)
+    throw std::invalid_argument("digg_follower_graph: bad random_follow_ratio");
+
+  digraph_builder b(n);
+  std::vector<node_id> endpoints;  // preferential-attachment pool
+  endpoints.reserve(2 * n * attach);
+  std::vector<bool> is_lurker(n, false);
+
+  const auto follow = [&](node_id src, node_id dst, bool preferential) {
+    b.add_edge(src, dst);
+    if (preferential) {
+      endpoints.push_back(src);
+      endpoints.push_back(dst);
+    }
+    if (is_lurker[dst]) return;  // lurkers never follow back
+    const double reciprocation = preferential ? params.hub_reciprocation
+                                              : params.local_reciprocation;
+    if (rand.bernoulli(reciprocation)) {
+      b.add_edge(dst, src);
+      if (preferential) {
+        endpoints.push_back(dst);
+        endpoints.push_back(src);
+      }
+    }
+  };
+
+  const std::size_t kernel = attach + params.local_links + 1;
+  for (node_id i = 0; i < kernel; ++i) {
+    for (node_id j = 0; j < kernel; ++j) {
+      if (i == j) continue;
+      b.add_edge(i, j);
+      endpoints.push_back(i);
+      endpoints.push_back(j);
+    }
+  }
+
+  std::size_t loner_remaining = 0;
+  for (node_id v = static_cast<node_id>(kernel); v < n; ++v) {
+    // Lurkers browse but follow nobody: unreachable via follow links.
+    if (rand.bernoulli(params.lurker_ratio)) {
+      is_lurker[v] = true;
+      continue;
+    }
+
+    // Isolated-community bookkeeping (see digg_graph_params docs).
+    if (loner_remaining == 0 && params.loner_block_start_p > 0.0 &&
+        rand.bernoulli(params.loner_block_start_p)) {
+      loner_remaining = params.loner_block_min_len +
+                        rand.index(std::max<std::size_t>(
+                            params.loner_block_max_len -
+                                params.loner_block_min_len, 1));
+    }
+    const bool loner = loner_remaining > 0;
+    if (loner) --loner_remaining;
+
+    // Celebrity follows: preferential attachment with a uniform fraction.
+    if (!loner) {
+      std::unordered_set<node_id> chosen;
+      while (chosen.size() < attach) {
+        node_id target;
+        if (rand.bernoulli(params.random_follow_ratio)) {
+          target = static_cast<node_id>(rand.index(v));  // uniform older user
+        } else {
+          target = endpoints[rand.index(endpoints.size())];
+        }
+        if (target != v) chosen.insert(target);
+      }
+      for (node_id target : chosen) follow(v, target, /*preferential=*/true);
+
+      // One extra follow of an early "celebrity" account.
+      if (params.celebrity_pool > 0 &&
+          rand.bernoulli(params.celebrity_follow_p)) {
+        const auto pool = std::min<std::size_t>(params.celebrity_pool, v);
+        if (pool > 0) {
+          const auto target = static_cast<node_id>(rand.index(pool));
+          if (target != v) follow(v, target, /*preferential=*/true);
+        }
+      }
+    }
+
+    // Community follows: peers who joined recently (id locality).
+    const std::size_t window = std::min<std::size_t>(params.local_window, v);
+    std::unordered_set<node_id> local;
+    while (local.size() < std::min(params.local_links, window)) {
+      const auto target =
+          static_cast<node_id>(v - 1 - rand.index(window));
+      if (target != v) local.insert(target);
+    }
+    for (node_id target : local) follow(v, target, /*preferential=*/false);
+  }
+
+  // Celebrity clique post-pass: the elite mutually follow each other.
+  if (params.celebrity_count >= 2 && params.celebrity_clique_p > 0.0) {
+    // Rank by in-degree accumulated so far (approximated by the
+    // preferential pool: count endpoint occurrences).
+    std::vector<std::size_t> occurrences(n, 0);
+    for (node_id v : endpoints) ++occurrences[v];
+    std::vector<node_id> ranked(n);
+    for (std::size_t i = 0; i < n; ++i) ranked[i] = static_cast<node_id>(i);
+    const std::size_t top = std::min(params.celebrity_count, n);
+    std::partial_sort(ranked.begin(),
+                      ranked.begin() + static_cast<std::ptrdiff_t>(top),
+                      ranked.end(), [&](node_id a, node_id c) {
+                        return occurrences[a] > occurrences[c];
+                      });
+    for (std::size_t i = 0; i < top; ++i) {
+      if (is_lurker[ranked[i]]) continue;  // lurkers never follow
+      for (std::size_t j = 0; j < top; ++j) {
+        if (i != j && rand.bernoulli(params.celebrity_clique_p))
+          b.add_edge(ranked[i], ranked[j]);
+      }
+    }
+  }
+  return b.build();
+}
+
+}  // namespace dlm::graph

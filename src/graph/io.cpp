@@ -1,0 +1,46 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dlm::graph {
+
+void write_edge_list(std::ostream& out, const digraph& g) {
+  out << "digraph " << g.node_count() << "\n";
+  for (node_id v = 0; v < g.node_count(); ++v) {
+    for (node_id w : g.successors(v)) out << v << " " << w << "\n";
+  }
+  if (!out) throw std::runtime_error("write_edge_list: stream failure");
+}
+
+digraph read_edge_list(std::istream& in) {
+  std::string magic;
+  std::size_t n = 0;
+  if (!(in >> magic >> n) || magic != "digraph")
+    throw std::runtime_error("read_edge_list: bad header");
+  digraph_builder b(n);
+  node_id src = 0, dst = 0;
+  while (in >> src >> dst) {
+    if (src >= n || dst >= n)
+      throw std::runtime_error("read_edge_list: node id out of range");
+    b.add_edge(src, dst);
+  }
+  if (!in.eof() && in.fail())
+    throw std::runtime_error("read_edge_list: malformed edge line");
+  return b.build();
+}
+
+void save_edge_list(const std::string& path, const digraph& g) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_edge_list: cannot open " + path);
+  write_edge_list(out, g);
+}
+
+digraph load_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_edge_list: cannot open " + path);
+  return read_edge_list(in);
+}
+
+}  // namespace dlm::graph

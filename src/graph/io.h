@@ -1,0 +1,27 @@
+// Edge-list serialization.
+//
+// The Digg 2009 release shipped follower links as a flat edge list; this
+// module reads/writes the same shape so synthetic datasets round-trip
+// through files exactly like the original crawl would have.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/digraph.h"
+
+namespace dlm::graph {
+
+/// Writes `g` as "digraph <n_nodes>\n" followed by one "src dst" line per
+/// edge.  Throws std::runtime_error on stream failure.
+void write_edge_list(std::ostream& out, const digraph& g);
+
+/// Parses the format produced by `write_edge_list`.
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] digraph read_edge_list(std::istream& in);
+
+/// File-path conveniences.
+void save_edge_list(const std::string& path, const digraph& g);
+[[nodiscard]] digraph load_edge_list(const std::string& path);
+
+}  // namespace dlm::graph

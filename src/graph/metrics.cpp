@@ -1,0 +1,105 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace dlm::graph {
+namespace {
+
+/// Sorted, deduplicated undirected neighbourhood of v (successors ∪
+/// predecessors, v excluded).
+std::vector<node_id> undirected_neighbours(const digraph& g, node_id v) {
+  std::vector<node_id> nbrs;
+  const auto succ = g.successors(v);
+  const auto pred = g.predecessors(v);
+  nbrs.reserve(succ.size() + pred.size());
+  nbrs.insert(nbrs.end(), succ.begin(), succ.end());
+  nbrs.insert(nbrs.end(), pred.begin(), pred.end());
+  std::sort(nbrs.begin(), nbrs.end());
+  nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  nbrs.erase(std::remove(nbrs.begin(), nbrs.end(), v), nbrs.end());
+  return nbrs;
+}
+
+bool undirected_edge(const digraph& g, node_id a, node_id b) {
+  return g.has_edge(a, b) || g.has_edge(b, a);
+}
+
+}  // namespace
+
+degree_histogram out_degree_histogram(const digraph& g) {
+  degree_histogram hist;
+  for (node_id v = 0; v < g.node_count(); ++v) ++hist[g.out_degree(v)];
+  return hist;
+}
+
+degree_histogram in_degree_histogram(const digraph& g) {
+  degree_histogram hist;
+  for (node_id v = 0; v < g.node_count(); ++v) ++hist[g.in_degree(v)];
+  return hist;
+}
+
+double mean_degree(const digraph& g) {
+  if (g.node_count() == 0) return 0.0;
+  return static_cast<double>(g.edge_count()) /
+         static_cast<double>(g.node_count());
+}
+
+double reciprocity(const digraph& g) {
+  if (g.edge_count() == 0) return 0.0;
+  std::size_t mutual = 0;
+  for (node_id v = 0; v < g.node_count(); ++v) {
+    for (node_id w : g.successors(v)) {
+      if (g.has_edge(w, v)) ++mutual;
+    }
+  }
+  return static_cast<double>(mutual) / static_cast<double>(g.edge_count());
+}
+
+double local_clustering(const digraph& g, node_id v) {
+  const std::vector<node_id> nbrs = undirected_neighbours(g, v);
+  const std::size_t k = nbrs.size();
+  if (k < 2) return 0.0;
+  std::size_t links = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      if (undirected_edge(g, nbrs[i], nbrs[j])) ++links;
+    }
+  }
+  return 2.0 * static_cast<double>(links) /
+         (static_cast<double>(k) * static_cast<double>(k - 1));
+}
+
+double average_clustering(const digraph& g) {
+  double acc = 0.0;
+  std::size_t counted = 0;
+  for (node_id v = 0; v < g.node_count(); ++v) {
+    if (undirected_neighbours(g, v).size() >= 2) {
+      acc += local_clustering(g, v);
+      ++counted;
+    }
+  }
+  return counted > 0 ? acc / static_cast<double>(counted) : 0.0;
+}
+
+double edge_density(const digraph& g) {
+  const auto n = static_cast<double>(g.node_count());
+  if (g.node_count() < 2) return 0.0;
+  return static_cast<double>(g.edge_count()) / (n * (n - 1.0));
+}
+
+std::size_t directed_triangle_count(const digraph& g) {
+  // For each edge a→b, count successors c of b with c→a; each directed
+  // 3-cycle a→b→c→a is found exactly three times (once per starting edge).
+  std::size_t found = 0;
+  for (node_id a = 0; a < g.node_count(); ++a) {
+    for (node_id b : g.successors(a)) {
+      for (node_id c : g.successors(b)) {
+        if (c != a && g.has_edge(c, a)) ++found;
+      }
+    }
+  }
+  return found / 3;
+}
+
+}  // namespace dlm::graph

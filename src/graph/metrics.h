@@ -1,0 +1,45 @@
+// Structural graph metrics.
+//
+// The paper motivates the logistic ("growth") term with the prevalence of
+// social triangles — users at the same distance who are friends with each
+// other.  Clustering coefficient, reciprocity and degree statistics let the
+// simulator's synthetic follower graph be validated against the qualitative
+// structure reported for Digg.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace dlm::graph {
+
+/// Histogram: degree value → number of nodes with that degree.
+using degree_histogram = std::map<std::size_t, std::size_t>;
+
+[[nodiscard]] degree_histogram out_degree_histogram(const digraph& g);
+[[nodiscard]] degree_histogram in_degree_histogram(const digraph& g);
+
+/// Mean out-degree (== mean in-degree == |E| / |V|); 0 for an empty graph.
+[[nodiscard]] double mean_degree(const digraph& g);
+
+/// Fraction of directed edges (a,b) whose reverse (b,a) also exists.
+/// Follower networks like Digg show substantial reciprocity.
+[[nodiscard]] double reciprocity(const digraph& g);
+
+/// Local clustering coefficient of `v` over the undirected projection:
+/// (# links among neighbours) / (k choose 2).  Returns 0 for degree < 2.
+[[nodiscard]] double local_clustering(const digraph& g, node_id v);
+
+/// Mean local clustering over all nodes with undirected degree >= 2.
+/// Returns 0 if no such node exists.
+[[nodiscard]] double average_clustering(const digraph& g);
+
+/// Global edge density |E| / (|V|·(|V|−1)); 0 for graphs with < 2 nodes.
+[[nodiscard]] double edge_density(const digraph& g);
+
+/// Count of directed triangles a→b→c→a (each triangle counted once).
+[[nodiscard]] std::size_t directed_triangle_count(const digraph& g);
+
+}  // namespace dlm::graph

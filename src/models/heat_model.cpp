@@ -1,0 +1,62 @@
+#include "models/heat_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace dlm::models {
+
+std::vector<double> heat_neumann_series(const std::vector<double>& phi,
+                                        double lower, double upper, double d,
+                                        double t, std::size_t modes) {
+  const std::size_t n = phi.size();
+  if (n < 2) throw std::invalid_argument("heat_neumann_series: need >= 2 samples");
+  if (!(upper > lower))
+    throw std::invalid_argument("heat_neumann_series: require upper > lower");
+  if (d < 0.0) throw std::invalid_argument("heat_neumann_series: d must be >= 0");
+  if (t < 0.0) throw std::invalid_argument("heat_neumann_series: t must be >= 0");
+
+  const double length = upper - lower;
+  const double dx = length / static_cast<double>(n - 1);
+
+  // Coefficients above the sampling Nyquist limit are aliasing artifacts
+  // of the trapezoid quadrature; truncate there.
+  modes = std::min(modes, (n - 1) / 2);
+
+  // Cosine coefficients a_m = (2/length) ∫ φ(x) cos(mπ(x−l)/length) dx,
+  // trapezoid quadrature on the grid (a_0 halved later).
+  std::vector<double> coeff(modes + 1, 0.0);
+  for (std::size_t m = 0; m <= modes; ++m) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = static_cast<double>(i) * dx;
+      const double w = (i == 0 || i + 1 == n) ? 0.5 : 1.0;
+      acc += w * phi[i] *
+             std::cos(static_cast<double>(m) * std::numbers::pi * x / length);
+    }
+    coeff[m] = 2.0 * acc * dx / length;
+  }
+
+  std::vector<double> out(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) * dx;
+    double v = 0.5 * coeff[0];
+    for (std::size_t m = 1; m <= modes; ++m) {
+      const double km = static_cast<double>(m) * std::numbers::pi / length;
+      v += coeff[m] * std::exp(-d * km * km * t) * std::cos(km * x);
+    }
+    out[i] = v;
+  }
+  return out;
+}
+
+double profile_mean(const std::vector<double>& profile) {
+  if (profile.size() < 2)
+    throw std::invalid_argument("profile_mean: need >= 2 samples");
+  double acc = 0.5 * (profile.front() + profile.back());
+  for (std::size_t i = 1; i + 1 < profile.size(); ++i) acc += profile[i];
+  return acc / static_cast<double>(profile.size() - 1);
+}
+
+}  // namespace dlm::models

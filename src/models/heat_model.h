@@ -1,0 +1,28 @@
+// Pure-diffusion baseline (Fick's law only, r = 0).
+//
+// The other half of the DL ablation: keep the diffusion term, drop the
+// logistic growth.  Heat flow redistributes the initial density mass but
+// cannot create any — total mass is conserved under Neumann boundaries —
+// so it can never track the paper's growing surfaces.  Also serves as a
+// solver cross-check: the DL schemes with r = 0 must agree with this
+// module's closed-form cosine-series solution.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dlm::models {
+
+/// Solves I_t = d·I_xx on [l, L] with Neumann (no-flux) boundaries from
+/// initial samples `phi` on a uniform grid of phi.size() nodes, by cosine
+/// (Neumann eigenfunction) series truncated at `modes` terms.
+/// Returns the profile at time `t >= 0` on the same grid.
+[[nodiscard]] std::vector<double> heat_neumann_series(
+    const std::vector<double>& phi, double lower, double upper, double d,
+    double t, std::size_t modes = 64);
+
+/// Spatial mean of a sampled profile — the conserved quantity of the
+/// Neumann heat equation (trapezoid weights).
+[[nodiscard]] double profile_mean(const std::vector<double>& profile);
+
+}  // namespace dlm::models

@@ -1,0 +1,44 @@
+// Temporal-only baseline: independent logistic growth per distance group.
+//
+// The ablation of the DL model's diffusion term (d = 0): every distance
+// group evolves by N' = r(t)·N·(1 − N/K) from its hour-1 density, with no
+// coupling across distances.  Comparing its predictions against the full
+// DL model isolates what Fick's-law diffusion buys (bench
+// `ablation_diffusion_term`).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace dlm::models {
+
+/// Time-varying growth rate r(t); shared across groups like the paper's
+/// Eq. 7 function.
+using rate_fn = std::function<double(double)>;
+
+/// Per-distance logistic predictor.
+class per_distance_logistic {
+ public:
+  /// `initial[x]` is the density of group x at time `t0`; `k` is the common
+  /// carrying capacity.  Throws std::invalid_argument for empty input or
+  /// non-positive k.
+  per_distance_logistic(std::vector<double> initial, double t0, double k,
+                        rate_fn rate);
+
+  /// Density profile at time `t >= t0()`: one value per group, integrated
+  /// with the exact logistic propagator on `substeps` sub-intervals per
+  /// unit time (rate integral via Simpson).
+  [[nodiscard]] std::vector<double> predict(double t, int substeps = 64) const;
+
+  [[nodiscard]] double t0() const noexcept { return t0_; }
+  [[nodiscard]] double capacity() const noexcept { return k_; }
+  [[nodiscard]] std::size_t groups() const noexcept { return initial_.size(); }
+
+ private:
+  std::vector<double> initial_;
+  double t0_;
+  double k_;
+  rate_fn rate_;
+};
+
+}  // namespace dlm::models

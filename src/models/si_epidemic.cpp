@@ -1,0 +1,91 @@
+#include "models/si_epidemic.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dlm::models {
+
+si_trace run_si(const graph::digraph& g, graph::node_id seed_node,
+                const si_params& params, num::rng& rand) {
+  if (seed_node >= g.node_count())
+    throw std::out_of_range("run_si: bad seed node");
+  if (params.steps < 1)
+    throw std::invalid_argument("run_si: steps must be >= 1");
+  if (params.beta < 0.0 || params.beta > 1.0)
+    throw std::invalid_argument("run_si: beta must be in [0,1]");
+  if (params.recovery < 0.0 || params.recovery > 1.0)
+    throw std::invalid_argument("run_si: recovery must be in [0,1]");
+
+  si_trace trace;
+  trace.infected_at.assign(g.node_count(), -1);
+  trace.total_infected.assign(static_cast<std::size_t>(params.steps), 0);
+
+  trace.infected_at[seed_node] = 0;
+  std::size_t ever_infected = 1;
+
+  std::vector<graph::node_id> current_active{seed_node};
+
+  for (int step = 0; step < params.steps; ++step) {
+    std::vector<graph::node_id> newly;
+    for (graph::node_id v : current_active) {
+      for (graph::node_id f : g.predecessors(v)) {
+        if (trace.infected_at[f] >= 0) continue;
+        if (rand.bernoulli(params.beta)) {
+          trace.infected_at[f] = step + 1;
+          newly.push_back(f);
+          ++ever_infected;
+        }
+      }
+    }
+    // SIS recovery: active nodes may leave the infectious pool (they stay
+    // counted as "ever infected" — votes are permanent in the OSN analogy).
+    if (params.recovery > 0.0) {
+      std::vector<graph::node_id> still;
+      still.reserve(current_active.size());
+      for (graph::node_id v : current_active) {
+        if (!rand.bernoulli(params.recovery)) still.push_back(v);
+      }
+      current_active = std::move(still);
+    }
+    for (graph::node_id v : newly) current_active.push_back(v);
+    trace.total_infected[static_cast<std::size_t>(step)] = ever_infected;
+  }
+  return trace;
+}
+
+std::vector<std::vector<double>> si_density_by_distance(
+    const si_trace& trace, const social::distance_partition& partition,
+    int steps) {
+  if (trace.infected_at.size() != partition.group_of.size())
+    throw std::invalid_argument("si_density_by_distance: size mismatch");
+  const int max_d = partition.max_distance();
+  std::vector<std::vector<double>> density(
+      static_cast<std::size_t>(max_d),
+      std::vector<double>(static_cast<std::size_t>(steps), 0.0));
+
+  // Histogram of infections per (group, step), then cumulative sum.
+  std::vector<std::vector<std::size_t>> hist(
+      static_cast<std::size_t>(max_d),
+      std::vector<std::size_t>(static_cast<std::size_t>(steps) + 1, 0));
+  for (std::size_t u = 0; u < trace.infected_at.size(); ++u) {
+    const int x = partition.group_of[u];
+    const int at = trace.infected_at[u];
+    if (x < 1 || x > max_d || at < 0) continue;
+    const int bucket = std::min(at, steps);
+    ++hist[static_cast<std::size_t>(x - 1)][static_cast<std::size_t>(bucket)];
+  }
+  for (int x = 1; x <= max_d; ++x) {
+    const auto size = static_cast<double>(
+        partition.sizes[static_cast<std::size_t>(x)]);
+    if (size == 0.0) continue;
+    std::size_t acc = hist[static_cast<std::size_t>(x - 1)][0];
+    for (int t = 1; t <= steps; ++t) {
+      acc += hist[static_cast<std::size_t>(x - 1)][static_cast<std::size_t>(t)];
+      density[static_cast<std::size_t>(x - 1)][static_cast<std::size_t>(t - 1)] =
+          100.0 * static_cast<double>(acc) / size;
+    }
+  }
+  return density;
+}
+
+}  // namespace dlm::models

@@ -1,0 +1,49 @@
+// SI epidemic baseline on the explicit follower graph.
+//
+// Related work the paper contrasts against (§IV: SIS-style epidemic
+// models) spreads infection along graph edges only — no front-page /
+// random-walk channel.  Running SI on the same graph and extracting the
+// same density-by-distance surface shows what a purely link-driven model
+// misses (e.g. it can never produce the hop-3 > hop-2 inversion of
+// Fig. 3a).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "numerics/rng.h"
+#include "social/distance.h"
+
+namespace dlm::models {
+
+/// Parameters of the discrete-time SI process.
+struct si_params {
+  double beta = 0.02;     ///< P(infect one follower per step)
+  int steps = 50;         ///< simulated steps ("hours")
+  double recovery = 0.0;  ///< SIS: P(infected → susceptible per step)
+};
+
+/// Infection trace: which nodes were infected at (or before) each step.
+struct si_trace {
+  /// infected_at[v]: step at which v got infected, or -1 if never.
+  std::vector<int> infected_at;
+  /// total_infected[t]: cumulative infected count after step t (0-based).
+  std::vector<std::size_t> total_infected;
+};
+
+/// Runs SI(S) from `seed_node`: each step, every infected node infects each
+/// of its followers (graph predecessors — the people who see its votes)
+/// independently with probability beta.  Deterministic in `rand`.
+[[nodiscard]] si_trace run_si(const graph::digraph& g,
+                              graph::node_id seed_node,
+                              const si_params& params, num::rng& rand);
+
+/// Density surface of an SI trace under a distance partition: value at
+/// (x, t) = percentage of group x infected by step t (same shape as
+/// social::density_field; rows are groups 1..max_distance, t = 1..steps).
+[[nodiscard]] std::vector<std::vector<double>> si_density_by_distance(
+    const si_trace& trace, const social::distance_partition& partition,
+    int steps);
+
+}  // namespace dlm::models

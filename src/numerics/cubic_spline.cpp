@@ -1,0 +1,165 @@
+#include "numerics/cubic_spline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/tridiagonal.h"
+
+namespace dlm::num {
+namespace {
+
+void validate_knots(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size())
+    throw std::invalid_argument("cubic_spline: x/y size mismatch");
+  if (x.size() < 2)
+    throw std::invalid_argument("cubic_spline: need at least 2 knots");
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    if (!(x[i] > x[i - 1]))
+      throw std::invalid_argument("cubic_spline: knots must be strictly increasing");
+  }
+}
+
+}  // namespace
+
+cubic_spline::cubic_spline(std::vector<double> x, std::vector<double> y,
+                           std::vector<double> second_derivs,
+                           spline_boundary boundary)
+    : x_(std::move(x)), y_(std::move(y)), m_(std::move(second_derivs)),
+      boundary_(boundary) {}
+
+cubic_spline cubic_spline::natural(std::span<const double> x,
+                                   std::span<const double> y) {
+  validate_knots(x, y);
+  const std::size_t n = x.size();
+  std::vector<double> m(n, 0.0);
+  if (n > 2) {
+    // Interior system for second derivatives M_1..M_{n-2}.
+    const std::size_t k = n - 2;
+    tridiagonal_matrix a(k);
+    std::vector<double> rhs(k, 0.0);
+    for (std::size_t i = 0; i < k; ++i) {
+      const double h0 = x[i + 1] - x[i];
+      const double h1 = x[i + 2] - x[i + 1];
+      a.diag[i] = 2.0 * (h0 + h1);
+      if (i > 0) a.lower[i - 1] = h0;
+      if (i + 1 < k) a.upper[i] = h1;
+      rhs[i] = 6.0 * ((y[i + 2] - y[i + 1]) / h1 - (y[i + 1] - y[i]) / h0);
+    }
+    const std::vector<double> sol = solve_tridiagonal(a, rhs);
+    for (std::size_t i = 0; i < k; ++i) m[i + 1] = sol[i];
+  }
+  return cubic_spline(std::vector<double>(x.begin(), x.end()),
+                      std::vector<double>(y.begin(), y.end()), std::move(m),
+                      spline_boundary::natural);
+}
+
+cubic_spline cubic_spline::clamped(std::span<const double> x,
+                                   std::span<const double> y,
+                                   double slope_left, double slope_right) {
+  validate_knots(x, y);
+  const std::size_t n = x.size();
+  // Full system for M_0..M_{n-1} with clamped-end rows.
+  tridiagonal_matrix a(n);
+  std::vector<double> rhs(n, 0.0);
+
+  const double h_first = x[1] - x[0];
+  a.diag[0] = 2.0 * h_first;
+  a.upper[0] = h_first;
+  rhs[0] = 6.0 * ((y[1] - y[0]) / h_first - slope_left);
+
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    const double h0 = x[i] - x[i - 1];
+    const double h1 = x[i + 1] - x[i];
+    a.lower[i - 1] = h0;
+    a.diag[i] = 2.0 * (h0 + h1);
+    a.upper[i] = h1;
+    rhs[i] = 6.0 * ((y[i + 1] - y[i]) / h1 - (y[i] - y[i - 1]) / h0);
+  }
+
+  const double h_last = x[n - 1] - x[n - 2];
+  a.lower[n - 2] = h_last;
+  a.diag[n - 1] = 2.0 * h_last;
+  rhs[n - 1] = 6.0 * (slope_right - (y[n - 1] - y[n - 2]) / h_last);
+
+  std::vector<double> m = solve_tridiagonal(a, rhs);
+  return cubic_spline(std::vector<double>(x.begin(), x.end()),
+                      std::vector<double>(y.begin(), y.end()), std::move(m),
+                      spline_boundary::clamped);
+}
+
+cubic_spline cubic_spline::flat_ends(std::span<const double> x,
+                                     std::span<const double> y) {
+  return clamped(x, y, 0.0, 0.0);
+}
+
+std::size_t cubic_spline::interval_of(double x) const noexcept {
+  // Binary search for the interval [x_i, x_{i+1}] containing x.
+  const auto it = std::upper_bound(x_.begin(), x_.end(), x);
+  if (it == x_.begin()) return 0;
+  const auto idx = static_cast<std::size_t>(it - x_.begin()) - 1;
+  return std::min(idx, x_.size() - 2);
+}
+
+double cubic_spline::operator()(double x) const noexcept {
+  if (extrap_ == spline_extrapolation::clamp_flat) {
+    if (x <= x_.front()) return y_.front();
+    if (x >= x_.back()) return y_.back();
+  }
+  const std::size_t i = interval_of(x);
+  const double h = x_[i + 1] - x_[i];
+  const double a = (x_[i + 1] - x) / h;
+  const double b = (x - x_[i]) / h;
+  return a * y_[i] + b * y_[i + 1] +
+         ((a * a * a - a) * m_[i] + (b * b * b - b) * m_[i + 1]) * h * h / 6.0;
+}
+
+double cubic_spline::derivative(double x) const noexcept {
+  if (extrap_ == spline_extrapolation::clamp_flat) {
+    if (x <= x_.front() || x >= x_.back()) {
+      // Flat extension: zero slope outside the knot range.  At the knots
+      // themselves report the one-sided interior slope for clamped splines
+      // (which is the prescribed slope) to keep derivative() continuous
+      // from inside.
+      if (x < x_.front() || x > x_.back()) return 0.0;
+    }
+  }
+  const std::size_t i = interval_of(x);
+  const double h = x_[i + 1] - x_[i];
+  const double a = (x_[i + 1] - x) / h;
+  const double b = (x - x_[i]) / h;
+  return (y_[i + 1] - y_[i]) / h -
+         (3.0 * a * a - 1.0) / 6.0 * h * m_[i] +
+         (3.0 * b * b - 1.0) / 6.0 * h * m_[i + 1];
+}
+
+double cubic_spline::second_derivative(double x) const noexcept {
+  if (extrap_ == spline_extrapolation::clamp_flat) {
+    if (x < x_.front() || x > x_.back()) return 0.0;
+  }
+  const std::size_t i = interval_of(x);
+  const double h = x_[i + 1] - x_[i];
+  const double a = (x_[i + 1] - x) / h;
+  const double b = (x - x_[i]) / h;
+  return a * m_[i] + b * m_[i + 1];
+}
+
+std::vector<double> cubic_spline::sample(std::span<const double> xs) const {
+  std::vector<double> out(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = (*this)(xs[i]);
+  return out;
+}
+
+double cubic_spline::min_value(std::size_t samples_per_interval) const {
+  double best = y_.front();
+  for (std::size_t i = 0; i + 1 < x_.size(); ++i) {
+    for (std::size_t s = 0; s <= samples_per_interval; ++s) {
+      const double t = static_cast<double>(s) / static_cast<double>(samples_per_interval);
+      const double xv = x_[i] + t * (x_[i + 1] - x_[i]);
+      best = std::min(best, (*this)(xv));
+    }
+  }
+  return best;
+}
+
+}  // namespace dlm::num

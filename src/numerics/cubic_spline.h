@@ -1,0 +1,92 @@
+// C² cubic-spline interpolation.
+//
+// Paper §II.D constructs the initial density function φ(x) of the DL model
+// by cubic-spline interpolation of the discrete densities observed at hour 1
+// ("a series of unique cubic polynomials are fitted between each of the data
+// points ... continuous and smooth"), then flattens the two ends so that
+// φ'(l) = φ'(L) = 0.  The `clamped` boundary mode with zero end slopes
+// realizes exactly that construction; `natural` is provided for comparison.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dlm::num {
+
+/// Boundary condition for cubic-spline construction.
+enum class spline_boundary {
+  natural,  ///< zero second derivative at both ends
+  clamped,  ///< prescribed first derivative at both ends
+};
+
+/// Behaviour when evaluating outside the knot range.
+enum class spline_extrapolation {
+  clamp_flat,  ///< hold the boundary value (flat extension; DL default)
+  cubic,       ///< continue the boundary polynomial
+};
+
+/// A piecewise-cubic, twice continuously differentiable interpolant through
+/// a set of strictly increasing knots.
+class cubic_spline {
+ public:
+  /// Builds a natural cubic spline through (x[i], y[i]).
+  ///
+  /// Requires x strictly increasing and x.size() == y.size() >= 2.
+  /// Throws std::invalid_argument otherwise.
+  static cubic_spline natural(std::span<const double> x,
+                              std::span<const double> y);
+
+  /// Builds a clamped cubic spline with prescribed end slopes.
+  /// `slope_left`/`slope_right` are φ'(x.front()) and φ'(x.back()).
+  static cubic_spline clamped(std::span<const double> x,
+                              std::span<const double> y, double slope_left,
+                              double slope_right);
+
+  /// Convenience: clamped spline with both end slopes zero — the paper's
+  /// "flat ends" initial-density construction.
+  static cubic_spline flat_ends(std::span<const double> x,
+                                std::span<const double> y);
+
+  /// Interpolated value at `x`.
+  [[nodiscard]] double operator()(double x) const noexcept;
+
+  /// First derivative of the interpolant at `x`.
+  [[nodiscard]] double derivative(double x) const noexcept;
+
+  /// Second derivative of the interpolant at `x`.
+  [[nodiscard]] double second_derivative(double x) const noexcept;
+
+  /// Evaluates the spline at every coordinate in `xs`.
+  [[nodiscard]] std::vector<double> sample(std::span<const double> xs) const;
+
+  [[nodiscard]] double x_min() const noexcept { return x_.front(); }
+  [[nodiscard]] double x_max() const noexcept { return x_.back(); }
+  [[nodiscard]] std::size_t knot_count() const noexcept { return x_.size(); }
+  [[nodiscard]] spline_boundary boundary() const noexcept { return boundary_; }
+
+  /// Extrapolation policy outside [x_min, x_max]; default clamp_flat.
+  void set_extrapolation(spline_extrapolation mode) noexcept { extrap_ = mode; }
+  [[nodiscard]] spline_extrapolation extrapolation() const noexcept {
+    return extrap_;
+  }
+
+  /// Minimum of the interpolant over [x_min, x_max], located by dense
+  /// sampling plus local refinement; used to verify non-negativity of φ.
+  [[nodiscard]] double min_value(std::size_t samples_per_interval = 64) const;
+
+ private:
+  cubic_spline(std::vector<double> x, std::vector<double> y,
+               std::vector<double> second_derivs, spline_boundary boundary);
+
+  /// Index of the interval containing `x` (clamped to valid range).
+  [[nodiscard]] std::size_t interval_of(double x) const noexcept;
+
+  std::vector<double> x_;   ///< knots, strictly increasing
+  std::vector<double> y_;   ///< values at knots
+  std::vector<double> m_;   ///< second derivatives at knots
+  spline_boundary boundary_;
+  spline_extrapolation extrap_ = spline_extrapolation::clamp_flat;
+};
+
+}  // namespace dlm::num

@@ -1,0 +1,53 @@
+#include "numerics/grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dlm::num {
+
+uniform_grid::uniform_grid(double lower, double upper, std::size_t n_points)
+    : lower_(lower), upper_(upper), n_(n_points) {
+  if (n_points < 2)
+    throw std::invalid_argument("uniform_grid: need at least 2 points");
+  if (!(lower < upper))
+    throw std::invalid_argument("uniform_grid: require lower < upper");
+  dx_ = (upper - lower) / static_cast<double>(n_points - 1);
+}
+
+double uniform_grid::x(std::size_t i) const noexcept {
+  if (i + 1 == n_) return upper_;  // exact right endpoint
+  return lower_ + static_cast<double>(i) * dx_;
+}
+
+std::vector<double> uniform_grid::coordinates() const {
+  std::vector<double> xs(n_);
+  for (std::size_t i = 0; i < n_; ++i) xs[i] = x(i);
+  return xs;
+}
+
+std::size_t uniform_grid::nearest_index(double value) const noexcept {
+  if (value <= lower_) return 0;
+  if (value >= upper_) return n_ - 1;
+  const double pos = (value - lower_) / dx_;
+  const auto idx = static_cast<std::size_t>(std::lround(pos));
+  return std::min(idx, n_ - 1);
+}
+
+bool uniform_grid::contains(double value) const noexcept {
+  const double eps = 1e-12 * (std::abs(lower_) + std::abs(upper_) + 1.0);
+  return value >= lower_ - eps && value <= upper_ + eps;
+}
+
+std::vector<double> linspace(double first, double last, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("linspace: n must be >= 1");
+  if (n == 1) return {first};
+  std::vector<double> out(n);
+  const double step = (last - first) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = first + static_cast<double>(i) * step;
+  out.back() = last;
+  return out;
+}
+
+}  // namespace dlm::num

@@ -1,0 +1,53 @@
+// Uniform 1-D spatial grids over the distance axis [l, L].
+//
+// The DL equation is posed on a closed interval of "distances" (friendship
+// hops or shared-interest groups).  All finite-difference solvers in
+// src/core discretize that interval with this grid type.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dlm::num {
+
+/// A uniform grid of `points()` nodes covering [lower, upper] inclusively.
+class uniform_grid {
+ public:
+  /// Builds a grid with `n_points >= 2` nodes spanning [lower, upper],
+  /// `lower < upper`.  Throws std::invalid_argument otherwise.
+  uniform_grid(double lower, double upper, std::size_t n_points);
+
+  [[nodiscard]] double lower() const noexcept { return lower_; }
+  [[nodiscard]] double upper() const noexcept { return upper_; }
+  [[nodiscard]] std::size_t points() const noexcept { return n_; }
+
+  /// Spacing between adjacent nodes (Δx).
+  [[nodiscard]] double spacing() const noexcept { return dx_; }
+
+  /// Coordinate of node i (0 <= i < points()); x(0) == lower(),
+  /// x(points()-1) == upper() exactly.
+  [[nodiscard]] double x(std::size_t i) const noexcept;
+
+  /// All node coordinates as a vector.
+  [[nodiscard]] std::vector<double> coordinates() const;
+
+  /// Index of the node nearest to coordinate `value` (clamped to range).
+  [[nodiscard]] std::size_t nearest_index(double value) const noexcept;
+
+  /// True if `value` lies within [lower, upper] (inclusive, with a small
+  /// floating-point tolerance).
+  [[nodiscard]] bool contains(double value) const noexcept;
+
+ private:
+  double lower_;
+  double upper_;
+  std::size_t n_;
+  double dx_;
+};
+
+/// `n` evenly spaced values from `first` to `last` inclusive (n >= 2),
+/// or the single value `first` when n == 1.
+[[nodiscard]] std::vector<double> linspace(double first, double last,
+                                           std::size_t n);
+
+}  // namespace dlm::num

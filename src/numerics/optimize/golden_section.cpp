@@ -1,0 +1,46 @@
+#include "numerics/optimize/golden_section.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dlm::num {
+
+golden_section_result minimize_golden_section(
+    const std::function<double(double)>& f, double a, double b, double tol,
+    int max_iter) {
+  if (!(a < b))
+    throw std::invalid_argument("golden_section: require a < b");
+
+  const double inv_phi = (std::sqrt(5.0) - 1.0) / 2.0;  // 1/φ ≈ 0.618
+  double c = b - inv_phi * (b - a);
+  double d = a + inv_phi * (b - a);
+  double fc = f(c);
+  double fd = f(d);
+
+  golden_section_result res;
+  for (int it = 0; it < max_iter; ++it) {
+    res.iterations = it + 1;
+    if (b - a <= tol) {
+      res.converged = true;
+      break;
+    }
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - inv_phi * (b - a);
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + inv_phi * (b - a);
+      fd = f(d);
+    }
+  }
+  res.x = 0.5 * (a + b);
+  res.f_value = f(res.x);
+  return res;
+}
+
+}  // namespace dlm::num

@@ -1,0 +1,25 @@
+// Golden-section search for one-dimensional minimization.
+//
+// Used to tune single DL parameters (e.g. the diffusion rate d) against the
+// early-window objective when the other parameters are held fixed.
+#pragma once
+
+#include <functional>
+
+namespace dlm::num {
+
+/// Result of a 1-D minimization.
+struct golden_section_result {
+  double x = 0.0;        ///< minimizer estimate
+  double f_value = 0.0;  ///< objective at x
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimizes a unimodal `f` over [a, b] to within `tol` of the true
+/// minimizer.  Throws std::invalid_argument for a >= b.
+[[nodiscard]] golden_section_result minimize_golden_section(
+    const std::function<double(double)>& f, double a, double b,
+    double tol = 1e-8, int max_iter = 200);
+
+}  // namespace dlm::num

@@ -1,0 +1,53 @@
+#include "numerics/optimize/grid_search.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace dlm::num {
+
+grid_search_result minimize_grid(
+    const std::function<double(std::span<const double>)>& f,
+    std::span<const grid_axis> axes) {
+  if (axes.empty()) throw std::invalid_argument("minimize_grid: no axes");
+  for (const grid_axis& ax : axes) {
+    if (ax.count == 0)
+      throw std::invalid_argument("minimize_grid: axis count must be >= 1");
+    if (ax.count > 1 && !(ax.hi > ax.lo))
+      throw std::invalid_argument("minimize_grid: require hi > lo for count > 1");
+  }
+
+  const std::size_t dims = axes.size();
+  std::vector<std::size_t> idx(dims, 0);
+  std::vector<double> point(dims);
+
+  grid_search_result best;
+  best.f_value = std::numeric_limits<double>::infinity();
+
+  bool done = false;
+  while (!done) {
+    for (std::size_t k = 0; k < dims; ++k) {
+      const grid_axis& ax = axes[k];
+      point[k] = (ax.count == 1)
+                     ? ax.lo
+                     : ax.lo + (ax.hi - ax.lo) * static_cast<double>(idx[k]) /
+                           static_cast<double>(ax.count - 1);
+    }
+    const double fv = f(point);
+    ++best.evaluations;
+    if (fv < best.f_value) {
+      best.f_value = fv;
+      best.x = point;
+    }
+
+    // Odometer increment across the lattice.
+    std::size_t k = 0;
+    for (; k < dims; ++k) {
+      if (++idx[k] < axes[k].count) break;
+      idx[k] = 0;
+    }
+    done = (k == dims);
+  }
+  return best;
+}
+
+}  // namespace dlm::num

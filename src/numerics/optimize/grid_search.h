@@ -1,0 +1,36 @@
+// Exhaustive grid search over boxed parameter spaces.
+//
+// Coarse calibration pass: scan a lattice of (d, K, r-parameters) and hand
+// the best cell to Nelder–Mead for refinement.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace dlm::num {
+
+/// One axis of the search lattice: `count` evenly spaced values spanning
+/// [lo, hi] inclusive (count >= 1; count == 1 pins the axis at lo).
+struct grid_axis {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::size_t count = 1;
+};
+
+/// Result of a lattice scan.
+struct grid_search_result {
+  std::vector<double> x;        ///< best lattice point
+  double f_value = 0.0;         ///< objective there
+  std::size_t evaluations = 0;  ///< total lattice points visited
+};
+
+/// Evaluates `f` at every point of the Cartesian lattice defined by `axes`
+/// and returns the argmin.  Throws std::invalid_argument for empty axes or
+/// a zero-count axis.
+[[nodiscard]] grid_search_result minimize_grid(
+    const std::function<double(std::span<const double>)>& f,
+    std::span<const grid_axis> axes);
+
+}  // namespace dlm::num

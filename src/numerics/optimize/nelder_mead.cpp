@@ -1,0 +1,163 @@
+#include "numerics/optimize/nelder_mead.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace dlm::num {
+namespace {
+
+struct vertex {
+  std::vector<double> x;
+  double f;
+};
+
+double simplex_diameter(const std::vector<vertex>& simplex) {
+  double diam = 0.0;
+  for (std::size_t i = 1; i < simplex.size(); ++i) {
+    double dist = 0.0;
+    for (std::size_t k = 0; k < simplex[0].x.size(); ++k) {
+      const double d = simplex[i].x[k] - simplex[0].x[k];
+      dist += d * d;
+    }
+    diam = std::max(diam, std::sqrt(dist));
+  }
+  return diam;
+}
+
+nelder_mead_result run(const objective_fn& raw_f, std::span<const double> x0,
+                       const nelder_mead_options& opt,
+                       const std::function<void(std::vector<double>&)>& project) {
+  if (x0.empty())
+    throw std::invalid_argument("nelder_mead: empty starting point");
+  const std::size_t n = x0.size();
+
+  std::size_t evals = 0;
+  const auto f = [&](std::vector<double>& x) {
+    project(x);
+    ++evals;
+    return raw_f(x);
+  };
+
+  // Build the initial simplex: x0 plus n displaced vertices.
+  std::vector<vertex> simplex;
+  simplex.reserve(n + 1);
+  {
+    std::vector<double> base(x0.begin(), x0.end());
+    const double fb = f(base);
+    simplex.push_back({std::move(base), fb});
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> v(x0.begin(), x0.end());
+    const double step =
+        (v[i] != 0.0) ? opt.initial_step * std::abs(v[i]) : opt.initial_step;
+    v[i] += step;
+    const double fv = f(v);
+    simplex.push_back({std::move(v), fv});
+  }
+
+  nelder_mead_result result;
+  const auto by_f = [](const vertex& a, const vertex& b) { return a.f < b.f; };
+
+  for (std::size_t it = 0; it < opt.max_iterations; ++it) {
+    std::sort(simplex.begin(), simplex.end(), by_f);
+    result.iterations = it;
+
+    const double f_spread = std::abs(simplex.back().f - simplex.front().f);
+    if (f_spread <= opt.f_tolerance && simplex_diameter(simplex) <= opt.x_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t k = 0; k < n; ++k) centroid[k] += simplex[i].x[k];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    const vertex& worst = simplex.back();
+
+    // Reflection.
+    std::vector<double> xr(n);
+    for (std::size_t k = 0; k < n; ++k)
+      xr[k] = centroid[k] + opt.alpha * (centroid[k] - worst.x[k]);
+    const double fr = f(xr);
+
+    if (fr < simplex.front().f) {
+      // Expansion.
+      std::vector<double> xe(n);
+      for (std::size_t k = 0; k < n; ++k)
+        xe[k] = centroid[k] + opt.gamma * (xr[k] - centroid[k]);
+      const double fe = f(xe);
+      if (fe < fr) {
+        simplex.back() = {std::move(xe), fe};
+      } else {
+        simplex.back() = {std::move(xr), fr};
+      }
+      continue;
+    }
+    if (fr < simplex[n - 1].f) {
+      simplex.back() = {std::move(xr), fr};
+      continue;
+    }
+
+    // Contraction (outside if fr beats the worst, inside otherwise).
+    std::vector<double> xc(n);
+    if (fr < worst.f) {
+      for (std::size_t k = 0; k < n; ++k)
+        xc[k] = centroid[k] + opt.rho * (xr[k] - centroid[k]);
+    } else {
+      for (std::size_t k = 0; k < n; ++k)
+        xc[k] = centroid[k] + opt.rho * (worst.x[k] - centroid[k]);
+    }
+    const double fc = f(xc);
+    if (fc < std::min(fr, worst.f)) {
+      simplex.back() = {std::move(xc), fc};
+      continue;
+    }
+
+    // Shrink towards the best vertex.
+    for (std::size_t i = 1; i <= n; ++i) {
+      for (std::size_t k = 0; k < n; ++k)
+        simplex[i].x[k] =
+            simplex[0].x[k] + opt.sigma * (simplex[i].x[k] - simplex[0].x[k]);
+      simplex[i].f = f(simplex[i].x);
+    }
+  }
+
+  std::sort(simplex.begin(), simplex.end(), by_f);
+  result.x = simplex.front().x;
+  result.f_value = simplex.front().f;
+  result.evaluations = evals;
+  return result;
+}
+
+}  // namespace
+
+nelder_mead_result minimize_nelder_mead(const objective_fn& f,
+                                        std::span<const double> x0,
+                                        const nelder_mead_options& options) {
+  return run(f, x0, options, [](std::vector<double>&) {});
+}
+
+nelder_mead_result minimize_nelder_mead_bounded(
+    const objective_fn& f, std::span<const double> x0,
+    std::span<const double> lower, std::span<const double> upper,
+    const nelder_mead_options& options) {
+  if (lower.size() != x0.size() || upper.size() != x0.size())
+    throw std::invalid_argument("nelder_mead_bounded: bound size mismatch");
+  for (std::size_t i = 0; i < x0.size(); ++i) {
+    if (!(lower[i] <= upper[i]))
+      throw std::invalid_argument("nelder_mead_bounded: lower > upper");
+  }
+  std::vector<double> lo(lower.begin(), lower.end());
+  std::vector<double> hi(upper.begin(), upper.end());
+  return run(f, x0, options, [lo, hi](std::vector<double>& x) {
+    for (std::size_t i = 0; i < x.size(); ++i)
+      x[i] = std::clamp(x[i], lo[i], hi[i]);
+  });
+}
+
+}  // namespace dlm::num

@@ -1,0 +1,55 @@
+// Nelder–Mead derivative-free simplex minimizer.
+//
+// Calibration of the DL model (diffusion rate d, capacity K, growth-rate
+// parameters) minimizes a least-squares objective over the early observation
+// window; the objective goes through a PDE solve, so derivative-free search
+// is the right tool.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace dlm::num {
+
+/// Objective: maps a parameter vector to a scalar cost.
+using objective_fn = std::function<double(std::span<const double>)>;
+
+/// Options controlling the Nelder–Mead iteration.
+struct nelder_mead_options {
+  std::size_t max_iterations = 2000;
+  double f_tolerance = 1e-10;   ///< stop when simplex f-spread is below this
+  double x_tolerance = 1e-10;   ///< stop when simplex diameter is below this
+  double initial_step = 0.1;    ///< per-coordinate displacement of the
+                                ///< initial simplex (relative when the
+                                ///< coordinate is nonzero, absolute otherwise)
+  // Standard reflection/expansion/contraction/shrink coefficients.
+  double alpha = 1.0;
+  double gamma = 2.0;
+  double rho = 0.5;
+  double sigma = 0.5;
+};
+
+/// Result of a minimization run.
+struct nelder_mead_result {
+  std::vector<double> x;       ///< best parameter vector found
+  double f_value = 0.0;        ///< objective at `x`
+  std::size_t iterations = 0;  ///< iterations performed
+  std::size_t evaluations = 0; ///< objective evaluations
+  bool converged = false;
+};
+
+/// Minimizes `f` starting from `x0` using the Nelder–Mead simplex method.
+/// Throws std::invalid_argument for an empty starting point.
+[[nodiscard]] nelder_mead_result minimize_nelder_mead(
+    const objective_fn& f, std::span<const double> x0,
+    const nelder_mead_options& options = {});
+
+/// Variant with box constraints: candidates are clamped into
+/// [lower[i], upper[i]] before evaluation (projection method).
+[[nodiscard]] nelder_mead_result minimize_nelder_mead_bounded(
+    const objective_fn& f, std::span<const double> x0,
+    std::span<const double> lower, std::span<const double> upper,
+    const nelder_mead_options& options = {});
+
+}  // namespace dlm::num

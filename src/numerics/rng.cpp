@@ -1,0 +1,97 @@
+#include "numerics/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace dlm::num {
+
+double rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double rng::uniform(double lo, double hi) {
+  if (!(hi > lo)) throw std::invalid_argument("rng::uniform: require hi > lo");
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::size_t rng::index(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("rng::index: n must be positive");
+  return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+}
+
+std::int64_t rng::integer(std::int64_t lo, std::int64_t hi) {
+  if (hi < lo) throw std::invalid_argument("rng::integer: require hi >= lo");
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+bool rng::bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+double rng::normal(double mean, double sd) {
+  return std::normal_distribution<double>(mean, sd)(engine_);
+}
+
+double rng::exponential(double rate) {
+  if (!(rate > 0.0))
+    throw std::invalid_argument("rng::exponential: rate must be positive");
+  return std::exponential_distribution<double>(rate)(engine_);
+}
+
+std::uint64_t rng::poisson(double mean_value) {
+  if (mean_value < 0.0)
+    throw std::invalid_argument("rng::poisson: mean must be non-negative");
+  if (mean_value == 0.0) return 0;
+  return std::poisson_distribution<std::uint64_t>(mean_value)(engine_);
+}
+
+double rng::pareto(double x_min, double alpha) {
+  if (!(x_min > 0.0) || !(alpha > 0.0))
+    throw std::invalid_argument("rng::pareto: x_min and alpha must be positive");
+  const double u = 1.0 - uniform();  // in (0, 1]
+  return x_min * std::pow(u, -1.0 / alpha);
+}
+
+std::size_t rng::weighted_index(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0)
+      throw std::invalid_argument("rng::weighted_index: negative weight");
+    total += w;
+  }
+  if (weights.empty() || total <= 0.0)
+    throw std::invalid_argument("rng::weighted_index: no positive weight");
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target <= 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical edge: return the last bucket
+}
+
+std::vector<std::size_t> rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  if (k > n)
+    throw std::invalid_argument("rng::sample_without_replacement: k > n");
+  // For small k relative to n use rejection; otherwise shuffle a full range.
+  if (k * 4 <= n) {
+    std::unordered_set<std::size_t> chosen;
+    std::vector<std::size_t> out;
+    out.reserve(k);
+    while (out.size() < k) {
+      const std::size_t candidate = index(n);
+      if (chosen.insert(candidate).second) out.push_back(candidate);
+    }
+    return out;
+  }
+  std::vector<std::size_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  shuffle(all);
+  all.resize(k);
+  return all;
+}
+
+}  // namespace dlm::num

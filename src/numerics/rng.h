@@ -1,0 +1,78 @@
+// Deterministic random number generation.
+//
+// Every stochastic component (graph generators, cascade simulator, noise
+// injection) draws from this engine so that a single seed reproduces an
+// entire synthetic "Digg" dataset bit-for-bit — a requirement for the
+// figure/table benches to be rerunnable.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace dlm::num {
+
+/// Seeded pseudo-random generator wrapping a fixed, portable engine
+/// (std::mt19937_64) with convenience draws for the distributions the
+/// simulator needs.
+class rng {
+ public:
+  explicit rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform();
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n) — n must be positive.
+  [[nodiscard]] std::size_t index(std::size_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t integer(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool bernoulli(double p);
+
+  /// Standard normal draw.
+  [[nodiscard]] double normal() { return normal(0.0, 1.0); }
+
+  /// Normal draw with given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double sd);
+
+  /// Exponential draw with the given rate (mean 1/rate).
+  [[nodiscard]] double exponential(double rate);
+
+  /// Poisson draw with the given mean.
+  [[nodiscard]] std::uint64_t poisson(double mean_value);
+
+  /// Pareto (power-law) draw: x_min * U^{-1/alpha}; heavy-tailed degrees.
+  [[nodiscard]] double pareto(double x_min, double alpha);
+
+  /// Index drawn from unnormalized non-negative weights; throws
+  /// std::invalid_argument if all weights are zero or empty.
+  [[nodiscard]] std::size_t weighted_index(std::span<const double> weights);
+
+  /// Fisher–Yates shuffle of `items` in place.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = index(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Draws `k` distinct indices uniformly from [0, n) (k <= n).
+  [[nodiscard]] std::vector<std::size_t> sample_without_replacement(
+      std::size_t n, std::size_t k);
+
+  /// Access to the raw engine for std distributions not wrapped here.
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace dlm::num

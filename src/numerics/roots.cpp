@@ -1,0 +1,102 @@
+#include "numerics/roots.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dlm::num {
+
+root_result bisect(const std::function<double(double)>& f, double a, double b,
+                   double tol, int max_iter) {
+  double fa = f(a);
+  double fb = f(b);
+  if (fa == 0.0) return {a, 0.0, 0, true};
+  if (fb == 0.0) return {b, 0.0, 0, true};
+  if (fa * fb > 0.0)
+    throw std::invalid_argument("bisect: f(a) and f(b) must differ in sign");
+
+  root_result res;
+  for (int it = 0; it < max_iter; ++it) {
+    const double mid = 0.5 * (a + b);
+    const double fm = f(mid);
+    res.x = mid;
+    res.f_value = fm;
+    res.iterations = it + 1;
+    if (std::abs(fm) <= tol || 0.5 * (b - a) <= tol) {
+      res.converged = true;
+      return res;
+    }
+    if (fa * fm < 0.0) {
+      b = mid;
+    } else {
+      a = mid;
+      fa = fm;
+    }
+  }
+  return res;
+}
+
+root_result newton(const std::function<double(double)>& f,
+                   const std::function<double(double)>& df, double x0,
+                   double tol, int max_iter) {
+  root_result res;
+  double x = x0;
+  for (int it = 0; it < max_iter; ++it) {
+    const double fx = f(x);
+    res.x = x;
+    res.f_value = fx;
+    res.iterations = it;
+    if (std::abs(fx) <= tol) {
+      res.converged = true;
+      return res;
+    }
+    double d = df(x);
+    if (std::abs(d) < 1e-300) d = (d < 0.0 ? -1.0 : 1.0) * 1e-300;
+    const double step = fx / d;
+    x -= step;
+    if (!std::isfinite(x)) return res;  // diverged
+  }
+  res.x = x;
+  res.f_value = f(x);
+  res.iterations = max_iter;
+  res.converged = std::abs(res.f_value) <= tol;
+  return res;
+}
+
+root_result newton_bisect(const std::function<double(double)>& f,
+                          const std::function<double(double)>& df, double a,
+                          double b, double tol, int max_iter) {
+  double fa = f(a);
+  double fb = f(b);
+  if (fa == 0.0) return {a, 0.0, 0, true};
+  if (fb == 0.0) return {b, 0.0, 0, true};
+  if (fa * fb > 0.0)
+    throw std::invalid_argument("newton_bisect: need sign change on [a,b]");
+
+  root_result res;
+  double x = 0.5 * (a + b);
+  for (int it = 0; it < max_iter; ++it) {
+    const double fx = f(x);
+    res.x = x;
+    res.f_value = fx;
+    res.iterations = it + 1;
+    if (std::abs(fx) <= tol || (b - a) <= tol) {
+      res.converged = true;
+      return res;
+    }
+    // Maintain the bracket.
+    if (fa * fx < 0.0) {
+      b = x;
+    } else {
+      a = x;
+      fa = fx;
+    }
+    // Try Newton; fall back to bisection if it leaves the bracket.
+    const double d = df(x);
+    double x_new = (std::abs(d) > 1e-300) ? x - fx / d : a - 1.0;  // force bisect
+    if (!(x_new > a && x_new < b)) x_new = 0.5 * (a + b);
+    x = x_new;
+  }
+  return res;
+}
+
+}  // namespace dlm::num

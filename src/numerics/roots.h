@@ -1,0 +1,43 @@
+// Scalar root finding.
+//
+// Newton iteration backs the fully implicit DL time stepper (per-step
+// nonlinear solve); bisection provides a bracketing fallback used by the
+// calibration code to invert logistic saturation times.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+namespace dlm::num {
+
+/// Result of a scalar root search.
+struct root_result {
+  double x = 0.0;          ///< final iterate
+  double f_value = 0.0;    ///< f at the final iterate
+  int iterations = 0;      ///< iterations performed
+  bool converged = false;  ///< |f| <= tol (or interval shrank below xtol)
+};
+
+/// Bisection on [a, b]; requires f(a) and f(b) of opposite sign
+/// (throws std::invalid_argument otherwise).
+[[nodiscard]] root_result bisect(const std::function<double(double)>& f,
+                                 double a, double b, double tol = 1e-12,
+                                 int max_iter = 200);
+
+/// Newton iteration from x0 with analytic derivative; falls back to a
+/// damped step when the derivative is tiny.  Not guaranteed to converge;
+/// check `converged`.
+[[nodiscard]] root_result newton(const std::function<double(double)>& f,
+                                 const std::function<double(double)>& df,
+                                 double x0, double tol = 1e-12,
+                                 int max_iter = 100);
+
+/// Newton with a bisection safeguard on [a, b] (robust hybrid): the Newton
+/// step is taken when it stays inside the current bracket, otherwise the
+/// bracket is bisected.  Requires a sign change on [a, b].
+[[nodiscard]] root_result newton_bisect(const std::function<double(double)>& f,
+                                        const std::function<double(double)>& df,
+                                        double a, double b, double tol = 1e-12,
+                                        int max_iter = 200);
+
+}  // namespace dlm::num

@@ -1,0 +1,152 @@
+#include "numerics/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace dlm::num {
+namespace {
+
+void require_nonempty(std::span<const double> xs, const char* who) {
+  if (xs.empty()) throw std::invalid_argument(std::string(who) + ": empty input");
+}
+
+void require_same_size(std::span<const double> a, std::span<const double> b,
+                       const char* who) {
+  if (a.size() != b.size())
+    throw std::invalid_argument(std::string(who) + ": size mismatch");
+  if (a.empty()) throw std::invalid_argument(std::string(who) + ": empty input");
+}
+
+}  // namespace
+
+double mean(std::span<const double> xs) {
+  require_nonempty(xs, "mean");
+  double acc = 0.0;
+  for (double v : xs) acc += v;
+  return acc / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) throw std::invalid_argument("variance: need >= 2 samples");
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double v : xs) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double median(std::span<const double> xs) {
+  require_nonempty(xs, "median");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  if (n % 2 == 1) return sorted[n / 2];
+  return 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+double percentile(std::span<const double> xs, double p) {
+  require_nonempty(xs, "percentile");
+  if (p < 0.0 || p > 100.0)
+    throw std::invalid_argument("percentile: p must be in [0,100]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  require_same_size(xs, ys, "pearson");
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+linear_fit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  require_same_size(xs, ys, "fit_line");
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  linear_fit fit;
+  if (sxx == 0.0) {
+    fit.intercept = my;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+double rmse(std::span<const double> predicted, std::span<const double> actual) {
+  require_same_size(predicted, actual, "rmse");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double e = predicted[i] - actual[i];
+    acc += e * e;
+  }
+  return std::sqrt(acc / static_cast<double>(predicted.size()));
+}
+
+double mae(std::span<const double> predicted, std::span<const double> actual) {
+  require_same_size(predicted, actual, "mae");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i)
+    acc += std::abs(predicted[i] - actual[i]);
+  return acc / static_cast<double>(predicted.size());
+}
+
+double mape(std::span<const double> predicted, std::span<const double> actual,
+            double floor) {
+  require_same_size(predicted, actual, "mape");
+  double acc = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (std::abs(actual[i]) < floor) continue;
+    acc += std::abs(predicted[i] - actual[i]) / std::abs(actual[i]);
+    ++counted;
+  }
+  if (counted == 0)
+    throw std::invalid_argument("mape: all actual values below floor");
+  return acc / static_cast<double>(counted);
+}
+
+double sse(std::span<const double> predicted, std::span<const double> actual) {
+  require_same_size(predicted, actual, "sse");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double e = predicted[i] - actual[i];
+    acc += e * e;
+  }
+  return acc;
+}
+
+min_max extent(std::span<const double> xs) {
+  require_nonempty(xs, "extent");
+  const auto [lo, hi] = std::minmax_element(xs.begin(), xs.end());
+  return {*lo, *hi};
+}
+
+}  // namespace dlm::num

@@ -1,0 +1,74 @@
+#include "numerics/tridiagonal.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dlm::num {
+
+tridiagonal_matrix::tridiagonal_matrix(std::size_t n)
+    : lower(n > 0 ? n - 1 : 0, 0.0), diag(n, 0.0), upper(n > 0 ? n - 1 : 0, 0.0) {
+  if (n == 0) throw std::invalid_argument("tridiagonal_matrix: n must be >= 1");
+}
+
+std::vector<double> tridiagonal_matrix::multiply(std::span<const double> x) const {
+  const std::size_t n = size();
+  if (x.size() != n)
+    throw std::invalid_argument("tridiagonal_matrix::multiply: size mismatch");
+  std::vector<double> y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = diag[i] * x[i];
+    if (i > 0) acc += lower[i - 1] * x[i - 1];
+    if (i + 1 < n) acc += upper[i] * x[i + 1];
+    y[i] = acc;
+  }
+  return y;
+}
+
+bool tridiagonal_matrix::diagonally_dominant() const noexcept {
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) {
+    double off = 0.0;
+    if (i > 0) off += std::abs(lower[i - 1]);
+    if (i + 1 < n) off += std::abs(upper[i]);
+    if (std::abs(diag[i]) < off) return false;
+  }
+  return true;
+}
+
+std::vector<double> solve_tridiagonal(const tridiagonal_matrix& a,
+                                      std::span<const double> rhs) {
+  if (rhs.size() != a.size())
+    throw std::invalid_argument("solve_tridiagonal: size mismatch");
+  std::vector<double> x(rhs.begin(), rhs.end());
+  std::vector<double> scratch;
+  solve_tridiagonal_in_place(a, x, scratch);
+  return x;
+}
+
+void solve_tridiagonal_in_place(const tridiagonal_matrix& a,
+                                std::vector<double>& rhs,
+                                std::vector<double>& scratch) {
+  const std::size_t n = a.size();
+  if (rhs.size() != n)
+    throw std::invalid_argument("solve_tridiagonal_in_place: size mismatch");
+  scratch.resize(n);
+
+  // Forward sweep: eliminate the sub-diagonal.
+  double pivot = a.diag[0];
+  if (pivot == 0.0) throw std::domain_error("solve_tridiagonal: zero pivot");
+  scratch[0] = (n > 1) ? a.upper[0] / pivot : 0.0;
+  rhs[0] /= pivot;
+  for (std::size_t i = 1; i < n; ++i) {
+    pivot = a.diag[i] - a.lower[i - 1] * scratch[i - 1];
+    if (pivot == 0.0) throw std::domain_error("solve_tridiagonal: zero pivot");
+    scratch[i] = (i + 1 < n) ? a.upper[i] / pivot : 0.0;
+    rhs[i] = (rhs[i] - a.lower[i - 1] * rhs[i - 1]) / pivot;
+  }
+
+  // Back substitution.
+  for (std::size_t i = n - 1; i-- > 0;) {
+    rhs[i] -= scratch[i] * rhs[i + 1];
+  }
+}
+
+}  // namespace dlm::num

@@ -1,0 +1,53 @@
+// Tridiagonal linear systems and the Thomas algorithm.
+//
+// The implicit finite-difference schemes for the Diffusive Logistic equation
+// (Crank–Nicolson, backward Euler with Newton linearization) reduce each time
+// step to a tridiagonal solve; this module provides that primitive.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dlm::num {
+
+/// A tridiagonal matrix of dimension n, stored as three diagonals.
+///
+/// Row i of the matrix is:  lower[i-1] * x[i-1] + diag[i] * x[i] +
+/// upper[i] * x[i+1].  `lower` and `upper` have size n-1, `diag` has size n.
+struct tridiagonal_matrix {
+  std::vector<double> lower;  ///< sub-diagonal, size n-1
+  std::vector<double> diag;   ///< main diagonal, size n
+  std::vector<double> upper;  ///< super-diagonal, size n-1
+
+  /// Creates an n-by-n tridiagonal matrix with all entries zero.
+  explicit tridiagonal_matrix(std::size_t n);
+
+  /// Dimension of the (square) matrix.
+  [[nodiscard]] std::size_t size() const noexcept { return diag.size(); }
+
+  /// Computes y = A * x.  `x` must have size n.
+  [[nodiscard]] std::vector<double> multiply(std::span<const double> x) const;
+
+  /// True if the matrix is strictly diagonally dominant by rows, a
+  /// sufficient condition for the Thomas algorithm to be stable.
+  [[nodiscard]] bool diagonally_dominant() const noexcept;
+};
+
+/// Solves A x = rhs for a tridiagonal A using the Thomas algorithm (O(n)).
+///
+/// Requires A to be non-singular; diagonally dominant systems (as produced
+/// by the DL discretizations) are solved stably without pivoting.
+/// Throws std::invalid_argument on dimension mismatch and
+/// std::domain_error if a zero pivot is encountered.
+[[nodiscard]] std::vector<double> solve_tridiagonal(
+    const tridiagonal_matrix& a, std::span<const double> rhs);
+
+/// In-place variant: overwrites `rhs` with the solution and uses `scratch`
+/// for the modified coefficients, avoiding allocation in solver hot loops.
+/// `scratch` must have size n (it is resized if needed).
+void solve_tridiagonal_in_place(const tridiagonal_matrix& a,
+                                std::vector<double>& rhs,
+                                std::vector<double>& scratch);
+
+}  // namespace dlm::num

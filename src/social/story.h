@@ -1,0 +1,56 @@
+// Core value types of the social layer: users, stories, votes.
+//
+// Mirrors the shape of the Digg 2009 release: per story, the (user,
+// timestamp) pairs of every vote, plus the follower links among voters
+// (the links live in dlm::graph::digraph).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace dlm::social {
+
+/// User identifier — the same dense id space as graph nodes.
+using user_id = graph::node_id;
+
+/// Story (news item) identifier.
+using story_id = std::uint32_t;
+
+/// Seconds since the dataset epoch (Digg timestamps are unix seconds; only
+/// differences matter here).
+using timestamp = std::uint64_t;
+
+inline constexpr timestamp seconds_per_hour = 3600;
+
+/// A single "digg": `user` voted for `story` at `time`.
+struct vote {
+  user_id user = 0;
+  story_id story = 0;
+  timestamp time = 0;
+
+  friend bool operator==(const vote&, const vote&) = default;
+};
+
+/// Story metadata. The initiator (paper: "source") is the first voter —
+/// the user who submitted the story to the site.
+struct story_info {
+  story_id id = 0;
+  std::string title;        ///< synthetic datasets use generated titles
+  user_id initiator = 0;
+  timestamp submitted = 0;  ///< time of the first vote
+  std::size_t vote_count = 0;
+};
+
+/// Hours elapsed from story submission to `t` (fractional).
+[[nodiscard]] inline double hours_since(timestamp submitted, timestamp t) {
+  return t >= submitted
+             ? static_cast<double>(t - submitted) /
+                   static_cast<double>(seconds_per_hour)
+             : -static_cast<double>(submitted - t) /
+                   static_cast<double>(seconds_per_hour);
+}
+
+}  // namespace dlm::social

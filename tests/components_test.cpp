@@ -1,0 +1,90 @@
+#include "graph/components.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/digraph.h"
+
+namespace {
+
+using namespace dlm::graph;
+
+TEST(WeaklyConnected, TwoIslands) {
+  digraph_builder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  const component_partition part = weakly_connected_components(b.build());
+  EXPECT_EQ(part.count(), 2u);
+  EXPECT_EQ(part.component_of[0], part.component_of[2]);
+  EXPECT_EQ(part.component_of[3], part.component_of[4]);
+  EXPECT_NE(part.component_of[0], part.component_of[3]);
+  EXPECT_EQ(part.sizes[part.giant()], 3u);
+  EXPECT_DOUBLE_EQ(part.giant_fraction(), 0.6);
+}
+
+TEST(WeaklyConnected, DirectionIgnored) {
+  digraph_builder b(3);
+  b.add_edge(1, 0);
+  b.add_edge(1, 2);
+  const component_partition part = weakly_connected_components(b.build());
+  EXPECT_EQ(part.count(), 1u);
+}
+
+TEST(WeaklyConnected, IsolatedNodesAreSingletons) {
+  const component_partition part = weakly_connected_components(digraph(4));
+  EXPECT_EQ(part.count(), 4u);
+  EXPECT_DOUBLE_EQ(part.giant_fraction(), 0.25);
+}
+
+TEST(StronglyConnected, CycleIsOneComponent) {
+  digraph_builder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 0);
+  const component_partition part = strongly_connected_components(b.build());
+  EXPECT_EQ(part.count(), 1u);
+  EXPECT_EQ(part.sizes[0], 4u);
+}
+
+TEST(StronglyConnected, DagIsAllSingletons) {
+  digraph_builder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 3);
+  const component_partition part = strongly_connected_components(b.build());
+  EXPECT_EQ(part.count(), 4u);
+}
+
+TEST(StronglyConnected, MixedStructure) {
+  // SCC {0,1,2} plus tail 3→4.
+  digraph_builder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  const component_partition part = strongly_connected_components(b.build());
+  EXPECT_EQ(part.count(), 3u);
+  EXPECT_EQ(part.component_of[0], part.component_of[1]);
+  EXPECT_EQ(part.component_of[1], part.component_of[2]);
+  EXPECT_NE(part.component_of[2], part.component_of[3]);
+  EXPECT_NE(part.component_of[3], part.component_of[4]);
+}
+
+TEST(StronglyConnected, DeepChainDoesNotOverflow) {
+  // 60k-node path — the iterative Tarjan must not blow the stack.
+  const std::size_t n = 60000;
+  digraph_builder b(n);
+  for (node_id v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  const component_partition part = strongly_connected_components(b.build());
+  EXPECT_EQ(part.count(), n);
+}
+
+TEST(ComponentPartition, EmptyGraph) {
+  const component_partition part = weakly_connected_components(digraph(0));
+  EXPECT_EQ(part.count(), 0u);
+  EXPECT_DOUBLE_EQ(part.giant_fraction(), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,175 @@
+#include "numerics/cubic_spline.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+using dlm::num::cubic_spline;
+using dlm::num::spline_extrapolation;
+
+TEST(CubicSpline, InterpolatesKnotsExactly) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{1.9, 0.8, 1.1, 0.6, 0.4};
+  const cubic_spline s = cubic_spline::natural(x, y);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(s(x[i]), y[i], 1e-12);
+}
+
+TEST(CubicSpline, NaturalEndsHaveZeroSecondDerivative) {
+  const std::vector<double> x{0, 1, 2, 3};
+  const std::vector<double> y{0.0, 2.0, 1.0, 3.0};
+  const cubic_spline s = cubic_spline::natural(x, y);
+  EXPECT_NEAR(s.second_derivative(0.0), 0.0, 1e-10);
+  EXPECT_NEAR(s.second_derivative(3.0), 0.0, 1e-10);
+}
+
+TEST(CubicSpline, ClampedEndsMatchPrescribedSlopes) {
+  const std::vector<double> x{0, 1, 2, 3};
+  const std::vector<double> y{1.0, 2.0, 0.5, 1.5};
+  const cubic_spline s = cubic_spline::clamped(x, y, 0.7, -0.3);
+  EXPECT_NEAR(s.derivative(0.0), 0.7, 1e-10);
+  EXPECT_NEAR(s.derivative(3.0), -0.3, 1e-10);
+}
+
+TEST(CubicSpline, FlatEndsHaveZeroSlope) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{1.9, 0.8, 1.1, 0.6, 0.4};
+  const cubic_spline s = cubic_spline::flat_ends(x, y);
+  EXPECT_NEAR(s.derivative(1.0), 0.0, 1e-10);
+  EXPECT_NEAR(s.derivative(5.0), 0.0, 1e-10);
+}
+
+TEST(CubicSpline, ReproducesCubicPolynomialWithClampedEnds) {
+  // p(x) = x^3 - 2x^2 + 3 on dense knots with exact end slopes is
+  // reproduced exactly by a clamped cubic spline.
+  const auto p = [](double x) { return x * x * x - 2.0 * x * x + 3.0; };
+  const auto dp = [](double x) { return 3.0 * x * x - 4.0 * x; };
+  std::vector<double> x, y;
+  for (int i = 0; i <= 10; ++i) {
+    x.push_back(0.3 * i);
+    y.push_back(p(x.back()));
+  }
+  cubic_spline s = cubic_spline::clamped(x, y, dp(x.front()), dp(x.back()));
+  s.set_extrapolation(spline_extrapolation::cubic);
+  for (double t = 0.0; t <= 3.0; t += 0.05) {
+    EXPECT_NEAR(s(t), p(t), 1e-9) << "at x=" << t;
+    EXPECT_NEAR(s.derivative(t), dp(t), 1e-8) << "at x=" << t;
+  }
+}
+
+TEST(CubicSpline, FirstDerivativeContinuousAtKnots) {
+  const std::vector<double> x{1, 2, 3, 4, 5, 6};
+  const std::vector<double> y{2.0, 0.5, 1.5, 0.2, 0.9, 0.4};
+  const cubic_spline s = cubic_spline::flat_ends(x, y);
+  const double h = 1e-7;
+  for (std::size_t i = 1; i + 1 < x.size(); ++i) {
+    const double left = s.derivative(x[i] - h);
+    const double right = s.derivative(x[i] + h);
+    EXPECT_NEAR(left, right, 1e-5) << "knot " << x[i];
+  }
+}
+
+TEST(CubicSpline, SecondDerivativeContinuousAtKnots) {
+  const std::vector<double> x{1, 2, 3, 4, 5, 6};
+  const std::vector<double> y{2.0, 0.5, 1.5, 0.2, 0.9, 0.4};
+  const cubic_spline s = cubic_spline::flat_ends(x, y);
+  const double h = 1e-7;
+  for (std::size_t i = 1; i + 1 < x.size(); ++i) {
+    const double left = s.second_derivative(x[i] - h);
+    const double right = s.second_derivative(x[i] + h);
+    EXPECT_NEAR(left, right, 1e-4) << "knot " << x[i];
+  }
+}
+
+TEST(CubicSpline, ClampFlatExtrapolationHoldsBoundaryValues) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> y{4.0, 2.0, 1.0};
+  cubic_spline s = cubic_spline::flat_ends(x, y);
+  EXPECT_DOUBLE_EQ(s(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(s(-7.0), 4.0);
+  EXPECT_DOUBLE_EQ(s(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.derivative(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.second_derivative(3.5), 0.0);
+}
+
+TEST(CubicSpline, CubicExtrapolationContinuesPolynomial) {
+  const std::vector<double> x{0, 1, 2};
+  const std::vector<double> y{0.0, 1.0, 2.0};  // straight line
+  cubic_spline s = cubic_spline::natural(x, y);
+  s.set_extrapolation(spline_extrapolation::cubic);
+  EXPECT_NEAR(s(3.0), 3.0, 1e-10);
+  EXPECT_NEAR(s(-1.0), -1.0, 1e-10);
+}
+
+TEST(CubicSpline, TwoKnotsDegradeToLine) {
+  const std::vector<double> x{0, 2};
+  const std::vector<double> y{1.0, 5.0};
+  const cubic_spline s = cubic_spline::natural(x, y);
+  EXPECT_NEAR(s(1.0), 3.0, 1e-12);
+}
+
+TEST(CubicSpline, MinValueFindsInteriorDip) {
+  const std::vector<double> x{0, 1, 2};
+  const std::vector<double> y{1.0, 0.0, 1.0};
+  const cubic_spline s = cubic_spline::natural(x, y);
+  EXPECT_LE(s.min_value(), 0.0 + 1e-9);
+}
+
+TEST(CubicSpline, AccessorsReportConstruction) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  const cubic_spline s = cubic_spline::flat_ends(x, y);
+  EXPECT_DOUBLE_EQ(s.x_min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.x_max(), 3.0);
+  EXPECT_EQ(s.knot_count(), 3u);
+  EXPECT_EQ(s.boundary(), dlm::num::spline_boundary::clamped);
+}
+
+TEST(CubicSpline, SampleEvaluatesAllPoints) {
+  const std::vector<double> x{0, 1, 2};
+  const std::vector<double> y{0.0, 1.0, 4.0};
+  const cubic_spline s = cubic_spline::natural(x, y);
+  const std::vector<double> out = s.sample(std::vector<double>{0.0, 1.0, 2.0});
+  EXPECT_NEAR(out[0], 0.0, 1e-12);
+  EXPECT_NEAR(out[1], 1.0, 1e-12);
+  EXPECT_NEAR(out[2], 4.0, 1e-12);
+}
+
+TEST(CubicSpline, InvalidInputsThrow) {
+  const std::vector<double> one{1.0};
+  EXPECT_THROW((void)cubic_spline::natural(one, one), std::invalid_argument);
+  const std::vector<double> x{1.0, 1.0};  // not strictly increasing
+  const std::vector<double> y{1.0, 2.0};
+  EXPECT_THROW((void)cubic_spline::natural(x, y), std::invalid_argument);
+  const std::vector<double> x2{1.0, 2.0, 3.0};
+  EXPECT_THROW((void)cubic_spline::natural(x2, y), std::invalid_argument);
+}
+
+// Property sweep: interpolation error of smooth functions shrinks ~h^4.
+class SplineConvergence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SplineConvergence, SinInterpolationError) {
+  const std::size_t n = GetParam();
+  std::vector<double> x, y;
+  for (std::size_t i = 0; i <= n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n) * 3.14159;
+    x.push_back(t);
+    y.push_back(std::sin(t));
+  }
+  const cubic_spline s =
+      cubic_spline::clamped(x, y, std::cos(x.front()), std::cos(x.back()));
+  double worst = 0.0;
+  for (double t = x.front(); t <= x.back(); t += 0.001)
+    worst = std::max(worst, std::abs(s(t) - std::sin(t)));
+  const double h = x[1] - x[0];
+  // C = worst / h^4 should be O(1) for cubic splines.
+  EXPECT_LT(worst, 0.05 * h * h * h * h + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(KnotCounts, SplineConvergence,
+                         ::testing::Values(4, 8, 16, 32, 64));
+
+}  // namespace

@@ -1,0 +1,92 @@
+#include "digg/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/digraph.h"
+#include "social/network.h"
+
+namespace {
+
+using namespace dlm::digg;
+namespace social = dlm::social;
+namespace graph = dlm::graph;
+
+social::social_network tiny_net() {
+  graph::digraph_builder b(3);
+  b.add_edge(1, 0);
+  b.add_edge(2, 1);
+  social::social_network_builder nb(b.build(), 2);
+  nb.add_vote(0, 0, 100);
+  nb.add_vote(1, 0, 200);
+  nb.add_vote(2, 1, 50);
+  return nb.build();
+}
+
+TEST(DatasetIo, VotesCsvRoundTrip) {
+  const social::social_network net = tiny_net();
+  std::stringstream stream;
+  write_votes_csv(stream, net);
+  const vote_table table = read_votes_csv(stream);
+  EXPECT_EQ(table.votes.size(), 3u);
+  EXPECT_EQ(table.max_user, 2u);
+  EXPECT_EQ(table.max_story, 1u);
+}
+
+TEST(DatasetIo, VotesCsvFormat) {
+  const social::social_network net = tiny_net();
+  std::stringstream stream;
+  write_votes_csv(stream, net);
+  std::string line;
+  std::getline(stream, line);
+  EXPECT_EQ(line, "timestamp,user,story");
+  std::getline(stream, line);
+  EXPECT_EQ(line, "100,0,0");
+}
+
+TEST(DatasetIo, FriendsCsvRoundTrip) {
+  const social::social_network net = tiny_net();
+  std::stringstream stream;
+  write_friends_csv(stream, net);
+  const graph::digraph g = read_friends_csv(stream, 3);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 1));
+}
+
+TEST(DatasetIo, BadHeadersThrow) {
+  std::stringstream votes("time,user,story\n");
+  EXPECT_THROW((void)read_votes_csv(votes), std::runtime_error);
+  std::stringstream friends("a,b\n");
+  EXPECT_THROW((void)read_friends_csv(friends, 3), std::runtime_error);
+}
+
+TEST(DatasetIo, MalformedRowsThrow) {
+  std::stringstream votes("timestamp,user,story\n100;0;0\n");
+  EXPECT_THROW((void)read_votes_csv(votes), std::runtime_error);
+}
+
+TEST(DatasetIo, FullDirectoryRoundTrip) {
+  const social::social_network net = tiny_net();
+  const std::string dir = ::testing::TempDir() + "/dlm_dataset_io_test";
+  save_dataset(dir, net);
+  const social::social_network loaded = load_dataset(dir);
+
+  EXPECT_EQ(loaded.user_count(), net.user_count());
+  EXPECT_EQ(loaded.vote_count(), net.vote_count());
+  EXPECT_EQ(loaded.followers().edges(), net.followers().edges());
+  for (social::story_id s = 0; s < net.story_count(); ++s) {
+    const auto a = net.votes_for(s);
+    const auto b = loaded.votes_for(s);
+    ASSERT_EQ(a.size(), b.size()) << "story " << s;
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(DatasetIo, MissingDirectoryThrows) {
+  EXPECT_THROW((void)load_dataset("/nonexistent/dlm_nowhere"),
+               std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,127 @@
+#include "graph/digraph.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using dlm::graph::digraph;
+using dlm::graph::digraph_builder;
+using dlm::graph::edge;
+
+TEST(DigraphBuilder, BuildsSimpleGraph) {
+  digraph_builder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(2, 3);
+  const digraph g = b.build();
+  EXPECT_EQ(g.node_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_FALSE(g.has_edge(1, 0));
+}
+
+TEST(DigraphBuilder, DeduplicatesEdges) {
+  digraph_builder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(0, 1);
+  b.add_edge(0, 1);
+  EXPECT_EQ(b.pending_edges(), 3u);
+  EXPECT_EQ(b.build().edge_count(), 1u);
+}
+
+TEST(DigraphBuilder, DropsSelfLoops) {
+  digraph_builder b(2);
+  b.add_edge(1, 1);
+  EXPECT_EQ(b.build().edge_count(), 0u);
+}
+
+TEST(DigraphBuilder, AddBidirectional) {
+  digraph_builder b(2);
+  b.add_bidirectional(0, 1);
+  const digraph g = b.build();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+}
+
+TEST(DigraphBuilder, OutOfRangeThrows) {
+  digraph_builder b(2);
+  EXPECT_THROW(b.add_edge(0, 2), std::out_of_range);
+  EXPECT_THROW(b.add_edge(5, 0), std::out_of_range);
+}
+
+TEST(DigraphBuilder, ReusableAfterBuild) {
+  digraph_builder b(3);
+  b.add_edge(0, 1);
+  const digraph g1 = b.build();
+  b.add_edge(1, 2);
+  const digraph g2 = b.build();
+  EXPECT_EQ(g1.edge_count(), 1u);
+  EXPECT_EQ(g2.edge_count(), 2u);
+}
+
+TEST(Digraph, SuccessorsSortedAndComplete) {
+  digraph_builder b(5);
+  b.add_edge(0, 4);
+  b.add_edge(0, 2);
+  b.add_edge(0, 3);
+  const digraph g = b.build();
+  const auto succ = g.successors(0);
+  ASSERT_EQ(succ.size(), 3u);
+  EXPECT_EQ(succ[0], 2u);
+  EXPECT_EQ(succ[1], 3u);
+  EXPECT_EQ(succ[2], 4u);
+}
+
+TEST(Digraph, PredecessorsSortedAndComplete) {
+  digraph_builder b(5);
+  b.add_edge(4, 0);
+  b.add_edge(2, 0);
+  b.add_edge(3, 0);
+  const digraph g = b.build();
+  const auto pred = g.predecessors(0);
+  ASSERT_EQ(pred.size(), 3u);
+  EXPECT_EQ(pred[0], 2u);
+  EXPECT_EQ(pred[1], 3u);
+  EXPECT_EQ(pred[2], 4u);
+}
+
+TEST(Digraph, DegreesMatchAdjacency) {
+  digraph_builder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(1, 2);
+  const digraph g = b.build();
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.in_degree(2), 2u);
+  EXPECT_EQ(g.out_degree(3), 0u);
+  EXPECT_EQ(g.in_degree(3), 0u);
+}
+
+TEST(Digraph, EdgesListsEverything) {
+  digraph_builder b(3);
+  b.add_edge(2, 0);
+  b.add_edge(0, 1);
+  const std::vector<edge> edges = b.build().edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], (edge{0, 1}));
+  EXPECT_EQ(edges[1], (edge{2, 0}));
+}
+
+TEST(Digraph, AccessorsThrowOnBadNode) {
+  const digraph g(2);
+  EXPECT_THROW((void)g.successors(2), std::out_of_range);
+  EXPECT_THROW((void)g.predecessors(9), std::out_of_range);
+  EXPECT_THROW((void)g.out_degree(2), std::out_of_range);
+  EXPECT_THROW((void)g.in_degree(2), std::out_of_range);
+}
+
+TEST(Digraph, EmptyGraph) {
+  const digraph g(3);
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_TRUE(g.successors(0).empty());
+}
+
+}  // namespace

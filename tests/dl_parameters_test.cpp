@@ -1,0 +1,57 @@
+#include "core/dl_parameters.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using dlm::core::dl_parameters;
+
+TEST(DlParameters, PaperHopsPreset) {
+  const dl_parameters p = dl_parameters::paper_hops(6.0);
+  EXPECT_DOUBLE_EQ(p.d, 0.01);
+  EXPECT_DOUBLE_EQ(p.k, 25.0);
+  EXPECT_DOUBLE_EQ(p.x_min, 1.0);
+  EXPECT_DOUBLE_EQ(p.x_max, 6.0);
+  EXPECT_NEAR(p.r(1.0), 1.65, 1e-12);
+}
+
+TEST(DlParameters, PaperInterestPreset) {
+  const dl_parameters p = dl_parameters::paper_interest();
+  EXPECT_DOUBLE_EQ(p.d, 0.05);
+  EXPECT_DOUBLE_EQ(p.k, 60.0);
+  EXPECT_DOUBLE_EQ(p.x_max, 5.0);
+  EXPECT_NEAR(p.r(1.0), 1.7, 1e-12);
+}
+
+TEST(DlParameters, ValidationAcceptsDefaults) {
+  EXPECT_NO_THROW(dl_parameters{}.validate());
+}
+
+TEST(DlParameters, ValidationRejectsBadValues) {
+  dl_parameters p;
+  p.d = -0.1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.k = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.x_min = 5.0;
+  p.x_max = 5.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(DlParameters, ZeroDiffusionIsAllowed) {
+  dl_parameters p;
+  p.d = 0.0;  // the temporal-only ablation
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(DlParameters, DescribeMentionsEveryKnob) {
+  const dl_parameters p = dl_parameters::paper_hops();
+  const std::string s = p.describe();
+  EXPECT_NE(s.find("d=0.01"), std::string::npos);
+  EXPECT_NE(s.find("K=25"), std::string::npos);
+  EXPECT_NE(s.find("exp_decay"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dl_model.h"
+#include "fit/calibrate.h"
+#include "fit/objective.h"
+
+namespace {
+
+using namespace dlm;
+
+// A synthetic "ground truth" DL model generates the observation window;
+// calibration must recover (or match the fit quality of) its parameters.
+fit::observation_window window_from_model(const core::dl_parameters& truth) {
+  const std::vector<double> initial{1.9, 0.8, 1.1, 0.6, 0.4, 0.3};
+  const core::dl_model model(truth, initial);
+  fit::observation_window window;
+  window.t0 = 1.0;
+  window.initial = initial;
+  window.times = {2.0, 3.0, 4.0, 5.0};
+  window.observed.resize(initial.size());
+  for (double t : window.times) {
+    const std::vector<double> profile = model.predict_profile(t);
+    for (std::size_t i = 0; i < profile.size(); ++i)
+      window.observed[i].push_back(profile[i]);
+  }
+  return window;
+}
+
+TEST(ObservationWindow, ValidationCatchesShapeErrors) {
+  fit::observation_window w;
+  w.initial = {1.0, 2.0};
+  w.times = {2.0};
+  w.observed = {{1.5}, {2.5}};
+  EXPECT_NO_THROW(w.validate());
+
+  fit::observation_window bad = w;
+  bad.times = {0.5};  // not after t0
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  bad = w;
+  bad.observed.pop_back();
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  bad = w;
+  bad.observed[0].push_back(9.0);
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  bad = w;
+  bad.initial = {1.0};
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(DlSse, ZeroForGeneratingParameters) {
+  const core::dl_parameters truth = core::dl_parameters::paper_hops(6.0);
+  const fit::observation_window window = window_from_model(truth);
+  EXPECT_LT(fit::dl_sse(truth, window), 1e-10);
+}
+
+TEST(DlSse, PositiveForWrongParameters) {
+  const core::dl_parameters truth = core::dl_parameters::paper_hops(6.0);
+  const fit::observation_window window = window_from_model(truth);
+  core::dl_parameters wrong = truth;
+  wrong.k = 10.0;
+  EXPECT_GT(fit::dl_sse(wrong, window), 0.1);
+}
+
+TEST(DlSse, InfiniteForInvalidParameters) {
+  const fit::observation_window window =
+      window_from_model(core::dl_parameters::paper_hops(6.0));
+  core::dl_parameters invalid = core::dl_parameters::paper_hops(6.0);
+  invalid.k = -5.0;
+  EXPECT_TRUE(std::isinf(fit::dl_sse(invalid, window)));
+}
+
+TEST(CalibrateDl, RecoversDiffusionAndCapacity) {
+  core::dl_parameters truth = core::dl_parameters::paper_hops(6.0);
+  truth.d = 0.08;
+  truth.k = 20.0;
+  const fit::observation_window window = window_from_model(truth);
+
+  fit::calibration_options options;
+  options.fit_rate = false;  // keep the known r(t); fit (d, K) only
+  options.coarse_steps = 4;
+  options.d_max = 0.3;
+  options.k_min = 5.0;
+  options.k_max = 50.0;
+
+  const fit::calibration_result result =
+      fit::calibrate_dl(window, core::dl_parameters::paper_hops(6.0), options);
+  EXPECT_NEAR(result.params.d, 0.08, 0.02);
+  EXPECT_NEAR(result.params.k, 20.0, 2.0);
+  EXPECT_LT(result.sse, 1e-3);
+  EXPECT_GT(result.evaluations, 10u);
+}
+
+TEST(CalibrateDl, FullRateFitImprovesOnBadStart) {
+  core::dl_parameters truth = core::dl_parameters::paper_hops(6.0);
+  const fit::observation_window window = window_from_model(truth);
+
+  core::dl_parameters bad_start = truth;
+  bad_start.d = 0.2;
+  bad_start.k = 80.0;
+  bad_start.r = core::growth_rate::constant(0.9);
+  const double start_sse = fit::dl_sse(bad_start, window);
+
+  fit::calibration_options options;
+  options.fit_rate = true;
+  options.coarse_steps = 3;
+  const fit::calibration_result result =
+      fit::calibrate_dl(window, bad_start, options);
+  EXPECT_LT(result.sse, start_sse * 0.05);
+}
+
+}  // namespace

@@ -1,0 +1,71 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.h"
+#include "numerics/rng.h"
+
+namespace {
+
+using namespace dlm::graph;
+
+TEST(GraphIo, RoundTripSmallGraph) {
+  digraph_builder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 0);
+  const digraph original = b.build();
+
+  std::stringstream stream;
+  write_edge_list(stream, original);
+  const digraph loaded = read_edge_list(stream);
+
+  EXPECT_EQ(loaded.node_count(), original.node_count());
+  EXPECT_EQ(loaded.edges(), original.edges());
+}
+
+TEST(GraphIo, RoundTripRandomGraph) {
+  dlm::num::rng r(5);
+  const digraph original = erdos_renyi_m(200, 900, r);
+  std::stringstream stream;
+  write_edge_list(stream, original);
+  const digraph loaded = read_edge_list(stream);
+  EXPECT_EQ(loaded.edges(), original.edges());
+}
+
+TEST(GraphIo, EmptyGraphRoundTrip) {
+  const digraph original(7);
+  std::stringstream stream;
+  write_edge_list(stream, original);
+  const digraph loaded = read_edge_list(stream);
+  EXPECT_EQ(loaded.node_count(), 7u);
+  EXPECT_EQ(loaded.edge_count(), 0u);
+}
+
+TEST(GraphIo, BadHeaderThrows) {
+  std::stringstream stream("graph 5\n0 1\n");
+  EXPECT_THROW((void)read_edge_list(stream), std::runtime_error);
+}
+
+TEST(GraphIo, OutOfRangeNodeThrows) {
+  std::stringstream stream("digraph 2\n0 5\n");
+  EXPECT_THROW((void)read_edge_list(stream), std::runtime_error);
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  dlm::num::rng r(6);
+  const digraph original = erdos_renyi_m(50, 120, r);
+  const std::string path = ::testing::TempDir() + "/dlm_graph_io_test.txt";
+  save_edge_list(path, original);
+  const digraph loaded = load_edge_list(path);
+  EXPECT_EQ(loaded.edges(), original.edges());
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW((void)load_edge_list("/nonexistent/definitely_missing.txt"),
+               std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+#include "graph/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/digraph.h"
+
+namespace {
+
+using namespace dlm::graph;
+
+digraph triangle_graph() {
+  digraph_builder b(3);
+  b.add_bidirectional(0, 1);
+  b.add_bidirectional(1, 2);
+  b.add_bidirectional(0, 2);
+  return b.build();
+}
+
+TEST(Metrics, DegreeHistograms) {
+  digraph_builder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(3, 0);
+  const digraph g = b.build();
+  const degree_histogram out = out_degree_histogram(g);
+  EXPECT_EQ(out.at(0), 2u);  // nodes 1, 2
+  EXPECT_EQ(out.at(1), 1u);  // node 3
+  EXPECT_EQ(out.at(2), 1u);  // node 0
+  const degree_histogram in = in_degree_histogram(g);
+  EXPECT_EQ(in.at(1), 3u);  // nodes 0, 1, 2
+  EXPECT_EQ(in.at(0), 1u);  // node 3
+}
+
+TEST(Metrics, MeanDegree) {
+  digraph_builder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  EXPECT_DOUBLE_EQ(mean_degree(b.build()), 0.5);
+  EXPECT_DOUBLE_EQ(mean_degree(digraph(0)), 0.0);
+}
+
+TEST(Metrics, ReciprocityFullAndNone) {
+  EXPECT_DOUBLE_EQ(reciprocity(triangle_graph()), 1.0);
+  digraph_builder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  EXPECT_DOUBLE_EQ(reciprocity(b.build()), 0.0);
+  EXPECT_DOUBLE_EQ(reciprocity(digraph(2)), 0.0);
+}
+
+TEST(Metrics, ReciprocityMixed) {
+  digraph_builder b(3);
+  b.add_bidirectional(0, 1);  // 2 mutual edges
+  b.add_edge(1, 2);           // 1 one-way edge
+  EXPECT_NEAR(reciprocity(b.build()), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, LocalClusteringTriangle) {
+  const digraph g = triangle_graph();
+  EXPECT_DOUBLE_EQ(local_clustering(g, 0), 1.0);
+  EXPECT_DOUBLE_EQ(average_clustering(g), 1.0);
+}
+
+TEST(Metrics, LocalClusteringStarIsZero) {
+  digraph_builder b(4);
+  for (node_id leaf = 1; leaf < 4; ++leaf) b.add_bidirectional(0, leaf);
+  const digraph g = b.build();
+  EXPECT_DOUBLE_EQ(local_clustering(g, 0), 0.0);
+  EXPECT_DOUBLE_EQ(local_clustering(g, 1), 0.0);  // degree < 2
+}
+
+TEST(Metrics, LocalClusteringPartial) {
+  // 0 connected to 1,2,3; only (1,2) linked → C(0) = 1/3.
+  digraph_builder b(4);
+  b.add_bidirectional(0, 1);
+  b.add_bidirectional(0, 2);
+  b.add_bidirectional(0, 3);
+  b.add_bidirectional(1, 2);
+  EXPECT_NEAR(local_clustering(b.build(), 0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, EdgeDensity) {
+  const digraph g = triangle_graph();  // 6 of 6 possible directed edges
+  EXPECT_DOUBLE_EQ(edge_density(g), 1.0);
+  EXPECT_DOUBLE_EQ(edge_density(digraph(1)), 0.0);
+}
+
+TEST(Metrics, DirectedTriangleCount) {
+  // 0→1→2→0 is one directed 3-cycle.
+  digraph_builder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  EXPECT_EQ(directed_triangle_count(b.build()), 1u);
+  // The full bidirectional triangle has two directed 3-cycles.
+  EXPECT_EQ(directed_triangle_count(triangle_graph()), 2u);
+  // A DAG triangle (0→1, 0→2, 1→2) has none.
+  digraph_builder dag(3);
+  dag.add_edge(0, 1);
+  dag.add_edge(0, 2);
+  dag.add_edge(1, 2);
+  EXPECT_EQ(directed_triangle_count(dag.build()), 0u);
+}
+
+}  // namespace

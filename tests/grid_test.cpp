@@ -1,0 +1,89 @@
+#include "numerics/grid.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using dlm::num::linspace;
+using dlm::num::uniform_grid;
+
+TEST(UniformGrid, BasicProperties) {
+  const uniform_grid g(1.0, 5.0, 5);
+  EXPECT_DOUBLE_EQ(g.lower(), 1.0);
+  EXPECT_DOUBLE_EQ(g.upper(), 5.0);
+  EXPECT_EQ(g.points(), 5u);
+  EXPECT_DOUBLE_EQ(g.spacing(), 1.0);
+}
+
+TEST(UniformGrid, EndpointsExact) {
+  const uniform_grid g(1.0, 6.0, 101);
+  EXPECT_DOUBLE_EQ(g.x(0), 1.0);
+  EXPECT_DOUBLE_EQ(g.x(100), 6.0);
+}
+
+TEST(UniformGrid, IntegerNodesLandExactly) {
+  const uniform_grid g(1.0, 6.0, 101);  // 20 points per unit
+  for (int k = 1; k <= 6; ++k) {
+    const auto idx = static_cast<std::size_t>((k - 1) * 20);
+    EXPECT_NEAR(g.x(idx), static_cast<double>(k), 1e-12);
+  }
+}
+
+TEST(UniformGrid, NearestIndex) {
+  const uniform_grid g(0.0, 10.0, 11);
+  EXPECT_EQ(g.nearest_index(3.2), 3u);
+  EXPECT_EQ(g.nearest_index(3.6), 4u);
+  EXPECT_EQ(g.nearest_index(-5.0), 0u);
+  EXPECT_EQ(g.nearest_index(50.0), 10u);
+}
+
+TEST(UniformGrid, Contains) {
+  const uniform_grid g(1.0, 5.0, 5);
+  EXPECT_TRUE(g.contains(1.0));
+  EXPECT_TRUE(g.contains(5.0));
+  EXPECT_TRUE(g.contains(3.3));
+  EXPECT_FALSE(g.contains(0.9));
+  EXPECT_FALSE(g.contains(5.1));
+}
+
+TEST(UniformGrid, CoordinatesVector) {
+  const uniform_grid g(0.0, 1.0, 3);
+  const std::vector<double> xs = g.coordinates();
+  ASSERT_EQ(xs.size(), 3u);
+  EXPECT_DOUBLE_EQ(xs[0], 0.0);
+  EXPECT_DOUBLE_EQ(xs[1], 0.5);
+  EXPECT_DOUBLE_EQ(xs[2], 1.0);
+}
+
+TEST(UniformGrid, InvalidArgumentsThrow) {
+  EXPECT_THROW(uniform_grid(0.0, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(uniform_grid(1.0, 1.0, 5), std::invalid_argument);
+  EXPECT_THROW(uniform_grid(2.0, 1.0, 5), std::invalid_argument);
+}
+
+TEST(Linspace, BasicSequence) {
+  const std::vector<double> xs = linspace(0.0, 1.0, 5);
+  ASSERT_EQ(xs.size(), 5u);
+  EXPECT_DOUBLE_EQ(xs[0], 0.0);
+  EXPECT_DOUBLE_EQ(xs[2], 0.5);
+  EXPECT_DOUBLE_EQ(xs[4], 1.0);
+}
+
+TEST(Linspace, SinglePoint) {
+  const std::vector<double> xs = linspace(3.0, 9.0, 1);
+  ASSERT_EQ(xs.size(), 1u);
+  EXPECT_DOUBLE_EQ(xs[0], 3.0);
+}
+
+TEST(Linspace, DescendingRange) {
+  const std::vector<double> xs = linspace(1.0, 0.0, 3);
+  EXPECT_DOUBLE_EQ(xs[0], 1.0);
+  EXPECT_DOUBLE_EQ(xs[1], 0.5);
+  EXPECT_DOUBLE_EQ(xs[2], 0.0);
+}
+
+TEST(Linspace, ZeroCountThrows) {
+  EXPECT_THROW((void)linspace(0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,86 @@
+#include "models/heat_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace {
+
+using dlm::models::heat_neumann_series;
+using dlm::models::profile_mean;
+
+TEST(HeatModel, ConstantProfileIsInvariant) {
+  const std::vector<double> phi(21, 4.2);
+  const std::vector<double> out = heat_neumann_series(phi, 0.0, 1.0, 0.1, 5.0);
+  for (double v : out) EXPECT_NEAR(v, 4.2, 1e-9);
+}
+
+TEST(HeatModel, ZeroDiffusionFreezesProfile) {
+  // A finite combination of Neumann eigenmodes is represented exactly, so
+  // with d = 0 the series returns the input.
+  const double length = 4.0;
+  std::vector<double> phi;
+  for (int i = 0; i <= 100; ++i) {
+    const double x = length * i / 100.0;
+    phi.push_back(2.0 + std::cos(std::numbers::pi * x / length) +
+                  0.5 * std::cos(3.0 * std::numbers::pi * x / length));
+  }
+  const std::vector<double> out =
+      heat_neumann_series(phi, 0.0, length, 0.0, 10.0, 40);
+  for (std::size_t i = 0; i < phi.size(); ++i)
+    EXPECT_NEAR(out[i], phi[i], 1e-3);
+}
+
+TEST(HeatModel, CosineModeDecaysAtExactRate) {
+  // φ(x) = cos(πx/L) decays as e^{−d (π/L)^2 t} under Neumann conditions.
+  const double length = 2.0;
+  const double d = 0.05;
+  const double t = 3.0;
+  const std::size_t n = 101;
+  std::vector<double> phi(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = length * static_cast<double>(i) / static_cast<double>(n - 1);
+    phi[i] = std::cos(std::numbers::pi * x / length);
+  }
+  const std::vector<double> out = heat_neumann_series(phi, 0.0, length, d, t);
+  const double k1 = std::numbers::pi / length;
+  const double decay = std::exp(-d * k1 * k1 * t);
+  for (std::size_t i = 0; i < n; i += 10) {
+    const double x = length * static_cast<double>(i) / static_cast<double>(n - 1);
+    EXPECT_NEAR(out[i], decay * std::cos(k1 * x), 1e-3) << "node " << i;
+  }
+}
+
+TEST(HeatModel, MassIsConserved) {
+  std::vector<double> phi;
+  for (int i = 0; i <= 50; ++i) phi.push_back(i < 10 ? 5.0 : 0.5);
+  const double before = profile_mean(phi);
+  const std::vector<double> after_profile =
+      heat_neumann_series(phi, 0.0, 5.0, 0.2, 4.0, 128);
+  EXPECT_NEAR(profile_mean(after_profile), before, 0.02);
+}
+
+TEST(HeatModel, LongTimeLimitIsUniform) {
+  std::vector<double> phi;
+  for (int i = 0; i <= 30; ++i) phi.push_back(i == 0 ? 10.0 : 0.0);
+  const double mean = profile_mean(phi);
+  const std::vector<double> out =
+      heat_neumann_series(phi, 0.0, 3.0, 0.5, 1000.0);
+  for (double v : out) EXPECT_NEAR(v, mean, 0.05);
+}
+
+TEST(HeatModel, InvalidArgumentsThrow) {
+  const std::vector<double> phi{1.0, 2.0, 3.0};
+  EXPECT_THROW((void)heat_neumann_series({1.0}, 0.0, 1.0, 0.1, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)heat_neumann_series(phi, 1.0, 1.0, 0.1, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)heat_neumann_series(phi, 0.0, 1.0, -0.1, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)heat_neumann_series(phi, 0.0, 1.0, 0.1, -1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)profile_mean({1.0}), std::invalid_argument);
+}
+
+}  // namespace

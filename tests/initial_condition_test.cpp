@@ -1,0 +1,81 @@
+#include "core/initial_condition.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using dlm::core::initial_condition;
+
+const std::vector<double> observed{1.9, 0.8, 1.1, 0.6, 0.4};
+
+TEST(InitialCondition, InterpolatesObservations) {
+  const initial_condition phi(observed);
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    EXPECT_NEAR(phi(static_cast<double>(i + 1)), observed[i], 1e-12);
+  }
+}
+
+TEST(InitialCondition, FlatEndsPerPaperRequirementTwo) {
+  // φ'(l) = φ'(L) = 0 (paper §II.D requirement ii).
+  const initial_condition phi(observed);
+  EXPECT_NEAR(phi.derivative(1.0), 0.0, 1e-10);
+  EXPECT_NEAR(phi.derivative(5.0), 0.0, 1e-10);
+}
+
+TEST(InitialCondition, FlatExtensionOutsideDomain) {
+  const initial_condition phi(observed);
+  EXPECT_DOUBLE_EQ(phi(0.0), observed.front());
+  EXPECT_DOUBLE_EQ(phi(10.0), observed.back());
+  EXPECT_DOUBLE_EQ(phi.derivative(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(phi.second_derivative(7.0), 0.0);
+}
+
+TEST(InitialCondition, ExplicitDistances) {
+  const std::vector<double> xs{1.0, 2.5, 4.0};
+  const std::vector<double> ys{3.0, 1.0, 2.0};
+  const initial_condition phi(xs, ys);
+  EXPECT_DOUBLE_EQ(phi.x_min(), 1.0);
+  EXPECT_DOUBLE_EQ(phi.x_max(), 4.0);
+  EXPECT_NEAR(phi(2.5), 1.0, 1e-12);
+}
+
+TEST(InitialCondition, SampleCoversRange) {
+  const initial_condition phi(observed);
+  const std::vector<double> samples = phi.sample(1.0, 5.0, 81);
+  ASSERT_EQ(samples.size(), 81u);
+  EXPECT_NEAR(samples.front(), observed.front(), 1e-12);
+  EXPECT_NEAR(samples.back(), observed.back(), 1e-12);
+}
+
+TEST(InitialCondition, TwiceContinuouslyDifferentiable) {
+  // Paper §II.D requirement i: φ is C².  Check continuity of φ'' across
+  // interior knots.
+  const initial_condition phi(observed);
+  const double h = 1e-7;
+  for (double knot : {2.0, 3.0, 4.0}) {
+    EXPECT_NEAR(phi.second_derivative(knot - h),
+                phi.second_derivative(knot + h), 1e-4);
+  }
+}
+
+TEST(InitialCondition, MinValueDetectsUndershoot) {
+  // A spike next to a zero can pull the spline slightly negative; the
+  // min_value diagnostic must report it.
+  const std::vector<double> spiky{0.0, 5.0, 0.0, 5.0, 0.0};
+  const initial_condition phi(spiky);
+  EXPECT_LT(phi.min_value(), 0.1);
+}
+
+TEST(InitialCondition, InvalidInputsThrow) {
+  EXPECT_THROW(initial_condition(std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(initial_condition(std::vector<double>{1.0, -0.5}),
+               std::invalid_argument);
+  const std::vector<double> xs{1.0, 2.0};
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  EXPECT_THROW(initial_condition(xs, ys), std::invalid_argument);
+}
+
+}  // namespace

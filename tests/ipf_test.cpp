@@ -1,0 +1,113 @@
+#include "digg/ipf.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using dlm::digg::fit_vote_probabilities;
+using dlm::digg::ipf_result;
+
+using table = std::vector<std::vector<std::size_t>>;
+
+double expected_row(const ipf_result& res, const table& cells, std::size_t h) {
+  double acc = 0.0;
+  for (std::size_t g = 0; g < cells[h].size(); ++g)
+    acc += res.probability[h][g] * static_cast<double>(cells[h][g]);
+  return acc;
+}
+
+double expected_col(const ipf_result& res, const table& cells, std::size_t g) {
+  double acc = 0.0;
+  for (std::size_t h = 0; h < cells.size(); ++h)
+    acc += res.probability[h][g] * static_cast<double>(cells[h][g]);
+  return acc;
+}
+
+TEST(Ipf, MatchesBothMarginalsWhenFeasible) {
+  const table cells{{100, 200}, {300, 400}};
+  const std::vector<double> rows{30.0, 70.0};
+  const std::vector<double> cols{40.0, 60.0};
+  const ipf_result res = fit_vote_probabilities(cells, rows, cols);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(expected_row(res, cells, 0), 30.0, 1e-6);
+  EXPECT_NEAR(expected_row(res, cells, 1), 70.0, 1e-6);
+  EXPECT_NEAR(expected_col(res, cells, 0), 40.0, 1e-6);
+  EXPECT_NEAR(expected_col(res, cells, 1), 60.0, 1e-6);
+}
+
+TEST(Ipf, ProbabilitiesStayInUnitInterval) {
+  const table cells{{10, 1000}, {1000, 10}};
+  const std::vector<double> rows{500.0, 500.0};
+  const std::vector<double> cols{500.0, 500.0};
+  const ipf_result res = fit_vote_probabilities(cells, rows, cols);
+  for (const auto& row : res.probability) {
+    for (double p : row) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+}
+
+TEST(Ipf, ColumnTargetsRescaledToRowTotal) {
+  const table cells{{1000}, {1000}};
+  const std::vector<double> rows{100.0, 100.0};
+  const std::vector<double> cols{400.0};  // 2x the row total
+  const ipf_result res = fit_vote_probabilities(cells, rows, cols);
+  // Rows win: the single column carries the row total of 200, not 400.
+  EXPECT_NEAR(expected_col(res, cells, 0), 200.0, 1e-6);
+}
+
+TEST(Ipf, ZeroRowTargetZeroesProbabilities) {
+  const table cells{{50, 50}, {50, 50}};
+  const std::vector<double> rows{0.0, 40.0};
+  const std::vector<double> cols{20.0, 20.0};
+  const ipf_result res = fit_vote_probabilities(cells, rows, cols);
+  EXPECT_NEAR(expected_row(res, cells, 0), 0.0, 1e-9);
+}
+
+TEST(Ipf, InfeasibleClampReportsError) {
+  // Column demands 90 voters from a 50-user column: impossible.
+  const table cells{{50, 1000}};
+  const std::vector<double> rows{200.0};
+  const std::vector<double> cols{90.0, 110.0};
+  const ipf_result res = fit_vote_probabilities(cells, rows, cols,
+                                                /*max_iterations=*/50);
+  EXPECT_GT(res.max_marginal_error, 0.01);
+}
+
+TEST(Ipf, ValidationErrors) {
+  const table cells{{10, 10}};
+  EXPECT_THROW(
+      (void)fit_vote_probabilities({}, {1.0}, {1.0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)fit_vote_probabilities(cells, {1.0, 2.0}, {1.0, 1.0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)fit_vote_probabilities(cells, {-1.0}, {1.0, 1.0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)fit_vote_probabilities(cells, {0.0}, {0.0, 0.0}),
+      std::invalid_argument);
+  // Ragged table.
+  const table ragged{{10, 10}, {10}};
+  EXPECT_THROW(
+      (void)fit_vote_probabilities(ragged, {1.0, 1.0}, {1.0, 1.0}),
+      std::invalid_argument);
+  // Irreconcilable totals beyond tolerance.
+  EXPECT_THROW(
+      (void)fit_vote_probabilities(cells, {1.0}, {50.0, 50.0},
+                                   200, 1e-9, /*total_tolerance=*/0.5),
+      std::invalid_argument);
+}
+
+TEST(Ipf, EmptyCellsAreIgnored) {
+  const table cells{{0, 100}, {100, 0}};
+  const std::vector<double> rows{50.0, 50.0};
+  const std::vector<double> cols{50.0, 50.0};
+  const ipf_result res = fit_vote_probabilities(cells, rows, cols);
+  EXPECT_NEAR(expected_row(res, cells, 0), 50.0, 1e-6);
+  EXPECT_NEAR(expected_col(res, cells, 0), 50.0, 1e-6);
+}
+
+}  // namespace

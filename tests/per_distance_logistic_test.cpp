@@ -1,0 +1,81 @@
+#include "models/per_distance_logistic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/logistic.h"
+
+namespace {
+
+using namespace dlm::models;
+
+TEST(PerDistanceLogistic, MatchesClosedFormWithConstantRate) {
+  const std::vector<double> initial{1.0, 2.0, 0.5};
+  const double k = 25.0;
+  const per_distance_logistic model(initial, 1.0, k,
+                                    [](double) { return 0.6; });
+  const std::vector<double> at4 = model.predict(4.0);
+  for (std::size_t x = 0; x < initial.size(); ++x) {
+    EXPECT_NEAR(at4[x], logistic_solution(initial[x], 0.6, k, 1.0, 4.0), 1e-9)
+        << "group " << x;
+  }
+}
+
+TEST(PerDistanceLogistic, PredictAtT0ReturnsInitial) {
+  const std::vector<double> initial{1.5, 3.0};
+  const per_distance_logistic model(initial, 2.0, 10.0,
+                                    [](double) { return 1.0; });
+  const std::vector<double> out = model.predict(2.0);
+  EXPECT_DOUBLE_EQ(out[0], 1.5);
+  EXPECT_DOUBLE_EQ(out[1], 3.0);
+}
+
+TEST(PerDistanceLogistic, DecayingRateSlowsLaterGrowth) {
+  const std::vector<double> initial{1.0};
+  const per_distance_logistic decaying(
+      initial, 1.0, 100.0,
+      [](double t) { return 1.4 * std::exp(-1.5 * (t - 1.0)) + 0.25; });
+  const double g12 = decaying.predict(2.0)[0] / 1.0;
+  const double g23 = decaying.predict(3.0)[0] / decaying.predict(2.0)[0];
+  EXPECT_GT(g12, g23);  // growth factor shrinks hour over hour
+}
+
+TEST(PerDistanceLogistic, GroupsNeverInteract) {
+  // Unlike the DL model there is no diffusion: a zero group stays zero.
+  const std::vector<double> initial{5.0, 0.0, 5.0};
+  const per_distance_logistic model(initial, 1.0, 25.0,
+                                    [](double) { return 2.0; });
+  EXPECT_DOUBLE_EQ(model.predict(10.0)[1], 0.0);
+}
+
+TEST(PerDistanceLogistic, RespectsCapacity) {
+  const std::vector<double> initial{24.0};
+  const per_distance_logistic model(initial, 1.0, 25.0,
+                                    [](double) { return 3.0; });
+  EXPECT_LE(model.predict(50.0)[0], 25.0 + 1e-9);
+}
+
+TEST(PerDistanceLogistic, Accessors) {
+  const per_distance_logistic model({1.0, 2.0}, 1.5, 30.0,
+                                    [](double) { return 0.5; });
+  EXPECT_DOUBLE_EQ(model.t0(), 1.5);
+  EXPECT_DOUBLE_EQ(model.capacity(), 30.0);
+  EXPECT_EQ(model.groups(), 2u);
+}
+
+TEST(PerDistanceLogistic, InvalidArgumentsThrow) {
+  EXPECT_THROW(per_distance_logistic({}, 1.0, 25.0, [](double) { return 1.0; }),
+               std::invalid_argument);
+  EXPECT_THROW(
+      per_distance_logistic({1.0}, 1.0, 0.0, [](double) { return 1.0; }),
+      std::invalid_argument);
+  EXPECT_THROW(per_distance_logistic({1.0}, 1.0, 25.0, nullptr),
+               std::invalid_argument);
+  const per_distance_logistic model({1.0}, 2.0, 25.0,
+                                    [](double) { return 1.0; });
+  EXPECT_THROW((void)model.predict(1.0), std::invalid_argument);
+  EXPECT_THROW((void)model.predict(3.0, 0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,97 @@
+// Regression guards on the story presets and scenario configurations: the
+// figure/table benches depend on these calibrated constants, so changes
+// must be deliberate.
+
+#include "digg/presets.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace dlm::digg;
+
+TEST(Presets, FourStoriesInPaperOrder) {
+  const std::vector<story_preset> stories = paper_stories();
+  ASSERT_EQ(stories.size(), 4u);
+  EXPECT_EQ(stories[0].name, "s1");
+  EXPECT_EQ(stories[3].name, "s4");
+  EXPECT_EQ(stories[0].paper_votes, 24099u);
+  EXPECT_EQ(stories[1].paper_votes, 8521u);
+  EXPECT_EQ(stories[2].paper_votes, 5988u);
+  EXPECT_EQ(stories[3].paper_votes, 1618u);
+}
+
+TEST(Presets, S1EncodesPaperSurfaces) {
+  const story_preset s1 = story_s1();
+  ASSERT_EQ(s1.hop_groups.size(), 10u);  // distances 1..10 (Fig. 2)
+  // Fig. 3a plateau levels.
+  EXPECT_NEAR(s1.hop_groups[0].saturation, 18.5, 1e-9);
+  // The hop-3 > hop-2 inversion is in the targets.
+  EXPECT_GT(s1.hop_groups[2].saturation, s1.hop_groups[1].saturation);
+  // Paper Eq. 7 rate family.
+  EXPECT_NEAR(s1.hop_surface.rate.a, 1.4, 1e-12);
+  EXPECT_NEAR(s1.hop_surface.rate.b, 1.5, 1e-12);
+  EXPECT_NEAR(s1.hop_surface.rate.c, 0.25, 1e-12);
+  EXPECT_NEAR(s1.hop_surface.k_model, 25.0, 1e-12);
+  // Interest side: Fig. 5a plateau + the group-5 anomaly.
+  ASSERT_EQ(s1.interest_groups.size(), 5u);
+  EXPECT_NEAR(s1.interest_groups[0].saturation, 60.0, 1e-9);
+  EXPECT_LT(s1.interest_groups[4].clock_power, 0.9);
+  EXPECT_NEAR(s1.interest_surface.k_model, 60.0, 1e-12);
+}
+
+TEST(Presets, StoryOrderingEncoded) {
+  const std::vector<story_preset> stories = paper_stories();
+  // Popularity ordering: plateau densities strictly decrease s1..s4.
+  for (std::size_t s = 1; s < stories.size(); ++s) {
+    EXPECT_GT(stories[s - 1].hop_groups[0].saturation,
+              stories[s].hop_groups[0].saturation);
+  }
+  // Slower stories have slower clocks (smaller rate floor c).
+  EXPECT_GT(stories[0].hop_surface.rate.c, stories[3].hop_surface.rate.c);
+}
+
+TEST(Presets, S4DecreasesMonotonicallyWithHops) {
+  // Fig. 3d: the least popular story shows no inversion.
+  const story_preset s4 = story_s4();
+  for (std::size_t x = 1; x < 5; ++x) {
+    EXPECT_LT(s4.hop_groups[x].saturation, s4.hop_groups[x - 1].saturation);
+  }
+}
+
+TEST(Presets, HopTailsDecayGeometrically) {
+  for (const story_preset& preset : paper_stories()) {
+    for (std::size_t x = 5; x < preset.hop_groups.size(); ++x) {
+      EXPECT_LT(preset.hop_groups[x].saturation,
+                preset.hop_groups[x - 1].saturation);
+    }
+  }
+}
+
+TEST(Scenarios, DefaultsAreConsistent) {
+  const scenario_config def;
+  EXPECT_EQ(def.horizon_hours, 50);       // the paper tracks 50 hours
+  EXPECT_EQ(def.interest_groups, 5u);     // five interest bins
+  EXPECT_EQ(def.max_hops, 10);            // Fig. 2 reaches hop 10
+  EXPECT_EQ(def.stories.size(), 4u);
+  EXPECT_EQ(def.seed, 20090601u);         // June 2009 collection month
+
+  const scenario_config test = test_scale_scenario();
+  EXPECT_LT(test.graph.users, def.graph.users);
+  const scenario_config paper = paper_scale_scenario();
+  EXPECT_EQ(paper.graph.users, 139409u);  // the crawl's voter population
+}
+
+TEST(Scenarios, InitiatorRanksInsideCelebrityPool) {
+  // Every flagship initiator must sit inside the elite clique at every
+  // scenario scale, or its Fig. 2 hop distribution loses the hop-3 peak.
+  for (const scenario_config& cfg :
+       {scenario_config{}, test_scale_scenario(), paper_scale_scenario()}) {
+    for (const story_preset& preset : cfg.stories) {
+      EXPECT_LT(preset.initiator_rank, cfg.graph.celebrity_count)
+          << preset.name;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,84 @@
+#include "core/properties.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dl_model.h"
+
+namespace {
+
+using namespace dlm::core;
+
+const std::vector<double> observed{1.9, 0.8, 1.1, 0.6, 0.4, 0.3};
+
+TEST(CheckBounds, AcceptsSolutionWithinBand) {
+  const dl_model model(dl_parameters::paper_hops(6.0), observed);
+  const bounds_report report = check_bounds(model.solution(), 25.0);
+  EXPECT_TRUE(report.within);
+  EXPECT_GE(report.min_value, 0.0);
+  EXPECT_LE(report.max_value, 25.0 + 1e-9);
+}
+
+TEST(CheckBounds, FlagsExceededCapacity) {
+  const dl_model model(dl_parameters::paper_hops(6.0), observed, 1.0, 30.0);
+  // Against a tighter artificial cap the same solution violates bounds.
+  const bounds_report report = check_bounds(model.solution(), 5.0);
+  EXPECT_FALSE(report.within);
+}
+
+TEST(CheckMonotonicity, GrowingSolutionPasses) {
+  const dl_model model(dl_parameters::paper_hops(6.0), observed);
+  const monotonicity_report report = check_monotonicity(model.solution());
+  EXPECT_TRUE(report.non_decreasing);
+  EXPECT_GE(report.worst_increment, 0.0);
+}
+
+TEST(CheckMonotonicity, DetectsDecay) {
+  // Pure diffusion redistributes: the peak node decreases over time.
+  dl_parameters params = dl_parameters::paper_hops(6.0);
+  params.r = growth_rate::constant(0.0);
+  params.d = 0.1;
+  const dl_model model(params, observed);
+  const monotonicity_report report = check_monotonicity(model.solution());
+  EXPECT_FALSE(report.non_decreasing);
+  EXPECT_LT(report.worst_increment, 0.0);
+}
+
+TEST(LowerSolutionMargin, PositiveForPaperSetup) {
+  // The paper argues φ from hour-1 Digg data is a lower solution when K is
+  // large and d ≪ r (§II.D); the margin must come out non-negative.
+  const initial_condition phi(observed);
+  const double margin =
+      lower_solution_margin(phi, dl_parameters::paper_hops(6.0));
+  EXPECT_GE(margin, 0.0);
+}
+
+TEST(LowerSolutionMargin, NegativeWhenDiffusionDominates) {
+  // Huge d with a concave bump: dφ'' < 0 outweighs the growth term.
+  const std::vector<double> bump{0.1, 0.1, 8.0, 0.1, 0.1, 0.1};
+  const initial_condition phi(bump);
+  dl_parameters params = dl_parameters::paper_hops(6.0);
+  params.d = 50.0;
+  params.r = growth_rate::constant(0.01);
+  EXPECT_LT(lower_solution_margin(phi, params), 0.0);
+}
+
+TEST(LowerSolutionMargin, ScalesWithGrowthRate) {
+  const initial_condition phi(observed);
+  dl_parameters slow = dl_parameters::paper_hops(6.0);
+  slow.r = growth_rate::constant(0.1);
+  dl_parameters fast = dl_parameters::paper_hops(6.0);
+  fast.r = growth_rate::constant(2.0);
+  EXPECT_GT(lower_solution_margin(phi, fast),
+            lower_solution_margin(phi, slow));
+}
+
+TEST(LowerSolutionMarginPredictsMonotonicity, EndToEnd) {
+  // The theoretical chain: margin ≥ 0 ⟹ strictly increasing solution.
+  const initial_condition phi(observed);
+  const dl_parameters params = dl_parameters::paper_hops(6.0);
+  ASSERT_GE(lower_solution_margin(phi, params), 0.0);
+  const dl_model model(params, observed);
+  EXPECT_TRUE(check_monotonicity(model.solution()).non_decreasing);
+}
+
+}  // namespace

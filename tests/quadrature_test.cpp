@@ -1,0 +1,70 @@
+#include "numerics/quadrature.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+using dlm::num::simpson;
+using dlm::num::trapezoid;
+using dlm::num::trapezoid_uniform;
+
+TEST(TrapezoidUniform, ExactForLinear) {
+  // f(x) = 2x on [0, 1] with 11 samples: exact for linear functions.
+  std::vector<double> y;
+  for (int i = 0; i <= 10; ++i) y.push_back(2.0 * i / 10.0);
+  EXPECT_NEAR(trapezoid_uniform(y, 0.1), 1.0, 1e-12);
+}
+
+TEST(TrapezoidUniform, ConstantFunction) {
+  const std::vector<double> y(5, 3.0);
+  EXPECT_NEAR(trapezoid_uniform(y, 0.25), 3.0, 1e-12);
+}
+
+TEST(TrapezoidUniform, TooFewSamplesThrows) {
+  EXPECT_THROW((void)trapezoid_uniform(std::vector<double>{1.0}, 0.1),
+               std::invalid_argument);
+}
+
+TEST(Trapezoid, NonUniformAbscissae) {
+  // ∫ x dx on [0, 2] = 2, exact for the trapezoid rule on any partition.
+  const std::vector<double> x{0.0, 0.3, 1.1, 2.0};
+  const std::vector<double> y{0.0, 0.3, 1.1, 2.0};
+  EXPECT_NEAR(trapezoid(x, y), 2.0, 1e-12);
+}
+
+TEST(Trapezoid, ErrorsOnBadInput) {
+  const std::vector<double> x{0.0, 1.0};
+  EXPECT_THROW((void)trapezoid(x, std::vector<double>{1.0}),
+               std::invalid_argument);
+  const std::vector<double> bad_x{1.0, 1.0};
+  EXPECT_THROW((void)trapezoid(bad_x, std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(Simpson, ExactForCubics) {
+  const auto f = [](double x) { return x * x * x - x + 2.0; };
+  // ∫_0^2 = [x^4/4 - x^2/2 + 2x] = 4 - 2 + 4 = 6.
+  EXPECT_NEAR(simpson(f, 0.0, 2.0, 2), 6.0, 1e-12);
+}
+
+TEST(Simpson, SinIntegral) {
+  // Composite-Simpson error bound: (b−a)·h^4·max|f''''|/180 ≈ 1e-7 here.
+  EXPECT_NEAR(simpson([](double x) { return std::sin(x); }, 0.0, 3.14159265358979,
+                      64),
+              2.0, 1e-6);
+}
+
+TEST(Simpson, OddSubintervalCountIsRoundedUp) {
+  const auto f = [](double x) { return x; };
+  EXPECT_NEAR(simpson(f, 0.0, 1.0, 3), 0.5, 1e-12);
+}
+
+TEST(Simpson, InvalidRangeThrows) {
+  EXPECT_THROW((void)simpson([](double) { return 1.0; }, 1.0, 1.0, 4),
+               std::invalid_argument);
+}
+
+}  // namespace

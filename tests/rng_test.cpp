@@ -1,0 +1,160 @@
+#include "numerics/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace {
+
+using dlm::num::rng;
+
+TEST(Rng, DeterministicForSameSeed) {
+  rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformRange) {
+  rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+  EXPECT_THROW((void)r.uniform(1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, IndexAndIntegerBounds) {
+  rng r(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.index(7), 7u);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.integer(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+  EXPECT_THROW((void)r.index(0), std::invalid_argument);
+  EXPECT_THROW((void)r.integer(3, 2), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliEdgeProbabilities) {
+  rng r(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+  // Out-of-range p is clamped rather than UB.
+  EXPECT_TRUE(r.bernoulli(2.0));
+  EXPECT_FALSE(r.bernoulli(-1.0));
+}
+
+TEST(Rng, BernoulliFrequency) {
+  rng r(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  rng r(17);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal(2.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(Rng, ExponentialMeanAndValidation) {
+  rng r(19);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+  EXPECT_THROW((void)r.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, PoissonMeanAndEdges) {
+  rng r(23);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(r.poisson(4.5));
+  EXPECT_NEAR(sum / n, 4.5, 0.15);
+  EXPECT_EQ(r.poisson(0.0), 0u);
+  EXPECT_THROW((void)r.poisson(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, ParetoBoundsAndTail) {
+  rng r(29);
+  int above_double = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.pareto(1.0, 1.5);
+    EXPECT_GE(v, 1.0);
+    if (v > 2.0) ++above_double;
+  }
+  // P(X > 2) = 2^{-1.5} ≈ 0.3536.
+  EXPECT_NEAR(static_cast<double>(above_double) / n, 0.3536, 0.02);
+  EXPECT_THROW((void)r.pareto(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, WeightedIndexFrequencies) {
+  rng r(31);
+  const std::vector<double> weights{1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[r.weighted_index(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+  EXPECT_THROW((void)r.weighted_index(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)r.weighted_index(std::vector<double>{-1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(Rng, SampleWithoutReplacementProperties) {
+  rng r(37);
+  // Small-k path (rejection).
+  const auto few = r.sample_without_replacement(1000, 10);
+  EXPECT_EQ(std::set<std::size_t>(few.begin(), few.end()).size(), 10u);
+  for (std::size_t v : few) EXPECT_LT(v, 1000u);
+  // Large-k path (shuffle).
+  const auto many = r.sample_without_replacement(20, 18);
+  EXPECT_EQ(std::set<std::size_t>(many.begin(), many.end()).size(), 18u);
+  // Full selection.
+  const auto all = r.sample_without_replacement(5, 5);
+  EXPECT_EQ(std::set<std::size_t>(all.begin(), all.end()).size(), 5u);
+  EXPECT_THROW((void)r.sample_without_replacement(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  rng r(41);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> copy = items;
+  r.shuffle(items);
+  std::sort(items.begin(), items.end());
+  EXPECT_EQ(items, copy);
+}
+
+}  // namespace

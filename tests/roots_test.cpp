@@ -1,0 +1,86 @@
+#include "numerics/roots.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using dlm::num::bisect;
+using dlm::num::newton;
+using dlm::num::newton_bisect;
+
+TEST(Bisect, FindsSqrtTwo) {
+  const auto res = bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.x, std::sqrt(2.0), 1e-10);
+}
+
+TEST(Bisect, ExactEndpointRoot) {
+  const auto res = bisect([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_TRUE(res.converged);
+  EXPECT_DOUBLE_EQ(res.x, 0.0);
+}
+
+TEST(Bisect, NoSignChangeThrows) {
+  EXPECT_THROW((void)bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Newton, QuadraticConvergence) {
+  const auto res = newton([](double x) { return x * x - 2.0; },
+                          [](double x) { return 2.0 * x; }, 1.0);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.x, std::sqrt(2.0), 1e-12);
+  EXPECT_LT(res.iterations, 10);
+}
+
+TEST(Newton, TranscendentalRoot) {
+  // x = cos(x) near 0.739.
+  const auto res = newton([](double x) { return x - std::cos(x); },
+                          [](double x) { return 1.0 + std::sin(x); }, 0.5);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.x, 0.7390851332151607, 1e-10);
+}
+
+TEST(Newton, ReportsNonConvergence) {
+  // f(x) = x^(1/3) cycles for plain Newton from x=1.
+  const auto res = newton(
+      [](double x) { return std::cbrt(x); },
+      [](double x) { return 1.0 / (3.0 * std::pow(std::abs(x), 2.0 / 3.0) + 1e-300); },
+      1.0, 1e-14, 12);
+  EXPECT_FALSE(res.converged);
+}
+
+TEST(NewtonBisect, RobustOnHardFunctions) {
+  // Same pathological cube-root: the hybrid still converges.
+  const auto res = newton_bisect(
+      [](double x) { return std::cbrt(x); },
+      [](double x) { return 1.0 / (3.0 * std::pow(std::abs(x), 2.0 / 3.0) + 1e-300); },
+      -1.0, 2.0);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.x, 0.0, 1e-8);
+}
+
+TEST(NewtonBisect, RequiresSignChange) {
+  EXPECT_THROW((void)newton_bisect([](double x) { return x * x + 1.0; },
+                                   [](double x) { return 2.0 * x; }, -1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(NewtonBisect, LogisticSaturationTime) {
+  // When does logistic growth from 1 to K=25 with r=0.5 reach 20?
+  const auto value = [](double t) {
+    return 25.0 / (1.0 + 24.0 * std::exp(-0.5 * t)) - 20.0;
+  };
+  const auto deriv = [&](double t) {
+    const double e = 24.0 * std::exp(-0.5 * t);
+    return 25.0 * 0.5 * e / ((1.0 + e) * (1.0 + e));
+  };
+  const auto res = newton_bisect(value, deriv, 0.0, 50.0);
+  EXPECT_TRUE(res.converged);
+  // Verify by substitution.
+  EXPECT_NEAR(25.0 / (1.0 + 24.0 * std::exp(-0.5 * res.x)), 20.0, 1e-8);
+}
+
+}  // namespace

@@ -1,0 +1,70 @@
+#include "eval/series.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using dlm::eval::labeled_series;
+using dlm::eval::print_series_chart;
+using dlm::eval::sparkline;
+
+TEST(Sparkline, LengthMatchesInput) {
+  const std::vector<double> values{0.0, 1.0, 2.0, 3.0};
+  EXPECT_EQ(sparkline(values).size(), 4u);
+  EXPECT_TRUE(sparkline(std::vector<double>{}).empty());
+}
+
+TEST(Sparkline, MonotoneValuesProduceMonotoneGlyphs) {
+  const std::vector<double> values{0.0, 2.0, 4.0, 6.0, 8.0, 10.0};
+  const std::string line = sparkline(values);
+  // Glyph ranks are ordered: ' ' < '.' < ':' < '-' < '=' < '+' < '*' < '#'.
+  const std::string levels = " .:-=+*#";
+  std::size_t prev = 0;
+  for (char c : line) {
+    const std::size_t rank = levels.find(c);
+    ASSERT_NE(rank, std::string::npos);
+    EXPECT_GE(rank, prev);
+    prev = rank;
+  }
+  EXPECT_EQ(line.back(), '#');
+}
+
+TEST(Sparkline, ExternalScaleCompressesValues) {
+  const std::vector<double> values{1.0, 1.0};
+  // Against a max of 100 these are near the bottom.
+  const std::string line = sparkline(values, 100.0);
+  EXPECT_TRUE(line == "  " || line == "..");
+}
+
+TEST(Sparkline, HandlesConstantZero) {
+  const std::vector<double> values{0.0, 0.0, 0.0};
+  EXPECT_EQ(sparkline(values).size(), 3u);
+}
+
+TEST(PrintSeriesChart, ContainsLabelsAndSamples) {
+  const std::vector<labeled_series> series{
+      {"d=1", {1.0, 2.0, 3.0, 4.0}},
+      {"d=2", {0.5, 1.0, 1.5, 2.0}},
+  };
+  const std::vector<std::size_t> samples{0, 3};
+  std::ostringstream out;
+  print_series_chart(out, "Chart title", series, samples);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("Chart title"), std::string::npos);
+  EXPECT_NE(text.find("d=1"), std::string::npos);
+  EXPECT_NE(text.find("d=2"), std::string::npos);
+  EXPECT_NE(text.find("4.00"), std::string::npos);
+  EXPECT_NE(text.find("|"), std::string::npos);
+}
+
+TEST(PrintSeriesChart, OutOfRangeSampleShowsDash) {
+  const std::vector<labeled_series> series{{"s", {1.0}}};
+  const std::vector<std::size_t> samples{5};
+  std::ostringstream out;
+  print_series_chart(out, "t", series, samples);
+  EXPECT_NE(out.str().find("-"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+#include "models/si_epidemic.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/bfs.h"
+#include "graph/digraph.h"
+#include "social/distance.h"
+#include "social/network.h"
+
+namespace {
+
+using namespace dlm::models;
+using dlm::num::rng;
+namespace graph = dlm::graph;
+namespace social = dlm::social;
+
+// Chain: 1 follows 0, 2 follows 1, 3 follows 2.
+graph::digraph chain() {
+  graph::digraph_builder b(4);
+  b.add_edge(1, 0);
+  b.add_edge(2, 1);
+  b.add_edge(3, 2);
+  return b.build();
+}
+
+TEST(SiEpidemic, CertainInfectionFollowsBfsWavefront) {
+  si_params params;
+  params.beta = 1.0;
+  params.steps = 5;
+  rng r(1);
+  const si_trace trace = run_si(chain(), 0, params, r);
+  EXPECT_EQ(trace.infected_at[0], 0);
+  EXPECT_EQ(trace.infected_at[1], 1);
+  EXPECT_EQ(trace.infected_at[2], 2);
+  EXPECT_EQ(trace.infected_at[3], 3);
+  EXPECT_EQ(trace.total_infected.back(), 4u);
+}
+
+TEST(SiEpidemic, ZeroBetaNeverSpreads) {
+  si_params params;
+  params.beta = 0.0;
+  params.steps = 10;
+  rng r(2);
+  const si_trace trace = run_si(chain(), 0, params, r);
+  EXPECT_EQ(trace.total_infected.back(), 1u);
+  EXPECT_EQ(trace.infected_at[1], -1);
+}
+
+TEST(SiEpidemic, CumulativeCountsNonDecreasing) {
+  si_params params;
+  params.beta = 0.4;
+  params.steps = 8;
+  rng r(3);
+  const si_trace trace = run_si(chain(), 0, params, r);
+  for (std::size_t t = 1; t < trace.total_infected.size(); ++t)
+    EXPECT_GE(trace.total_infected[t], trace.total_infected[t - 1]);
+}
+
+TEST(SiEpidemic, SisRecoveryStopsSpread) {
+  // With instant recovery the seed infects at most once.
+  si_params params;
+  params.beta = 1.0;
+  params.recovery = 1.0;
+  params.steps = 6;
+  rng r(4);
+  const si_trace trace = run_si(chain(), 0, params, r);
+  // Seed infects node 1 in step 1 while still active, then both recover;
+  // node 1 infects node 2 in step 2, and so on — "ever infected" keeps
+  // counting but recovered nodes stop spreading further than one step.
+  EXPECT_GE(trace.total_infected.back(), 2u);
+}
+
+TEST(SiEpidemic, InvalidArgumentsThrow) {
+  si_params params;
+  rng r(5);
+  EXPECT_THROW((void)run_si(chain(), 9, params, r), std::out_of_range);
+  params.steps = 0;
+  EXPECT_THROW((void)run_si(chain(), 0, params, r), std::invalid_argument);
+  params.steps = 5;
+  params.beta = 1.5;
+  EXPECT_THROW((void)run_si(chain(), 0, params, r), std::invalid_argument);
+}
+
+TEST(SiDensityByDistance, MatchesTraceCounts) {
+  const graph::digraph g = chain();
+  const social::social_network net =
+      social::social_network_builder(g, 1).build();
+  const social::distance_partition part = social::partition_by_hops(net, 0);
+
+  si_params params;
+  params.beta = 1.0;
+  params.steps = 4;
+  rng r(6);
+  const si_trace trace = run_si(g, 0, params, r);
+  const auto density = si_density_by_distance(trace, part, params.steps);
+
+  // Groups 1..3 each hold exactly one node; infected at steps 1..3.
+  ASSERT_EQ(density.size(), 3u);
+  EXPECT_DOUBLE_EQ(density[0][0], 100.0);  // hop 1 infected by step 1
+  EXPECT_DOUBLE_EQ(density[1][0], 0.0);
+  EXPECT_DOUBLE_EQ(density[1][1], 100.0);  // hop 2 by step 2
+  EXPECT_DOUBLE_EQ(density[2][2], 100.0);  // hop 3 by step 3
+}
+
+TEST(SiDensityByDistance, SizeMismatchThrows) {
+  const si_trace trace{{0, 1}, {1, 2}};
+  social::distance_partition part;
+  part.group_of = {0, 1, 1};
+  part.sizes = {1, 2};
+  EXPECT_THROW((void)si_density_by_distance(trace, part, 2),
+               std::invalid_argument);
+}
+
+}  // namespace

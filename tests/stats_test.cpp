@@ -1,0 +1,98 @@
+#include "numerics/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+namespace num = dlm::num;
+
+const std::vector<double> sample{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+
+TEST(Stats, Mean) { EXPECT_DOUBLE_EQ(num::mean(sample), 5.0); }
+
+TEST(Stats, VarianceUnbiased) {
+  // Σ(x-5)^2 = 9+1+1+1+0+0+4+16 = 32; 32/7.
+  EXPECT_NEAR(num::variance(sample), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Stats, Stddev) {
+  EXPECT_NEAR(num::stddev(sample), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, MedianEvenAndOdd) {
+  EXPECT_DOUBLE_EQ(num::median(sample), 4.5);
+  EXPECT_DOUBLE_EQ(num::median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+}
+
+TEST(Stats, Percentiles) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(num::percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(num::percentile(xs, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(num::percentile(xs, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(num::percentile(xs, 25.0), 2.0);
+  EXPECT_THROW((void)num::percentile(xs, 101.0), std::invalid_argument);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{2, 4, 6, 8};
+  EXPECT_NEAR(num::pearson(x, y), 1.0, 1e-12);
+  const std::vector<double> anti{8, 6, 4, 2};
+  EXPECT_NEAR(num::pearson(x, anti), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonZeroForConstant) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> c{5, 5, 5};
+  EXPECT_DOUBLE_EQ(num::pearson(x, c), 0.0);
+}
+
+TEST(Stats, FitLineRecoversCoefficients) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i - 7.0);
+  }
+  const num::linear_fit fit = num::fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, -7.0, 1e-10);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Stats, ErrorMetrics) {
+  const std::vector<double> pred{1.0, 2.0, 3.0};
+  const std::vector<double> act{1.0, 4.0, 3.0};
+  EXPECT_NEAR(num::rmse(pred, act), std::sqrt(4.0 / 3.0), 1e-12);
+  EXPECT_NEAR(num::mae(pred, act), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(num::sse(pred, act), 4.0, 1e-12);
+  EXPECT_NEAR(num::mape(pred, act), (0.0 + 0.5 + 0.0) / 3.0, 1e-12);
+}
+
+TEST(Stats, MapeSkipsZeroActuals) {
+  const std::vector<double> pred{1.0, 5.0};
+  const std::vector<double> act{0.0, 4.0};
+  EXPECT_NEAR(num::mape(pred, act), 0.25, 1e-12);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_THROW((void)num::mape(pred, zeros), std::invalid_argument);
+}
+
+TEST(Stats, Extent) {
+  const num::min_max mm = num::extent(sample);
+  EXPECT_DOUBLE_EQ(mm.min, 2.0);
+  EXPECT_DOUBLE_EQ(mm.max, 9.0);
+}
+
+TEST(Stats, EmptyInputsThrow) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)num::mean(empty), std::invalid_argument);
+  EXPECT_THROW((void)num::median(empty), std::invalid_argument);
+  EXPECT_THROW((void)num::variance(std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)num::extent(empty), std::invalid_argument);
+  EXPECT_THROW((void)num::rmse(empty, empty), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,65 @@
+#include "eval/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using dlm::eval::text_table;
+
+TEST(TextTable, AlignsColumns) {
+  text_table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "23456"});
+  const std::string out = table.str();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("alpha  1"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TextTable, RowCountTracked) {
+  text_table table({"a"});
+  EXPECT_EQ(table.rows(), 0u);
+  table.add_row({"x"});
+  EXPECT_EQ(table.rows(), 1u);
+}
+
+TEST(TextTable, CellCountMismatchThrows) {
+  text_table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, EmptyHeaderThrows) {
+  EXPECT_THROW(text_table({}), std::invalid_argument);
+}
+
+TEST(TextTable, StreamInsertion) {
+  text_table table({"h"});
+  table.add_row({"v"});
+  std::ostringstream out;
+  out << table;
+  EXPECT_FALSE(out.str().empty());
+}
+
+TEST(TextTableFormat, Percent) {
+  EXPECT_EQ(text_table::pct(0.9281), "92.81%");
+  EXPECT_EQ(text_table::pct(1.0, 0), "100%");
+  EXPECT_EQ(text_table::pct(0.005, 1), "0.5%");
+}
+
+TEST(TextTableFormat, FixedNumber) {
+  EXPECT_EQ(text_table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(text_table::num(2.0, 0), "2");
+}
+
+TEST(TextTableFormat, ThousandsSeparatedCount) {
+  EXPECT_EQ(text_table::count(0), "0");
+  EXPECT_EQ(text_table::count(999), "999");
+  EXPECT_EQ(text_table::count(1000), "1,000");
+  EXPECT_EQ(text_table::count(24099), "24,099");
+  EXPECT_EQ(text_table::count(1234567), "1,234,567");
+}
+
+}  // namespace

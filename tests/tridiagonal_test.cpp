@@ -1,0 +1,146 @@
+#include "numerics/tridiagonal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace {
+
+using dlm::num::solve_tridiagonal;
+using dlm::num::solve_tridiagonal_in_place;
+using dlm::num::tridiagonal_matrix;
+
+tridiagonal_matrix identity(std::size_t n) {
+  tridiagonal_matrix a(n);
+  for (std::size_t i = 0; i < n; ++i) a.diag[i] = 1.0;
+  return a;
+}
+
+TEST(TridiagonalMatrix, RejectsZeroSize) {
+  EXPECT_THROW(tridiagonal_matrix(0), std::invalid_argument);
+}
+
+TEST(TridiagonalMatrix, SizeAndZeroInit) {
+  const tridiagonal_matrix a(5);
+  EXPECT_EQ(a.size(), 5u);
+  EXPECT_EQ(a.lower.size(), 4u);
+  EXPECT_EQ(a.upper.size(), 4u);
+  for (double v : a.diag) EXPECT_EQ(v, 0.0);
+}
+
+TEST(TridiagonalMatrix, MultiplyIdentity) {
+  const tridiagonal_matrix a = identity(4);
+  const std::vector<double> x{1.0, -2.0, 3.0, 0.5};
+  EXPECT_EQ(a.multiply(x), x);
+}
+
+TEST(TridiagonalMatrix, MultiplyKnownMatrix) {
+  // [2 1 0; 1 2 1; 0 1 2] * [1 1 1] = [3 4 3]
+  tridiagonal_matrix a(3);
+  a.diag = {2.0, 2.0, 2.0};
+  a.lower = {1.0, 1.0};
+  a.upper = {1.0, 1.0};
+  const std::vector<double> y = a.multiply(std::vector<double>{1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 4.0);
+  EXPECT_DOUBLE_EQ(y[2], 3.0);
+}
+
+TEST(TridiagonalMatrix, MultiplySizeMismatchThrows) {
+  const tridiagonal_matrix a = identity(3);
+  EXPECT_THROW((void)a.multiply(std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(TridiagonalMatrix, DiagonalDominanceDetection) {
+  tridiagonal_matrix a(3);
+  a.diag = {3.0, 3.0, 3.0};
+  a.lower = {1.0, 1.0};
+  a.upper = {1.0, 1.0};
+  EXPECT_TRUE(a.diagonally_dominant());
+  a.diag[1] = 1.0;  // |1| < |1| + |1|
+  EXPECT_FALSE(a.diagonally_dominant());
+}
+
+TEST(SolveTridiagonal, IdentityReturnsRhs) {
+  const tridiagonal_matrix a = identity(6);
+  const std::vector<double> rhs{1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(solve_tridiagonal(a, rhs), rhs);
+}
+
+TEST(SolveTridiagonal, SolvesKnownSystem) {
+  // Laplacian-like system with known solution.
+  tridiagonal_matrix a(3);
+  a.diag = {2.0, 2.0, 2.0};
+  a.lower = {-1.0, -1.0};
+  a.upper = {-1.0, -1.0};
+  // x = [1, 2, 3] → rhs = A x = [0, 0, 4]
+  const std::vector<double> x = solve_tridiagonal(a, std::vector<double>{0.0, 0.0, 4.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+  EXPECT_NEAR(x[2], 3.0, 1e-12);
+}
+
+TEST(SolveTridiagonal, SizeMismatchThrows) {
+  const tridiagonal_matrix a = identity(3);
+  EXPECT_THROW((void)solve_tridiagonal(a, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(SolveTridiagonal, ZeroPivotThrows) {
+  tridiagonal_matrix a(2);  // diag stays zero
+  EXPECT_THROW((void)solve_tridiagonal(a, std::vector<double>{1.0, 1.0}),
+               std::domain_error);
+}
+
+TEST(SolveTridiagonal, SingleEquation) {
+  tridiagonal_matrix a(1);
+  a.diag[0] = 4.0;
+  const std::vector<double> x = solve_tridiagonal(a, std::vector<double>{8.0});
+  EXPECT_DOUBLE_EQ(x[0], 2.0);
+}
+
+TEST(SolveTridiagonal, InPlaceMatchesOutOfPlace) {
+  tridiagonal_matrix a(4);
+  a.diag = {4.0, 5.0, 5.0, 4.0};
+  a.lower = {1.0, 2.0, 1.0};
+  a.upper = {2.0, 1.0, 2.0};
+  const std::vector<double> rhs{1.0, -1.0, 2.0, 0.0};
+  const std::vector<double> expected = solve_tridiagonal(a, rhs);
+  std::vector<double> in_place = rhs;
+  std::vector<double> scratch;
+  solve_tridiagonal_in_place(a, in_place, scratch);
+  for (std::size_t i = 0; i < rhs.size(); ++i)
+    EXPECT_NEAR(in_place[i], expected[i], 1e-14);
+}
+
+// Property sweep: random diagonally dominant systems must round-trip
+// through multiply().
+class TridiagonalRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TridiagonalRoundTrip, SolveThenMultiplyRecoversRhs) {
+  const std::size_t n = GetParam();
+  std::mt19937_64 gen(n * 7919);
+  std::uniform_real_distribution<double> off(-1.0, 1.0);
+
+  tridiagonal_matrix a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lo = (i > 0) ? off(gen) : 0.0;
+    const double hi = (i + 1 < n) ? off(gen) : 0.0;
+    if (i > 0) a.lower[i - 1] = lo;
+    if (i + 1 < n) a.upper[i] = hi;
+    a.diag[i] = std::abs(lo) + std::abs(hi) + 1.0 + std::abs(off(gen));
+  }
+  std::vector<double> rhs(n);
+  for (double& v : rhs) v = off(gen) * 10.0;
+
+  const std::vector<double> x = solve_tridiagonal(a, rhs);
+  const std::vector<double> back = a.multiply(x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(back[i], rhs[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TridiagonalRoundTrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 33, 101, 500));
+
+}  // namespace
