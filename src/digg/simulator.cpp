@@ -62,7 +62,7 @@ std::vector<std::vector<double>> marginal_target_curves(
 /// (bisected) until the identity holds.
 social::distance_partition calibrated_interest_partition(
     const std::vector<double>& distances, user_id initiator,
-    const story_preset& preset, int horizon, double rows_total,
+    const story_preset& preset, int /*horizon*/, double rows_total,
     std::size_t n_groups) {
   // Robust distance range (0.5th percentile .. max) over non-source users.
   std::vector<double> sorted;

@@ -1,0 +1,158 @@
+#include "engine/adapters.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/dl_model.h"
+#include "core/initial_condition.h"
+#include "models/heat_model.h"
+#include "models/logistic.h"
+#include "models/per_distance_logistic.h"
+#include "models/si_epidemic.h"
+#include "numerics/rng.h"
+
+namespace dlm::engine {
+
+std::vector<double> diffusion_model::evaluation_times(
+    const scenario& sc, const dataset_slice& slice) {
+  const int first = static_cast<int>(std::floor(sc.t0)) + 1;
+  const int last =
+      std::min(static_cast<int>(std::floor(sc.t_end)), slice.horizon_hours);
+  std::vector<double> times;
+  for (int t = first; t <= last; ++t) times.push_back(static_cast<double>(t));
+  if (times.empty())
+    throw std::invalid_argument(
+        "diffusion_model: empty evaluation window (t0 >= t_end?)");
+  return times;
+}
+
+namespace {
+
+model_trace make_trace(const scenario& sc, const dataset_slice& slice) {
+  model_trace trace;
+  for (int x = 1; x <= slice.max_distance; ++x) trace.distances.push_back(x);
+  trace.times = diffusion_model::evaluation_times(sc, slice);
+  trace.predicted.assign(trace.distances.size(),
+                         std::vector<double>(trace.times.size(), 0.0));
+  return trace;
+}
+
+}  // namespace
+
+model_trace dl_adapter::solve(const scenario& sc,
+                              const dataset_slice& slice) const {
+  model_trace trace = make_trace(sc, slice);
+
+  core::dl_parameters params = slice.base_params;
+  params.r = make_rate(sc.rate, slice.metric);
+
+  core::dl_solver_options options;
+  options.scheme = sc.scheme;
+  options.points_per_unit = sc.points_per_unit;
+  options.dt = sc.dt;
+  if (sc.scheme == core::dl_scheme::ftcs && params.d > 0.0) {
+    // FTCS is conditionally stable (dt <= dx²/(2d)); clamp so fine-grid
+    // sweep points stay finite instead of blowing up.
+    const double dx = 1.0 / static_cast<double>(sc.points_per_unit);
+    options.dt = std::min(options.dt, 0.9 * dx * dx / (2.0 * params.d));
+  }
+
+  trace.effective_dt = options.dt;
+
+  const core::dl_model model(params, slice.profile_at(static_cast<int>(sc.t0)),
+                             sc.t0, trace.times.back(), options);
+  for (std::size_t j = 0; j < trace.times.size(); ++j) {
+    const std::vector<double> profile = model.predict_profile(trace.times[j]);
+    for (std::size_t i = 0; i < trace.distances.size(); ++i)
+      trace.predicted[i][j] = profile[i];
+  }
+  return trace;
+}
+
+model_trace heat_adapter::solve(const scenario& sc,
+                                const dataset_slice& slice) const {
+  model_trace trace = make_trace(sc, slice);
+  if (sc.points_per_unit == 0)
+    throw std::invalid_argument("heat_adapter: points_per_unit must be > 0");
+  const double lower = 1.0;
+  const double upper = static_cast<double>(slice.max_distance);
+
+  const core::initial_condition phi(slice.profile_at(static_cast<int>(sc.t0)));
+  const std::size_t nodes =
+      static_cast<std::size_t>(slice.max_distance - 1) * sc.points_per_unit + 1;
+  const std::vector<double> samples = phi.sample(lower, upper, nodes);
+
+  for (std::size_t j = 0; j < trace.times.size(); ++j) {
+    const std::vector<double> profile = models::heat_neumann_series(
+        samples, lower, upper, slice.base_params.d, trace.times[j] - sc.t0);
+    for (std::size_t i = 0; i < trace.distances.size(); ++i)
+      trace.predicted[i][j] = profile[i * sc.points_per_unit];
+  }
+  return trace;
+}
+
+model_trace global_logistic_adapter::solve(const scenario& sc,
+                                           const dataset_slice& slice) const {
+  model_trace trace = make_trace(sc, slice);
+  const core::growth_rate rate = make_rate(sc.rate, slice.metric);
+  const std::vector<double> hour0 =
+      slice.profile_at(static_cast<int>(sc.t0));
+  const double n0 =
+      std::accumulate(hour0.begin(), hour0.end(), 0.0) /
+      static_cast<double>(hour0.size());
+
+  for (std::size_t j = 0; j < trace.times.size(); ++j) {
+    const double integrated = rate.integral(sc.t0, trace.times[j]);
+    const double value =
+        models::logistic_step(n0, integrated, slice.base_params.k);
+    for (std::size_t i = 0; i < trace.distances.size(); ++i)
+      trace.predicted[i][j] = value;
+  }
+  return trace;
+}
+
+model_trace per_distance_logistic_adapter::solve(
+    const scenario& sc, const dataset_slice& slice) const {
+  model_trace trace = make_trace(sc, slice);
+  const core::growth_rate rate = make_rate(sc.rate, slice.metric);
+  const models::per_distance_logistic model(
+      slice.profile_at(static_cast<int>(sc.t0)), sc.t0, slice.base_params.k,
+      [rate](double t) { return rate(t); });
+
+  for (std::size_t j = 0; j < trace.times.size(); ++j) {
+    const std::vector<double> profile = model.predict(trace.times[j]);
+    for (std::size_t i = 0; i < trace.distances.size(); ++i)
+      trace.predicted[i][j] = profile[i];
+  }
+  return trace;
+}
+
+model_trace si_adapter::solve(const scenario& sc,
+                              const dataset_slice& slice) const {
+  if (slice.followers == nullptr || slice.partition == nullptr)
+    throw std::invalid_argument("si_adapter: slice '" + slice.name +
+                                "' has no follower graph / partition");
+  model_trace trace = make_trace(sc, slice);
+
+  models::si_params params;
+  params.beta = beta;
+  params.steps = static_cast<int>(trace.times.back());
+  num::rng rand(sc.seed);
+  const models::si_trace si =
+      models::run_si(*slice.followers, slice.initiator, params, rand);
+  const std::vector<std::vector<double>> density =
+      models::si_density_by_distance(si, *slice.partition, params.steps);
+
+  for (std::size_t i = 0; i < trace.distances.size(); ++i) {
+    if (i >= density.size()) break;  // partition may cover fewer groups
+    for (std::size_t j = 0; j < trace.times.size(); ++j) {
+      const auto step = static_cast<std::size_t>(trace.times[j]) - 1;
+      if (step < density[i].size()) trace.predicted[i][j] = density[i][step];
+    }
+  }
+  return trace;
+}
+
+}  // namespace dlm::engine

@@ -1,0 +1,55 @@
+// The unified diffusion-model interface of the batch engine.
+//
+// Every predictor in the repo — the paper's DL reaction-diffusion model
+// and all baselines (heat equation, global logistic, per-distance
+// logistic, SI epidemic) — is wrapped behind this one polymorphic
+// interface so sweeps can treat "a model" as data: look it up by name in
+// the registry, hand it a scenario + dataset slice, get back a predicted
+// density trace scored uniformly by the runner.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/scenario.h"
+
+namespace dlm::engine {
+
+/// A model's predicted density surface over integer distances × hours.
+struct model_trace {
+  std::vector<int> distances;  ///< 1..max_distance of the slice
+  std::vector<double> times;   ///< evaluated hours (t0+1 .. t_end)
+  /// predicted[i][j]: predicted density at distances[i], times[j].
+  std::vector<std::vector<double>> predicted;
+  /// Time step the solver actually used — differs from scenario.dt when a
+  /// scheme clamps for stability (FTCS).  0 for models without a dt.
+  double effective_dt = 0.0;
+};
+
+/// Abstract diffusion predictor.  Implementations must be stateless and
+/// const-thread-safe: `solve` runs concurrently from the pool workers.
+class diffusion_model {
+ public:
+  virtual ~diffusion_model() = default;
+
+  /// Registry key / display name.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Which sweep axes the model consumes; `expand_sweep` collapses the
+  /// others so a sweep never enqueues duplicate work.
+  [[nodiscard]] virtual bool uses_scheme() const { return false; }
+  [[nodiscard]] virtual bool uses_grid() const { return false; }
+  [[nodiscard]] virtual bool uses_rate() const { return false; }
+
+  /// Solves the scenario on the slice and returns the predicted trace at
+  /// integer distances 1..slice.max_distance and integer hours
+  /// floor(t0)+1 .. min(floor(t_end), slice.horizon_hours).
+  [[nodiscard]] virtual model_trace solve(const scenario& sc,
+                                          const dataset_slice& slice) const = 0;
+
+  /// The evaluation hours shared by every adapter (see `solve`).
+  [[nodiscard]] static std::vector<double> evaluation_times(
+      const scenario& sc, const dataset_slice& slice);
+};
+
+}  // namespace dlm::engine

@@ -1,0 +1,66 @@
+#include "engine/model_registry.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "engine/adapters.h"
+
+namespace dlm::engine {
+
+void model_registry::register_model(const std::string& name, factory make) {
+  if (name.empty())
+    throw std::invalid_argument("model_registry: empty model name");
+  if (!make)
+    throw std::invalid_argument("model_registry: null factory for '" + name +
+                                "'");
+  if (factories_.contains(name))
+    throw std::invalid_argument("model_registry: duplicate registration of '" +
+                                name + "'");
+  factories_.emplace(name, std::move(make));
+}
+
+bool model_registry::contains(const std::string& name) const {
+  return factories_.contains(name);
+}
+
+std::unique_ptr<diffusion_model> model_registry::make(
+    const std::string& name) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    std::string message = "model_registry: unknown model '" + name +
+                          "'; registered models:";
+    for (const auto& [key, unused] : factories_) message += " " + key;
+    throw std::invalid_argument(message);
+  }
+  return it->second();
+}
+
+std::vector<std::string> model_registry::names() const {
+  std::vector<std::string> result;
+  result.reserve(factories_.size());
+  for (const auto& [key, unused] : factories_) result.push_back(key);
+  return result;  // std::map iterates sorted
+}
+
+void register_builtin_models(model_registry& registry) {
+  registry.register_model("dl", [] { return std::make_unique<dl_adapter>(); });
+  registry.register_model("heat",
+                          [] { return std::make_unique<heat_adapter>(); });
+  registry.register_model(
+      "logistic", [] { return std::make_unique<global_logistic_adapter>(); });
+  registry.register_model("per_distance_logistic", [] {
+    return std::make_unique<per_distance_logistic_adapter>();
+  });
+  registry.register_model("si", [] { return std::make_unique<si_adapter>(); });
+}
+
+const model_registry& default_registry() {
+  static const model_registry registry = [] {
+    model_registry r;
+    register_builtin_models(r);
+    return r;
+  }();
+  return registry;
+}
+
+}  // namespace dlm::engine

@@ -1,0 +1,53 @@
+// String-keyed factory registry for diffusion models.
+//
+// The registry is how sweeps, CSV records and CLI flags refer to models:
+// a stable name ("dl", "heat", …) maps to a factory producing a fresh
+// adapter instance.  `default_registry` carries the five built-in model
+// families; user code can extend a copy with custom models.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/diffusion_model.h"
+
+namespace dlm::engine {
+
+class model_registry {
+ public:
+  using factory = std::function<std::unique_ptr<diffusion_model>()>;
+
+  /// Registers `make` under `name`.  Throws std::invalid_argument on an
+  /// empty name, a null factory, or a duplicate registration.
+  void register_model(const std::string& name, factory make);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Creates a fresh instance.  Throws std::invalid_argument for unknown
+  /// names, listing the registered ones in the message.
+  [[nodiscard]] std::unique_ptr<diffusion_model> make(
+      const std::string& name) const;
+
+  /// Registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return factories_.size(); }
+
+ private:
+  std::map<std::string, factory> factories_;
+};
+
+/// Registers the five built-in families: "dl" (reaction-diffusion,
+/// all four schemes), "heat" (diffusion-only, r = 0), "logistic" (one
+/// global logistic curve, d = 0 and no spatial structure),
+/// "per_distance_logistic" (independent logistic per group, d = 0) and
+/// "si" (SI epidemic on the explicit follower graph).
+void register_builtin_models(model_registry& registry);
+
+/// The process-wide registry holding exactly the built-ins.
+[[nodiscard]] const model_registry& default_registry();
+
+}  // namespace dlm::engine

@@ -1,0 +1,187 @@
+#include "engine/result_table.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "eval/table.h"
+
+namespace dlm::engine {
+namespace {
+
+constexpr std::string_view kHeader =
+    "index,model,slice,story,metric,scheme,points_per_unit,dt,rate,t0,t_end,"
+    "cells,accuracy";
+constexpr std::string_view kTimingColumn = ",wall_ms";
+
+/// Shortest decimal form that round-trips a double exactly.
+std::string format_double(double value) {
+  char buffer[32];
+  const int written = std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return std::string(buffer, static_cast<std::size_t>(written));
+}
+
+std::vector<std::string_view> split(std::string_view line, char sep) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t pos = line.find(sep, start);
+    if (pos == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+double parse_csv_double(std::string_view field) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || ptr != field.data() + field.size())
+    throw std::invalid_argument("result_table: bad number '" +
+                                std::string(field) + "'");
+  return value;
+}
+
+std::size_t parse_csv_size(std::string_view field) {
+  std::size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || ptr != field.data() + field.size())
+    throw std::invalid_argument("result_table: bad count '" +
+                                std::string(field) + "'");
+  return value;
+}
+
+}  // namespace
+
+bool result_row::same_result(const result_row& other) const {
+  return index == other.index && model == other.model &&
+         slice == other.slice && story == other.story &&
+         metric == other.metric && scheme == other.scheme &&
+         points_per_unit == other.points_per_unit && dt == other.dt &&
+         rate == other.rate && t0 == other.t0 && t_end == other.t_end &&
+         cells == other.cells && accuracy == other.accuracy;
+}
+
+result_table::result_table(std::vector<result_row> rows)
+    : rows_(std::move(rows)) {}
+
+const result_row& result_table::row(std::size_t i) const {
+  if (i >= rows_.size())
+    throw std::out_of_range("result_table: row index out of range");
+  return rows_[i];
+}
+
+const result_row& result_table::best() const {
+  if (rows_.empty()) throw std::out_of_range("result_table: empty table");
+  const auto it = std::max_element(
+      rows_.begin(), rows_.end(), [](const result_row& a, const result_row& b) {
+        return a.accuracy < b.accuracy;
+      });
+  return *it;
+}
+
+double result_table::total_wall_ms() const {
+  double total = 0.0;
+  for (const result_row& r : rows_) total += r.wall_ms;
+  return total;
+}
+
+std::string result_table::to_csv(const csv_options& options) const {
+  std::string out(kHeader);
+  if (options.include_timing) out += kTimingColumn;
+  out += '\n';
+  for (const result_row& r : rows_) {
+    out += std::to_string(r.index);
+    out += ',' + r.model + ',' + r.slice + ',' + r.story + ',' + r.metric +
+           ',' + r.scheme;
+    out += ',' + std::to_string(r.points_per_unit);
+    out += ',' + format_double(r.dt);
+    out += ',' + r.rate;
+    out += ',' + format_double(r.t0);
+    out += ',' + format_double(r.t_end);
+    out += ',' + std::to_string(r.cells);
+    out += ',' + format_double(r.accuracy);
+    if (options.include_timing) out += ',' + format_double(r.wall_ms);
+    out += '\n';
+  }
+  return out;
+}
+
+void result_table::write_csv(std::ostream& out,
+                             const csv_options& options) const {
+  out << to_csv(options);
+}
+
+result_table result_table::from_csv(std::string_view csv) {
+  std::vector<std::string_view> lines;
+  for (std::string_view rest = csv; !rest.empty();) {
+    const std::size_t pos = rest.find('\n');
+    if (pos == std::string_view::npos) {
+      lines.push_back(rest);
+      break;
+    }
+    if (pos > 0) lines.push_back(rest.substr(0, pos));
+    rest = rest.substr(pos + 1);
+  }
+  if (lines.empty())
+    throw std::invalid_argument("result_table: empty CSV");
+
+  bool with_timing = false;
+  if (lines.front() == std::string(kHeader) + std::string(kTimingColumn)) {
+    with_timing = true;
+  } else if (lines.front() != kHeader) {
+    throw std::invalid_argument("result_table: unrecognized CSV header '" +
+                                std::string(lines.front()) + "'");
+  }
+  const std::size_t expected_fields = with_timing ? 14 : 13;
+
+  std::vector<result_row> rows;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::vector<std::string_view> f = split(lines[i], ',');
+    if (f.size() != expected_fields)
+      throw std::invalid_argument("result_table: malformed CSV line '" +
+                                  std::string(lines[i]) + "'");
+    result_row r;
+    r.index = parse_csv_size(f[0]);
+    r.model = std::string(f[1]);
+    r.slice = std::string(f[2]);
+    r.story = std::string(f[3]);
+    r.metric = std::string(f[4]);
+    r.scheme = std::string(f[5]);
+    r.points_per_unit = parse_csv_size(f[6]);
+    r.dt = parse_csv_double(f[7]);
+    r.rate = std::string(f[8]);
+    r.t0 = parse_csv_double(f[9]);
+    r.t_end = parse_csv_double(f[10]);
+    r.cells = parse_csv_size(f[11]);
+    r.accuracy = parse_csv_double(f[12]);
+    if (with_timing) r.wall_ms = parse_csv_double(f[13]);
+    rows.push_back(std::move(r));
+  }
+  return result_table(std::move(rows));
+}
+
+std::string result_table::to_text() const {
+  eval::text_table table({"#", "model", "slice", "scheme", "pts/u", "dt",
+                          "rate", "accuracy", "cells", "ms"});
+  for (const result_row& r : rows_) {
+    table.add_row({std::to_string(r.index), r.model, r.slice, r.scheme,
+                   r.points_per_unit == 0 ? std::string("-")
+                                          : std::to_string(r.points_per_unit),
+                   r.dt == 0.0 ? std::string("-") : eval::text_table::num(r.dt),
+                   r.rate, eval::text_table::pct(r.accuracy),
+                   std::to_string(r.cells),
+                   eval::text_table::num(r.wall_ms, 2)});
+  }
+  return table.str();
+}
+
+}  // namespace dlm::engine

@@ -1,0 +1,81 @@
+// Aggregated sweep results: one row per scenario, CSV in and out.
+//
+// Rows carry the full scenario description (so a CSV line alone
+// reproduces the run), the accuracy score and the wall time.  CSV export
+// omits timing by default: two runs of the same sweep — at any thread
+// count — must produce byte-identical CSV, and wall time is the one
+// nondeterministic column.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dlm::engine {
+
+/// One scored scenario.
+struct result_row {
+  std::size_t index = 0;      ///< position in the expanded sweep
+  std::string model;
+  std::string slice;          ///< slice name, e.g. "s1/hops"
+  std::string story;
+  std::string metric;         ///< "friendship_hops" / "shared_interests"
+  std::string scheme;         ///< DL scheme, "-" when not applicable
+  std::size_t points_per_unit = 0;  ///< 0 when not applicable
+  double dt = 0.0;            ///< 0 when not applicable
+  std::string rate;           ///< rate spec, "-" when not applicable
+  double t0 = 0.0;
+  double t_end = 0.0;
+  std::size_t cells = 0;      ///< scored (distance, hour) cells
+  double accuracy = 0.0;      ///< mean prediction accuracy over cells
+  double wall_ms = 0.0;       ///< solve + scoring wall time
+
+  /// Equality over everything except wall_ms (the nondeterministic field).
+  [[nodiscard]] bool same_result(const result_row& other) const;
+};
+
+/// Controls CSV rendering.
+struct csv_options {
+  bool include_timing = false;  ///< append the wall_ms column
+};
+
+class result_table {
+ public:
+  result_table() = default;
+  explicit result_table(std::vector<result_row> rows);
+
+  [[nodiscard]] const std::vector<result_row>& rows() const noexcept {
+    return rows_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return rows_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return rows_.empty(); }
+  [[nodiscard]] const result_row& row(std::size_t i) const;
+
+  /// The row with the highest accuracy (ties: lowest index).
+  /// Throws std::out_of_range on an empty table.
+  [[nodiscard]] const result_row& best() const;
+
+  /// Sum of per-row wall times (the serial cost of the sweep).
+  [[nodiscard]] double total_wall_ms() const;
+
+  /// Deterministic CSV: header line + one line per row in index order.
+  /// Doubles are printed with %.17g so from_csv round-trips exactly.
+  [[nodiscard]] std::string to_csv(const csv_options& options = {}) const;
+  void write_csv(std::ostream& out, const csv_options& options = {}) const;
+
+  /// Parses CSV produced by to_csv (either column set).  Throws
+  /// std::invalid_argument on an unknown header or a malformed line.
+  [[nodiscard]] static result_table from_csv(std::string_view csv);
+
+  /// Column-aligned human-readable rendering (accuracy as a percentage,
+  /// timing included).
+  [[nodiscard]] std::string to_text() const;
+
+ private:
+  std::vector<result_row> rows_;
+};
+
+}  // namespace dlm::engine

@@ -1,0 +1,212 @@
+#include "engine/scenario.h"
+
+#include <algorithm>
+#include <charconv>
+#include <stdexcept>
+#include <utility>
+
+#include "social/density.h"
+#include "social/network.h"
+
+namespace dlm::engine {
+namespace {
+
+/// Copies rows 1..max_d, hours 1..horizon of a density field.
+std::vector<std::vector<double>> surface_of(const social::density_field& field,
+                                            int max_d) {
+  std::vector<std::vector<double>> surface;
+  surface.reserve(static_cast<std::size_t>(max_d));
+  for (int x = 1; x <= max_d; ++x) {
+    std::vector<double> row;
+    row.reserve(static_cast<std::size_t>(field.hours()));
+    for (int t = 1; t <= field.hours(); ++t) row.push_back(field.at(x, t));
+    surface.push_back(std::move(row));
+  }
+  return surface;
+}
+
+double parse_double(std::string_view text, const std::string& spec) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size())
+    throw std::invalid_argument("make_rate: bad number in spec '" + spec +
+                                "'");
+  return value;
+}
+
+}  // namespace
+
+double dataset_slice::actual_at(int x, int t) const {
+  if (x < 1 || x > max_distance || t < 1 || t > horizon_hours)
+    throw std::out_of_range("dataset_slice: (x, t) outside the surface");
+  return actual[static_cast<std::size_t>(x - 1)][static_cast<std::size_t>(t - 1)];
+}
+
+std::vector<double> dataset_slice::profile_at(int t) const {
+  std::vector<double> profile;
+  profile.reserve(static_cast<std::size_t>(max_distance));
+  for (int x = 1; x <= max_distance; ++x) profile.push_back(actual_at(x, t));
+  return profile;
+}
+
+std::size_t scenario_context::add_slice(dataset_slice slice) {
+  if (slice.actual.empty() || slice.actual.front().empty())
+    throw std::invalid_argument("scenario_context: empty surface in slice '" +
+                                slice.name + "'");
+  slice.max_distance = static_cast<int>(slice.actual.size());
+  slice.horizon_hours = static_cast<int>(slice.actual.front().size());
+  for (const auto& row : slice.actual) {
+    if (row.size() != slice.actual.front().size())
+      throw std::invalid_argument(
+          "scenario_context: ragged surface in slice '" + slice.name + "'");
+  }
+  for (const auto& existing : slices_) {
+    if (existing.name == slice.name)
+      throw std::invalid_argument("scenario_context: duplicate slice name '" +
+                                  slice.name + "'");
+  }
+  slices_.push_back(std::move(slice));
+  return slices_.size() - 1;
+}
+
+const dataset_slice& scenario_context::slice(std::size_t index) const {
+  if (index >= slices_.size())
+    throw std::out_of_range("scenario_context: slice index out of range");
+  return slices_[index];
+}
+
+const dataset_slice& scenario_context::slice(const std::string& name) const {
+  for (const auto& s : slices_) {
+    if (s.name == name) return s;
+  }
+  throw std::invalid_argument("scenario_context: unknown slice '" + name +
+                              "'");
+}
+
+std::vector<std::string> scenario_context::slice_names() const {
+  std::vector<std::string> names;
+  names.reserve(slices_.size());
+  for (const auto& s : slices_) names.push_back(s.name);
+  return names;
+}
+
+scenario_context scenario_context::from_dataset(digg::digg_dataset data,
+                                                int max_hops) {
+  scenario_context ctx;
+  ctx.data_ = std::make_shared<digg::digg_dataset>(std::move(data));
+  const digg::digg_dataset& d = *ctx.data_;
+  const int horizon = d.config.horizon_hours;
+  for (std::size_t i = 0; i < d.flagship_ids.size(); ++i) {
+    const std::string story = d.config.stories[i].name;
+
+    const social::density_field hop_field(d.network, d.flagship_ids[i],
+                                          d.hop_partitions[i], horizon);
+    const int hop_max = std::min(max_hops, hop_field.max_distance());
+    dataset_slice hops;
+    hops.name = story + "/hops";
+    hops.story = story;
+    hops.metric = social::distance_metric::friendship_hops;
+    hops.actual = surface_of(hop_field, hop_max);
+    hops.base_params = core::dl_parameters::paper_hops(hop_max);
+    hops.followers = &d.network.followers();
+    hops.initiator = d.initiators[i];
+    hops.partition = &d.hop_partitions[i];
+    ctx.add_slice(std::move(hops));
+
+    const social::density_field int_field(d.network, d.flagship_ids[i],
+                                          d.interest_partitions[i], horizon);
+    const int int_max =
+        std::min(static_cast<int>(d.config.interest_groups),
+                 int_field.max_distance());
+    dataset_slice interests;
+    interests.name = story + "/interests";
+    interests.story = story;
+    interests.metric = social::distance_metric::shared_interests;
+    interests.actual = surface_of(int_field, int_max);
+    interests.base_params = core::dl_parameters::paper_interest(int_max);
+    interests.followers = &d.network.followers();
+    interests.initiator = d.initiators[i];
+    interests.partition = &d.interest_partitions[i];
+    ctx.add_slice(std::move(interests));
+  }
+  return ctx;
+}
+
+scenario_context scenario_context::from_cascade(
+    graph::digraph followers, graph::node_id initiator,
+    const std::vector<social::vote>& votes, int horizon_hours, int max_hops) {
+  scenario_context ctx;
+  ctx.graphs_.push_back(std::make_unique<graph::digraph>(std::move(followers)));
+  const graph::digraph& g = *ctx.graphs_.back();
+
+  social::social_network_builder builder(g, 1);
+  for (const auto& v : votes) builder.add_vote(v.user, v.story, v.time);
+  const social::social_network net = builder.build();
+
+  ctx.partitions_.push_back(std::make_unique<social::distance_partition>(
+      social::partition_by_hops(net, initiator, max_hops)));
+  const social::distance_partition& partition = *ctx.partitions_.back();
+
+  const int max_d = std::min(max_hops, partition.max_distance());
+  const social::density_field field(net, 0, partition, horizon_hours);
+
+  dataset_slice slice;
+  slice.name = "cascade/hops";
+  slice.story = "cascade";
+  slice.metric = social::distance_metric::friendship_hops;
+  slice.actual = surface_of(field, std::min(max_d, field.max_distance()));
+  slice.base_params = core::dl_parameters::paper_hops(
+      static_cast<double>(slice.actual.size()));
+  slice.followers = &g;
+  slice.initiator = initiator;
+  slice.partition = &partition;
+  ctx.add_slice(std::move(slice));
+  return ctx;
+}
+
+scenario_context scenario_context::from_surface(
+    std::string name, social::distance_metric metric,
+    std::vector<std::vector<double>> actual, core::dl_parameters params) {
+  scenario_context ctx;
+  dataset_slice slice;
+  slice.name = std::move(name);
+  slice.story = slice.name;
+  slice.metric = metric;
+  slice.actual = std::move(actual);
+  slice.base_params = params;
+  ctx.add_slice(std::move(slice));
+  return ctx;
+}
+
+core::growth_rate make_rate(const std::string& spec,
+                            social::distance_metric metric) {
+  if (spec == "preset" || spec == "-") {
+    return metric == social::distance_metric::friendship_hops
+               ? core::growth_rate::paper_hops()
+               : core::growth_rate::paper_interest();
+  }
+  if (spec == "paper_hops") return core::growth_rate::paper_hops();
+  if (spec == "paper_interest") return core::growth_rate::paper_interest();
+  if (spec.starts_with("constant:"))
+    return core::growth_rate::constant(parse_double(
+        std::string_view(spec).substr(sizeof("constant:") - 1), spec));
+  if (spec.starts_with("decay:")) {
+    const std::string_view body =
+        std::string_view(spec).substr(sizeof("decay:") - 1);
+    const std::size_t first = body.find(',');
+    const std::size_t second =
+        first == std::string_view::npos ? first : body.find(',', first + 1);
+    if (first == std::string_view::npos || second == std::string_view::npos)
+      throw std::invalid_argument("make_rate: decay spec needs 3 numbers: '" +
+                                  spec + "'");
+    return core::growth_rate::exponential_decay(
+        parse_double(body.substr(0, first), spec),
+        parse_double(body.substr(first + 1, second - first - 1), spec),
+        parse_double(body.substr(second + 1), spec));
+  }
+  throw std::invalid_argument("make_rate: unknown growth-rate spec '" + spec +
+                              "'");
+}
+
+}  // namespace dlm::engine

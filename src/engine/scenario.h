@@ -1,0 +1,145 @@
+// Declarative scenario descriptions for the batch engine.
+//
+// A `scenario` names everything one model run needs — which model, which
+// dataset slice, solver scheme / grid resolution / growth-rate preset and
+// the evaluation window — as plain data, so sweeps can be expanded,
+// queued, executed on a thread pool and reproduced from their CSV record.
+// A `dataset_slice` is the engine's dataset abstraction: the observed
+// density surface of one story under one distance metric plus the paper
+// parameter preset for that metric, with optional graph/partition handles
+// for models (SI) that spread on the explicit follower graph.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dl_parameters.h"
+#include "core/dl_solver.h"
+#include "digg/simulator.h"
+#include "graph/digraph.h"
+#include "social/distance.h"
+#include "social/story.h"
+
+namespace dlm::engine {
+
+/// One story × distance-metric view of a dataset: the observed density
+/// surface (percent scale) plus everything a model adapter may consume.
+struct dataset_slice {
+  std::string name;    ///< unique key, e.g. "s1/hops"
+  std::string story;   ///< story label, e.g. "s1"
+  social::distance_metric metric = social::distance_metric::friendship_hops;
+  int max_distance = 0;    ///< spatial domain bound L (groups 1..L)
+  int horizon_hours = 0;   ///< temporal extent (hours 1..horizon)
+  /// actual[x-1][t-1]: observed density of group x at hour t.
+  std::vector<std::vector<double>> actual;
+  /// The paper's parameter preset for this metric with x_max = max_distance
+  /// (the growth rate may be overridden per scenario).
+  core::dl_parameters base_params;
+
+  /// Follower graph / initiator / partition for graph-driven models.
+  /// Null for slices built from a bare surface; adapters that need them
+  /// throw std::invalid_argument when absent.
+  const graph::digraph* followers = nullptr;
+  graph::node_id initiator = 0;
+  const social::distance_partition* partition = nullptr;
+
+  /// Observed density at group x (1-based), hour t (1-based).
+  /// Throws std::out_of_range outside the surface.
+  [[nodiscard]] double actual_at(int x, int t) const;
+
+  /// Observed profile at hour t over groups 1..max_distance.
+  [[nodiscard]] std::vector<double> profile_at(int t) const;
+};
+
+/// An immutable collection of slices plus ownership of the backing data
+/// (dataset / graphs / partitions the slices point into).  Move-only.
+class scenario_context {
+ public:
+  scenario_context() = default;
+  scenario_context(scenario_context&&) = default;
+  scenario_context& operator=(scenario_context&&) = default;
+  scenario_context(const scenario_context&) = delete;
+  scenario_context& operator=(const scenario_context&) = delete;
+
+  /// Adds a slice; returns its index.  Throws std::invalid_argument on a
+  /// duplicate name or an empty/ragged surface.
+  std::size_t add_slice(dataset_slice slice);
+
+  [[nodiscard]] std::size_t slice_count() const noexcept {
+    return slices_.size();
+  }
+  [[nodiscard]] const dataset_slice& slice(std::size_t index) const;
+  /// Lookup by name; throws std::invalid_argument for unknown names.
+  [[nodiscard]] const dataset_slice& slice(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> slice_names() const;
+
+  /// Builds one hop slice and one interest slice per flagship story of a
+  /// calibrated dataset (hops truncated at `max_hops`).  Takes ownership.
+  [[nodiscard]] static scenario_context from_dataset(digg::digg_dataset data,
+                                                     int max_hops = 6);
+
+  /// Builds a single hop slice from an organic cascade: the vote stream of
+  /// one story on an explicit follower graph.
+  [[nodiscard]] static scenario_context from_cascade(
+      graph::digraph followers, graph::node_id initiator,
+      const std::vector<social::vote>& votes, int horizon_hours,
+      int max_hops = 6);
+
+  /// Builds a single slice from a bare density surface (no graph) —
+  /// handy for tests and solver-convergence studies.
+  [[nodiscard]] static scenario_context from_surface(
+      std::string name, social::distance_metric metric,
+      std::vector<std::vector<double>> actual, core::dl_parameters params);
+
+ private:
+  std::vector<dataset_slice> slices_;
+  // Backing stores the slices point into (heap-stable across moves).
+  std::shared_ptr<digg::digg_dataset> data_;
+  std::vector<std::unique_ptr<graph::digraph>> graphs_;
+  std::vector<std::unique_ptr<social::distance_partition>> partitions_;
+};
+
+/// One work item of a sweep: everything `scenario_runner` needs to solve
+/// and score a single model on a single slice.
+struct scenario {
+  std::string model;            ///< registry key, e.g. "dl"
+  std::size_t slice = 0;        ///< index into the scenario_context
+  core::dl_scheme scheme = core::dl_scheme::strang_cn;
+  std::size_t points_per_unit = 20;  ///< grid resolution (grid models)
+  double dt = 0.02;                  ///< solver time step (DL)
+  std::string rate = "preset";       ///< growth-rate spec (see make_rate)
+  double t0 = 1.0;              ///< observation hour (initial profile)
+  double t_end = 6.0;           ///< last evaluated hour
+  std::uint64_t seed = 20090601;  ///< RNG seed for stochastic models
+};
+
+/// Declarative sweep: the cross product of the axes below over the chosen
+/// slices, with axes a model does not consume collapsed to one canonical
+/// value (a heat run is not duplicated per scheme, an SI run not per rate).
+struct sweep_spec {
+  std::vector<std::string> models;
+  /// Slice indices; empty means every slice in the context.
+  std::vector<std::size_t> slices;
+  std::vector<core::dl_scheme> schemes = {core::dl_scheme::strang_cn};
+  std::vector<std::size_t> grid = {20};  ///< points_per_unit values
+  std::vector<double> dts = {0.02};
+  std::vector<std::string> rates = {"preset"};
+  double t0 = 1.0;
+  double t_end = 6.0;
+  std::uint64_t seed = 20090601;
+};
+
+/// Growth-rate spec parser.  Accepted forms:
+///   "preset"           — the paper rate matching the slice metric
+///   "paper_hops"       — r(t) = 1.4·e^{−1.5(t−1)} + 0.25
+///   "paper_interest"   — r(t) = 1.6·e^{−(t−1)} + 0.1
+///   "constant:<v>"     — r(t) = v
+///   "decay:<a>,<b>,<c>" — r(t) = a·e^{−b(t−1)} + c
+/// Throws std::invalid_argument for anything else.
+[[nodiscard]] core::growth_rate make_rate(const std::string& spec,
+                                          social::distance_metric metric);
+
+}  // namespace dlm::engine

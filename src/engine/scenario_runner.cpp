@@ -1,0 +1,172 @@
+#include "engine/scenario_runner.h"
+
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "core/accuracy.h"
+#include "engine/thread_pool.h"
+#include "social/distance.h"
+
+namespace dlm::engine {
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+double elapsed_ms(clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(clock::now() - start)
+      .count();
+}
+
+/// Mean prediction accuracy of a trace against the slice's observed
+/// surface, over cells with a nonzero observation (paper Eq. 8
+/// convention; zero-density cells carry no signal).
+std::pair<double, std::size_t> score_trace(const model_trace& trace,
+                                           const dataset_slice& slice) {
+  double sum = 0.0;
+  std::size_t cells = 0;
+  for (std::size_t i = 0; i < trace.distances.size(); ++i) {
+    for (std::size_t j = 0; j < trace.times.size(); ++j) {
+      const double actual = slice.actual_at(trace.distances[i],
+                                            static_cast<int>(trace.times[j]));
+      if (actual <= 0.0) continue;
+      sum += core::prediction_accuracy(trace.predicted[i][j], actual);
+      ++cells;
+    }
+  }
+  return {cells == 0 ? 0.0 : sum / static_cast<double>(cells), cells};
+}
+
+}  // namespace
+
+std::vector<scenario> expand_sweep(const sweep_spec& spec,
+                                   const scenario_context& context,
+                                   const model_registry& registry) {
+  if (spec.models.empty())
+    throw std::invalid_argument("expand_sweep: no models in sweep");
+  if (spec.schemes.empty() || spec.grid.empty() || spec.dts.empty() ||
+      spec.rates.empty())
+    throw std::invalid_argument("expand_sweep: empty sweep axis");
+
+  std::vector<std::size_t> slices = spec.slices;
+  if (slices.empty()) {
+    for (std::size_t i = 0; i < context.slice_count(); ++i)
+      slices.push_back(i);
+  }
+  if (slices.empty())
+    throw std::invalid_argument("expand_sweep: context has no slices");
+  for (const std::size_t s : slices) (void)context.slice(s);  // bounds check
+
+  // Canonical single values for the axes a model ignores, so the cross
+  // product never enqueues duplicate work.
+  const std::vector<core::dl_scheme> no_scheme = {core::dl_scheme::strang_cn};
+  const std::vector<std::size_t> no_grid = {0};
+  const std::vector<double> no_dt = {0.0};
+  const std::vector<std::string> no_rate = {"-"};
+
+  std::vector<scenario> scenarios;
+  for (const std::string& model_name : spec.models) {
+    const std::unique_ptr<diffusion_model> model = registry.make(model_name);
+    const auto& schemes = model->uses_scheme() ? spec.schemes : no_scheme;
+    const auto& grids = model->uses_grid() ? spec.grid : no_grid;
+    const auto& dts = model->uses_scheme() ? spec.dts : no_dt;
+    const auto& rates = model->uses_rate() ? spec.rates : no_rate;
+    for (const std::size_t slice : slices) {
+      for (const core::dl_scheme scheme : schemes) {
+        for (const std::size_t grid : grids) {
+          for (const double dt : dts) {
+            for (const std::string& rate : rates) {
+              scenario sc;
+              sc.model = model_name;
+              sc.slice = slice;
+              sc.scheme = scheme;
+              sc.points_per_unit = grid;
+              sc.dt = dt;
+              sc.rate = rate;
+              sc.t0 = spec.t0;
+              sc.t_end = spec.t_end;
+              sc.seed = spec.seed;
+              scenarios.push_back(std::move(sc));
+            }
+          }
+        }
+      }
+    }
+  }
+  return scenarios;
+}
+
+sweep_result run_sweep(const scenario_context& context,
+                       std::span<const scenario> scenarios,
+                       const runner_options& options) {
+  const model_registry& registry =
+      options.registry != nullptr ? *options.registry : default_registry();
+  const clock::time_point sweep_start = clock::now();
+
+  sweep_result result;
+  std::vector<result_row> rows(scenarios.size());
+  if (options.keep_traces) result.traces.resize(scenarios.size());
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  {
+    thread_pool pool(options.threads);
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      pool.submit([&, i] {
+        try {
+          const scenario& sc = scenarios[i];
+          const dataset_slice& slice = context.slice(sc.slice);
+          const std::unique_ptr<diffusion_model> model =
+              registry.make(sc.model);
+
+          const clock::time_point start = clock::now();
+          model_trace trace = model->solve(sc, slice);
+          const auto [accuracy, cells] = score_trace(trace, slice);
+
+          result_row& row = rows[i];
+          row.index = i;
+          row.model = sc.model;
+          row.slice = slice.name;
+          row.story = slice.story;
+          row.metric = social::to_string(slice.metric);
+          row.scheme =
+              model->uses_scheme() ? core::to_string(sc.scheme) : "-";
+          row.points_per_unit = model->uses_grid() ? sc.points_per_unit : 0;
+          // The dt actually used, so rows stay truthful when a scheme
+          // clamps for stability (FTCS on fine grids).
+          row.dt = model->uses_scheme() ? trace.effective_dt : 0.0;
+          row.rate = model->uses_rate() ? sc.rate : "-";
+          row.t0 = sc.t0;
+          row.t_end = sc.t_end;
+          row.cells = cells;
+          row.accuracy = accuracy;
+          row.wall_ms = elapsed_ms(start);
+          if (options.keep_traces) result.traces[i] = std::move(trace);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+    pool.wait();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  result.table = result_table(std::move(rows));
+  result.wall_ms = elapsed_ms(sweep_start);
+  return result;
+}
+
+sweep_result run_sweep(const scenario_context& context, const sweep_spec& spec,
+                       const runner_options& options) {
+  const model_registry& registry =
+      options.registry != nullptr ? *options.registry : default_registry();
+  const std::vector<scenario> scenarios =
+      expand_sweep(spec, context, registry);
+  return run_sweep(context, scenarios, options);
+}
+
+}  // namespace dlm::engine

@@ -1,0 +1,63 @@
+// Parallel batch execution of scenario sweeps.
+//
+// `expand_sweep` turns a declarative sweep_spec into a concrete work
+// queue (the capability-aware cross product of its axes); `run_sweep`
+// executes the queue on a thread pool and aggregates index-ordered
+// results into a result_table.  Every scenario is solved and scored
+// independently and deterministically, so the table — and its CSV —
+// is identical at any thread count.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "engine/diffusion_model.h"
+#include "engine/model_registry.h"
+#include "engine/result_table.h"
+#include "engine/scenario.h"
+
+namespace dlm::engine {
+
+struct runner_options {
+  /// Worker threads; 0 → std::thread::hardware_concurrency.
+  std::size_t threads = 0;
+  /// Model registry to resolve scenario.model against; null → the
+  /// built-in default_registry().
+  const model_registry* registry = nullptr;
+  /// Also keep every scenario's predicted trace (index-aligned with the
+  /// result rows) — needed by convergence studies; off by default to
+  /// keep big sweeps lean.
+  bool keep_traces = false;
+};
+
+struct sweep_result {
+  result_table table;
+  /// Present iff runner_options::keep_traces; traces[i] belongs to
+  /// table.row(i).
+  std::vector<model_trace> traces;
+  /// End-to-end wall time of the parallel run (vs table.total_wall_ms(),
+  /// the serial sum).
+  double wall_ms = 0.0;
+};
+
+/// Expands the sweep into scenarios: slices × models × (the axes each
+/// model consumes).  Axes a model ignores are collapsed and recorded as
+/// canonical "n/a" values, so no duplicate work is enqueued.  Throws on
+/// unknown models/slices or empty axes.
+[[nodiscard]] std::vector<scenario> expand_sweep(
+    const sweep_spec& spec, const scenario_context& context,
+    const model_registry& registry = default_registry());
+
+/// Executes the scenarios on a worker pool.  The first exception thrown
+/// by any scenario is rethrown here after the queue drains.
+[[nodiscard]] sweep_result run_sweep(const scenario_context& context,
+                                     std::span<const scenario> scenarios,
+                                     const runner_options& options = {});
+
+/// Convenience: expand + run.
+[[nodiscard]] sweep_result run_sweep(const scenario_context& context,
+                                     const sweep_spec& spec,
+                                     const runner_options& options = {});
+
+}  // namespace dlm::engine

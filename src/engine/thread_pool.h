@@ -1,0 +1,51 @@
+// Fixed-size worker pool for the scenario runner.
+//
+// Deliberately minimal: submit fire-and-forget tasks, wait for the queue
+// to drain.  Determinism of sweep results does not come from the pool —
+// it comes from the runner writing each result into a pre-assigned index
+// — so the pool is free to schedule tasks in any order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dlm::engine {
+
+class thread_pool {
+ public:
+  /// Spawns `threads` workers (0 → std::thread::hardware_concurrency,
+  /// itself falling back to 1).
+  explicit thread_pool(std::size_t threads = 0);
+
+  /// Joins all workers; pending tasks are still executed first.
+  ~thread_pool();
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task.  Throws std::invalid_argument for a null task.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace dlm::engine

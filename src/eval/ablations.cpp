@@ -1,11 +1,11 @@
 #include "eval/ablations.h"
 
-#include <chrono>
 #include <cmath>
 #include <ostream>
 
 #include "core/accuracy.h"
 #include "core/dl_model.h"
+#include "engine/scenario_runner.h"
 #include "eval/table.h"
 #include "fit/calibrate.h"
 #include "models/heat_model.h"
@@ -14,11 +14,6 @@
 
 namespace dlm::eval {
 namespace {
-
-double elapsed_ms(const std::chrono::steady_clock::time_point& start) {
-  const auto end = std::chrono::steady_clock::now();
-  return std::chrono::duration<double, std::milli>(end - start).count();
-}
 
 /// Mean prediction accuracy of `predicted` against `r.actual` over
 /// t = 2..6 for one distance row.
@@ -123,55 +118,53 @@ std::vector<scheme_ablation_row> run_scheme_ablation(
       ctx.density(story_index, social::distance_metric::friendship_hops);
   const int upper = std::min(max_distance, field.max_distance());
 
-  std::vector<double> initial;
-  std::vector<int> distances;
+  // The observed surface (t = 1..6) as an engine slice.
+  std::vector<std::vector<double>> surface(static_cast<std::size_t>(upper));
   for (int x = 1; x <= upper; ++x) {
-    distances.push_back(x);
-    initial.push_back(field.at(x, 1));
+    for (int t = 1; t <= 6; ++t)
+      surface[static_cast<std::size_t>(x - 1)].push_back(field.at(x, t));
   }
-  const core::dl_parameters params = core::dl_parameters::paper_hops(upper);
+  const engine::scenario_context context = engine::scenario_context::
+      from_surface("scheme-ablation", social::distance_metric::friendship_hops,
+                   std::move(surface), core::dl_parameters::paper_hops(upper));
 
-  // Fine MOL-RK4 reference.
-  core::dl_solver_options ref_opts;
-  ref_opts.scheme = core::dl_scheme::mol_rk4;
-  ref_opts.points_per_unit = 80;
-  ref_opts.dt = 0.002;
-  const core::dl_model reference(params, initial, 1.0, 6.0, ref_opts);
-  const std::vector<double> ref_profile = reference.predict_profile(6.0);
+  // One sweep: the four schemes plus a fine MOL-RK4 reference scenario.
+  const std::vector<core::dl_scheme> schemes{
+      core::dl_scheme::ftcs, core::dl_scheme::strang_cn,
+      core::dl_scheme::implicit_newton, core::dl_scheme::mol_rk4};
+  std::vector<engine::scenario> scenarios;
+  for (const core::dl_scheme scheme : schemes) {
+    engine::scenario sc;
+    sc.model = "dl";
+    sc.scheme = scheme;
+    scenarios.push_back(std::move(sc));
+  }
+  engine::scenario reference;
+  reference.model = "dl";
+  reference.scheme = core::dl_scheme::mol_rk4;
+  reference.points_per_unit = 80;
+  reference.dt = 0.002;
+  scenarios.push_back(std::move(reference));
 
+  engine::runner_options options;
+  options.keep_traces = true;
+  const engine::sweep_result result =
+      engine::run_sweep(context, scenarios, options);
+
+  const engine::model_trace& ref_trace = result.traces.back();
+  const std::size_t last = ref_trace.times.size() - 1;
   std::vector<scheme_ablation_row> rows;
-  for (core::dl_scheme scheme :
-       {core::dl_scheme::ftcs, core::dl_scheme::strang_cn,
-        core::dl_scheme::implicit_newton, core::dl_scheme::mol_rk4}) {
-    core::dl_solver_options opts;
-    opts.scheme = scheme;
-    opts.points_per_unit = 20;
-    opts.dt = scheme == core::dl_scheme::ftcs ? 0.01 : 0.02;
-
-    const auto start = std::chrono::steady_clock::now();
-    const core::dl_model model(params, initial, 1.0, 6.0, opts);
-    const double ms = elapsed_ms(start);
-
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
     scheme_ablation_row row;
-    row.scheme = scheme;
-    row.solve_ms = ms;
-    const std::vector<double> profile = model.predict_profile(6.0);
-    for (std::size_t i = 0; i < profile.size(); ++i)
+    row.scheme = schemes[i];
+    row.overall_accuracy = result.table.row(i).accuracy;
+    row.solve_ms = result.table.row(i).wall_ms;
+    const engine::model_trace& trace = result.traces[i];
+    for (std::size_t x = 0; x < trace.distances.size(); ++x)
       row.deviation_vs_reference =
           std::max(row.deviation_vs_reference,
-                   std::abs(profile[i] - ref_profile[i]));
-    // Accuracy against the actual surface.
-    double acc = 0.0;
-    std::size_t n = 0;
-    for (int t = 2; t <= 6; ++t) {
-      const std::vector<double> p =
-          model.predict_profile(static_cast<double>(t));
-      for (std::size_t i = 0; i < distances.size(); ++i) {
-        acc += core::prediction_accuracy(p[i], field.at(distances[i], t));
-        ++n;
-      }
-    }
-    row.overall_accuracy = acc / static_cast<double>(n);
+                   std::abs(trace.predicted[x][last] -
+                            ref_trace.predicted[x][last]));
     rows.push_back(row);
   }
   return rows;
@@ -268,35 +261,60 @@ std::vector<resolution_row> run_resolution_ablation() {
   // Synthetic smooth initial profile on [1, 6].
   const std::vector<double> initial{1.9, 0.8, 1.1, 0.6, 0.4, 0.3};
   const core::dl_parameters params = core::dl_parameters::paper_hops(6.0);
+  const int horizon = 6;
 
+  // Finest level as reference — its surface doubles as the engine slice.
+  core::dl_solver_options fine;
+  fine.points_per_unit = 160;
+  fine.dt = 0.0025;
+  const core::dl_model reference(params, initial, 1.0, horizon, fine);
+  std::vector<std::vector<double>> surface(initial.size());
+  for (std::size_t i = 0; i < initial.size(); ++i) {
+    surface[i].push_back(initial[i]);
+    for (int t = 2; t <= horizon; ++t)
+      surface[i].push_back(reference.predict(static_cast<int>(i) + 1, t));
+  }
+  const engine::scenario_context context = engine::scenario_context::
+      from_surface("resolution-ablation",
+                   social::distance_metric::friendship_hops,
+                   std::move(surface), params);
+
+  // Paired Δx/Δt refinement levels (not a full cross product).
   struct level {
     std::size_t ppu;
     double dt;
   };
   const std::vector<level> levels{{5, 0.08}, {10, 0.04}, {20, 0.02},
                                   {40, 0.01}, {80, 0.005}};
+  std::vector<engine::scenario> scenarios;
+  for (const level& lv : levels) {
+    engine::scenario sc;
+    sc.model = "dl";
+    sc.points_per_unit = lv.ppu;
+    sc.dt = lv.dt;
+    sc.t_end = horizon;
+    scenarios.push_back(std::move(sc));
+  }
 
-  // Finest level as reference.
-  core::dl_solver_options fine;
-  fine.points_per_unit = 160;
-  fine.dt = 0.0025;
-  const core::dl_model reference(params, initial, 1.0, 6.0, fine);
-  const std::vector<double> ref = reference.predict_profile(6.0);
+  engine::runner_options options;
+  options.keep_traces = true;
+  const engine::sweep_result result =
+      engine::run_sweep(context, scenarios, options);
 
   std::vector<resolution_row> rows;
-  for (const level& lv : levels) {
-    core::dl_solver_options opts;
-    opts.points_per_unit = lv.ppu;
-    opts.dt = lv.dt;
-    const auto start = std::chrono::steady_clock::now();
-    const core::dl_model model(params, initial, 1.0, 6.0, opts);
+  for (std::size_t i = 0; i < levels.size(); ++i) {
     resolution_row row;
-    row.points_per_unit = lv.ppu;
-    row.dt = lv.dt;
-    row.solve_ms = elapsed_ms(start);
-    const std::vector<double> profile = model.predict_profile(6.0);
-    for (std::size_t i = 0; i < profile.size(); ++i)
-      row.deviation = std::max(row.deviation, std::abs(profile[i] - ref[i]));
+    row.points_per_unit = levels[i].ppu;
+    row.dt = levels[i].dt;
+    row.solve_ms = result.table.row(i).wall_ms;
+    const engine::model_trace& trace = result.traces[i];
+    const std::size_t last = trace.times.size() - 1;
+    for (std::size_t x = 0; x < trace.distances.size(); ++x) {
+      const double ref = context.slice(0).actual_at(trace.distances[x],
+                                                    horizon);
+      row.deviation = std::max(row.deviation,
+                               std::abs(trace.predicted[x][last] - ref));
+    }
     rows.push_back(row);
   }
   return rows;

@@ -176,7 +176,9 @@ TEST(SimulateCascade, VotesSortedAndUnique) {
   const auto votes = simulate_cascade(g, init, 0, 0, params, r);
   std::set<social::user_id> voters;
   for (std::size_t i = 0; i < votes.size(); ++i) {
-    if (i > 0) EXPECT_GE(votes[i].time, votes[i - 1].time);
+    if (i > 0) {
+      EXPECT_GE(votes[i].time, votes[i - 1].time);
+    }
     EXPECT_TRUE(voters.insert(votes[i].user).second) << "duplicate voter";
   }
   // Horizon bound.

@@ -1,0 +1,71 @@
+#include "engine/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using dlm::engine::thread_pool;
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  thread_pool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  thread_pool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    thread_pool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        counter.fetch_add(1);
+      });
+    }
+  }  // destructor joins after the queue drains
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, IndexedWritesNeedNoSynchronization) {
+  // The runner's aggregation pattern: each task owns one output index.
+  thread_pool pool(4);
+  std::vector<int> results(200, -1);
+  for (std::size_t i = 0; i < results.size(); ++i)
+    pool.submit([&results, i] { results[i] = static_cast<int>(i) * 2; });
+  pool.wait();
+  for (std::size_t i = 0; i < results.size(); ++i)
+    EXPECT_EQ(results[i], static_cast<int>(i) * 2);
+}
+
+TEST(ThreadPool, ZeroThreadsFallsBackToHardware) {
+  thread_pool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, NullTaskThrows) {
+  thread_pool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), std::invalid_argument);
+}
+
+}  // namespace
