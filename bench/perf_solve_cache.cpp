@@ -1,0 +1,79 @@
+// Cold-vs-warm solve-cache timing on an engine calibration sweep.
+//
+// The cache is keyed on canonical scenario identity (see
+// engine/solve_cache.h): a cold sweep pays every PDE solve — dominated by
+// the calibration lattice + Nelder–Mead probes — while a warm repeat of
+// the identical sweep must serve everything from the cache.  The spread
+// between the two is the headline number of the caching PR.
+
+#include <benchmark/benchmark.h>
+
+#include "core/dl_model.h"
+#include "engine/scenario_runner.h"
+#include "engine/solve_cache.h"
+
+namespace {
+
+using namespace dlm;
+
+engine::scenario_context make_context() {
+  core::dl_parameters truth = core::dl_parameters::paper_hops(6.0);
+  truth.d = 0.06;
+  truth.k = 22.0;
+  const std::vector<double> initial{1.9, 0.8, 1.1, 0.6, 0.4, 0.3};
+  const core::dl_model model(truth, initial, 1.0, 6.0);
+  std::vector<std::vector<double>> surface(initial.size());
+  for (std::size_t i = 0; i < initial.size(); ++i) {
+    surface[i].push_back(initial[i]);
+    for (int t = 2; t <= 6; ++t)
+      surface[i].push_back(model.predict(static_cast<int>(i) + 1, t));
+  }
+  return engine::scenario_context::from_surface(
+      "bench", social::distance_metric::friendship_hops, std::move(surface),
+      core::dl_parameters::paper_hops(6.0));
+}
+
+engine::sweep_spec make_spec() {
+  engine::sweep_spec spec;
+  spec.models = {"dl"};
+  spec.grid = {10, 20};
+  spec.rates = {"preset", "constant:0.5", "calibrate-fixed:3"};
+  spec.t_end = 6.0;
+  return spec;
+}
+
+void BM_calibration_sweep_cold(benchmark::State& state) {
+  const engine::scenario_context ctx = make_context();
+  const engine::sweep_spec spec = make_spec();
+  for (auto _ : state) {
+    engine::solve_cache cache;  // fresh: every solve runs
+    engine::runner_options options;
+    options.cache = &cache;
+    benchmark::DoNotOptimize(engine::run_sweep(ctx, spec, options));
+  }
+}
+BENCHMARK(BM_calibration_sweep_cold)->Unit(benchmark::kMillisecond);
+
+void BM_calibration_sweep_warm(benchmark::State& state) {
+  const engine::scenario_context ctx = make_context();
+  const engine::sweep_spec spec = make_spec();
+  engine::solve_cache cache;
+  engine::runner_options options;
+  options.cache = &cache;
+  (void)engine::run_sweep(ctx, spec, options);  // warm it up once
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine::run_sweep(ctx, spec, options));
+}
+BENCHMARK(BM_calibration_sweep_warm)->Unit(benchmark::kMillisecond);
+
+void BM_calibration_sweep_uncached(benchmark::State& state) {
+  // Baseline without any cache, for the no-regression comparison on the
+  // plain path.
+  const engine::scenario_context ctx = make_context();
+  const engine::sweep_spec spec = make_spec();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine::run_sweep(ctx, spec, {}));
+}
+BENCHMARK(BM_calibration_sweep_uncached)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -6,10 +6,13 @@
 // fitted) and asks which model explains the organic data best.  One
 // declarative sweep replaces the hand-rolled per-model loops: every
 // registered model family (DL under all four schemes × two grid
-// resolutions × two growth rates, plus the heat, logistic, per-distance
-// logistic and SI baselines) runs on the same slice through
+// resolutions × three growth rates — including the "calibrate" spec that
+// fits (d, K, a, b, c) on the early window — plus the heat, logistic,
+// per-distance logistic and SI baselines) runs on the same slice through
 // engine::run_sweep, first single-threaded and then on the full pool to
-// show the determinism + speedup contract.
+// show the determinism + speedup contract.  A shared solve cache then
+// replays the whole sweep warm: zero additional PDE solves, byte-identical
+// CSV.
 //
 // Build & run:  ./build/examples/model_comparison
 
@@ -20,6 +23,7 @@
 #include "digg/simulator.h"
 #include "engine/model_registry.h"
 #include "engine/scenario_runner.h"
+#include "engine/solve_cache.h"
 #include "graph/generators.h"
 
 int main() {
@@ -49,13 +53,16 @@ int main() {
       std::move(followers), initiator, votes, cp.horizon_hours);
 
   // One declarative sweep over every model family: DL expands over all
-  // four schemes × grids × rates; baselines collapse the axes they ignore.
+  // four schemes × grids × rates (the "calibrate" spec fits the paper's
+  // untuned parameters to the first half of the window before solving);
+  // baselines collapse the axes they ignore — a calibrate spec collapses
+  // to "preset" for models that cannot calibrate.
   engine::sweep_spec spec;
   spec.models = engine::default_registry().names();
   spec.schemes = {core::dl_scheme::ftcs, core::dl_scheme::strang_cn,
                   core::dl_scheme::implicit_newton, core::dl_scheme::mol_rk4};
   spec.grid = {20, 40};
-  spec.rates = {"preset", "constant:0.5"};
+  spec.rates = {"preset", "constant:0.5", "calibrate"};
   spec.t_end = cp.horizon_hours;
 
   const std::vector<engine::scenario> scenarios =
@@ -65,18 +72,22 @@ int main() {
 
   engine::runner_options serial;
   serial.threads = 1;
+  serial.calibration.coarse_steps = 3;  // 3^5 lattice points per fit
   const engine::sweep_result one = engine::run_sweep(ctx, scenarios, serial);
 
-  engine::runner_options parallel;  // threads = hardware_concurrency
+  engine::runner_options parallel = serial;  // hardware_concurrency
+  parallel.threads = 0;
   const engine::sweep_result many =
       engine::run_sweep(ctx, scenarios, parallel);
 
   std::printf("%s\n", many.table.to_text().c_str());
 
   const engine::result_row& best = many.table.best();
-  std::printf("best: %s on %s (scheme %s, rate %s) — %.2f%% over %zu cells\n",
+  std::printf("best: %s on %s (scheme %s, rate %s -> %s) — %.2f%% over %zu "
+              "cells\n",
               best.model.c_str(), best.slice.c_str(), best.scheme.c_str(),
-              best.rate.c_str(), 100.0 * best.accuracy, best.cells);
+              best.rate.c_str(), best.resolved_rate.c_str(),
+              100.0 * best.accuracy, best.cells);
 
   const unsigned hw = std::thread::hardware_concurrency();
   std::printf("\nwall time: %.1f ms with 1 thread, %.1f ms with %u threads "
@@ -85,8 +96,24 @@ int main() {
               many.wall_ms > 0.0 ? one.wall_ms / many.wall_ms : 0.0);
   std::printf("deterministic: result CSV identical across thread counts: %s\n",
               one.table.to_csv() == many.table.to_csv() ? "yes" : "NO");
-  std::printf("\n(DL and the logistic baselines use the paper's untuned "
-              "parameters;\n fitting them to the pilot window improves both "
-              "— see bench/ablation_growth_rate)\n");
+
+  // Same sweep again through a shared solve cache: the cold pass fills
+  // it, the warm pass must hit for every trace and every calibration
+  // probe — zero additional PDE solves — and still reproduce the CSV
+  // byte for byte.
+  engine::solve_cache cache;
+  engine::runner_options cached = parallel;
+  cached.cache = &cache;
+  const engine::sweep_result cold = engine::run_sweep(ctx, scenarios, cached);
+  const engine::cache_stats after_cold = cache.stats();
+  const engine::sweep_result warm = engine::run_sweep(ctx, scenarios, cached);
+  const engine::cache_stats after_warm = cache.stats();
+  std::printf("\nsolve cache: cold run %.1f ms (%zu misses), warm run %.1f ms "
+              "(%zu new misses, %zu hits)\n",
+              cold.wall_ms, after_cold.misses, warm.wall_ms,
+              after_warm.misses - after_cold.misses,
+              after_warm.hits - after_cold.hits);
+  std::printf("warm CSV identical to cold: %s\n",
+              warm.table.to_csv() == cold.table.to_csv() ? "yes" : "NO");
   return 0;
 }

@@ -47,6 +47,8 @@ model_trace dl_adapter::solve(const scenario& sc,
 
   core::dl_parameters params = slice.base_params;
   params.r = make_rate(sc.rate, slice.metric);
+  if (!std::isnan(sc.d_override)) params.d = sc.d_override;
+  if (!std::isnan(sc.k_override)) params.k = sc.k_override;
 
   core::dl_solver_options options;
   options.scheme = sc.scheme;

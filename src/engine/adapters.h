@@ -11,15 +11,18 @@
 namespace dlm::engine {
 
 /// The paper's DL model via core::dl_solver — consumes every axis:
-/// scheme, grid resolution, dt and growth rate.  For the conditionally
-/// stable FTCS scheme the time step is clamped to 90% of the stability
-/// bound dx²/(2d) so fine-grid sweep points stay finite.
+/// scheme, grid resolution, dt and growth rate, plus the scenario's
+/// optional (d, K) overrides (set when a calibrate rate spec resolves).
+/// For the conditionally stable FTCS scheme the time step is clamped to
+/// 90% of the stability bound dx²/(2d) so fine-grid sweep points stay
+/// finite.
 class dl_adapter final : public diffusion_model {
  public:
   [[nodiscard]] std::string name() const override { return "dl"; }
   [[nodiscard]] bool uses_scheme() const override { return true; }
   [[nodiscard]] bool uses_grid() const override { return true; }
   [[nodiscard]] bool uses_rate() const override { return true; }
+  [[nodiscard]] bool supports_calibration() const override { return true; }
   [[nodiscard]] model_trace solve(const scenario& sc,
                                   const dataset_slice& slice) const override;
 };

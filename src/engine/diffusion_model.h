@@ -41,6 +41,13 @@ class diffusion_model {
   [[nodiscard]] virtual bool uses_grid() const { return false; }
   [[nodiscard]] virtual bool uses_rate() const { return false; }
 
+  /// Whether "calibrate" rate specs apply: the runner fits (d, K[, r])
+  /// on the slice's early window before solving.  Only meaningful for
+  /// models that honour scenario d/k overrides and the fitted rate —
+  /// the DL adapter.  Rate-using models that return false run their
+  /// preset rate when a sweep lists a calibrate spec.
+  [[nodiscard]] virtual bool supports_calibration() const { return false; }
+
   /// Solves the scenario on the slice and returns the predicted trace at
   /// integer distances 1..slice.max_distance and integer hours
   /// floor(t0)+1 .. min(floor(t_end), slice.horizon_hours).

@@ -1,0 +1,23 @@
+// Full-precision number formatting shared by the engine's identity
+// strings.
+//
+// Cache-key identity and CSV identity must agree byte for byte (a
+// calibrated row's resolved_rate is both recorded in the CSV and folded
+// into cache keys), so every engine component formats doubles through
+// this one helper.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace dlm::engine {
+
+/// %.17g — the shortest decimal form guaranteed to round-trip a double
+/// exactly through from_chars.
+[[nodiscard]] inline std::string format_full_precision(double value) {
+  char buffer[32];
+  const int written = std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return std::string(buffer, static_cast<std::size_t>(written));
+}
+
+}  // namespace dlm::engine

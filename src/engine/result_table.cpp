@@ -2,61 +2,113 @@
 
 #include <algorithm>
 #include <charconv>
-#include <cstdio>
 #include <ostream>
-#include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "engine/format.h"
 #include "eval/table.h"
 
 namespace dlm::engine {
 namespace {
 
-constexpr std::string_view kHeader =
-    "index,model,slice,story,metric,scheme,points_per_unit,dt,rate,t0,t_end,"
-    "cells,accuracy";
-constexpr std::string_view kTimingColumn = ",wall_ms";
-
-/// Shortest decimal form that round-trips a double exactly.
-std::string format_double(double value) {
-  char buffer[32];
-  const int written = std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-  return std::string(buffer, static_cast<std::size_t>(written));
+const std::vector<std::string>& base_columns() {
+  static const std::vector<std::string> columns{
+      "index",  "model", "slice", "story",    "metric",  "scheme",
+      "points_per_unit", "dt",    "rate",     "resolved_rate", "t0",
+      "t_end",  "cells", "accuracy", "fit_d", "fit_k",   "fit_a",
+      "fit_b",  "fit_c", "fit_sse",  "fit_evals"};
+  return columns;
 }
 
-std::vector<std::string_view> split(std::string_view line, char sep) {
-  std::vector<std::string_view> fields;
-  std::size_t start = 0;
-  for (;;) {
-    const std::size_t pos = line.find(sep, start);
-    if (pos == std::string_view::npos) {
-      fields.push_back(line.substr(start));
-      return fields;
-    }
-    fields.push_back(line.substr(start, pos - start));
-    start = pos + 1;
+constexpr std::string_view kCacheColumns[] = {"fit_solves", "fit_hits"};
+constexpr std::string_view kTimingColumn = "wall_ms";
+
+/// RFC-4180 quoting: quote when the field contains a comma, a quote or a
+/// line break; embedded quotes double.  Everything else passes through,
+/// so quoting is canonical and round-trips byte-identically.
+std::string csv_field(std::string_view field) {
+  if (field.find_first_of(",\"\r\n") == std::string_view::npos)
+    return std::string(field);
+  std::string quoted = "\"";
+  for (const char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
   }
+  quoted += '"';
+  return quoted;
 }
 
-double parse_csv_double(std::string_view field) {
+/// One-pass RFC-4180 reader: records of fields, quote-aware (embedded
+/// commas, doubled quotes and line breaks inside quoted fields).  Blank
+/// records (trailing newline, empty lines) are dropped.
+std::vector<std::vector<std::string>> parse_csv(std::string_view csv) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  const auto end_record = [&] {
+    fields.push_back(std::move(current));
+    current.clear();
+    if (fields.size() > 1 || !fields.front().empty())
+      records.push_back(std::move(fields));
+    fields.clear();
+  };
+  for (std::size_t i = 0; i < csv.size(); ++i) {
+    const char c = csv[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < csv.size() && csv[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\n') {
+      end_record();
+    } else if (c != '\r') {
+      current += c;
+    }
+  }
+  if (in_quotes)
+    throw std::invalid_argument("result_table: unterminated quote in CSV");
+  if (!current.empty() || !fields.empty()) end_record();
+  return records;
+}
+
+double parse_csv_double(const std::string& field) {
   double value = 0.0;
   const auto [ptr, ec] =
       std::from_chars(field.data(), field.data() + field.size(), value);
   if (ec != std::errc{} || ptr != field.data() + field.size())
-    throw std::invalid_argument("result_table: bad number '" +
-                                std::string(field) + "'");
+    throw std::invalid_argument("result_table: bad number '" + field + "'");
   return value;
 }
 
-std::size_t parse_csv_size(std::string_view field) {
+std::size_t parse_csv_size(const std::string& field) {
   std::size_t value = 0;
   const auto [ptr, ec] =
       std::from_chars(field.data(), field.data() + field.size(), value);
   if (ec != std::errc{} || ptr != field.data() + field.size())
-    throw std::invalid_argument("result_table: bad count '" +
-                                std::string(field) + "'");
+    throw std::invalid_argument("result_table: bad count '" + field + "'");
   return value;
+}
+
+std::string join_fields(const std::vector<std::string>& fields) {
+  std::string joined;
+  for (const std::string& field : fields) {
+    if (!joined.empty()) joined += ',';
+    joined += field;
+  }
+  return joined;
 }
 
 }  // namespace
@@ -66,8 +118,12 @@ bool result_row::same_result(const result_row& other) const {
          slice == other.slice && story == other.story &&
          metric == other.metric && scheme == other.scheme &&
          points_per_unit == other.points_per_unit && dt == other.dt &&
-         rate == other.rate && t0 == other.t0 && t_end == other.t_end &&
-         cells == other.cells && accuracy == other.accuracy;
+         rate == other.rate && resolved_rate == other.resolved_rate &&
+         t0 == other.t0 && t_end == other.t_end && cells == other.cells &&
+         accuracy == other.accuracy && fit_d == other.fit_d &&
+         fit_k == other.fit_k && fit_a == other.fit_a &&
+         fit_b == other.fit_b && fit_c == other.fit_c &&
+         fit_sse == other.fit_sse && fit_evals == other.fit_evals;
 }
 
 result_table::result_table(std::vector<result_row> rows)
@@ -95,21 +151,47 @@ double result_table::total_wall_ms() const {
 }
 
 std::string result_table::to_csv(const csv_options& options) const {
-  std::string out(kHeader);
-  if (options.include_timing) out += kTimingColumn;
+  std::string out;
+  for (const std::string& column : base_columns()) {
+    if (!out.empty()) out += ',';
+    out += column;
+  }
+  if (options.include_cache_stats) {
+    for (const std::string_view column : kCacheColumns) {
+      out += ',';
+      out += column;
+    }
+  }
+  if (options.include_timing) {
+    out += ',';
+    out += kTimingColumn;
+  }
   out += '\n';
   for (const result_row& r : rows_) {
     out += std::to_string(r.index);
-    out += ',' + r.model + ',' + r.slice + ',' + r.story + ',' + r.metric +
-           ',' + r.scheme;
+    out += ',' + csv_field(r.model) + ',' + csv_field(r.slice) + ',' +
+           csv_field(r.story) + ',' + csv_field(r.metric) + ',' +
+           csv_field(r.scheme);
     out += ',' + std::to_string(r.points_per_unit);
-    out += ',' + format_double(r.dt);
-    out += ',' + r.rate;
-    out += ',' + format_double(r.t0);
-    out += ',' + format_double(r.t_end);
+    out += ',' + format_full_precision(r.dt);
+    out += ',' + csv_field(r.rate);
+    out += ',' + csv_field(r.resolved_rate);
+    out += ',' + format_full_precision(r.t0);
+    out += ',' + format_full_precision(r.t_end);
     out += ',' + std::to_string(r.cells);
-    out += ',' + format_double(r.accuracy);
-    if (options.include_timing) out += ',' + format_double(r.wall_ms);
+    out += ',' + format_full_precision(r.accuracy);
+    out += ',' + format_full_precision(r.fit_d);
+    out += ',' + format_full_precision(r.fit_k);
+    out += ',' + format_full_precision(r.fit_a);
+    out += ',' + format_full_precision(r.fit_b);
+    out += ',' + format_full_precision(r.fit_c);
+    out += ',' + format_full_precision(r.fit_sse);
+    out += ',' + std::to_string(r.fit_evals);
+    if (options.include_cache_stats) {
+      out += ',' + std::to_string(r.fit_solves);
+      out += ',' + std::to_string(r.fit_hits);
+    }
+    if (options.include_timing) out += ',' + format_full_precision(r.wall_ms);
     out += '\n';
   }
   return out;
@@ -121,49 +203,71 @@ void result_table::write_csv(std::ostream& out,
 }
 
 result_table result_table::from_csv(std::string_view csv) {
-  std::vector<std::string_view> lines;
-  for (std::string_view rest = csv; !rest.empty();) {
-    const std::size_t pos = rest.find('\n');
-    if (pos == std::string_view::npos) {
-      lines.push_back(rest);
-      break;
-    }
-    if (pos > 0) lines.push_back(rest.substr(0, pos));
-    rest = rest.substr(pos + 1);
-  }
-  if (lines.empty())
+  const std::vector<std::vector<std::string>> records = parse_csv(csv);
+  if (records.empty())
     throw std::invalid_argument("result_table: empty CSV");
 
-  bool with_timing = false;
-  if (lines.front() == std::string(kHeader) + std::string(kTimingColumn)) {
-    with_timing = true;
-  } else if (lines.front() != kHeader) {
-    throw std::invalid_argument("result_table: unrecognized CSV header '" +
-                                std::string(lines.front()) + "'");
+  // Header: the base columns, optionally followed by the cache-stat pair
+  // and/or the timing column.
+  const std::vector<std::string>& base = base_columns();
+  const std::vector<std::string>& header = records.front();
+  const auto bad_header = [&] {
+    return std::invalid_argument("result_table: unrecognized CSV header '" +
+                                 join_fields(header) + "'");
+  };
+  if (header.size() < base.size() ||
+      !std::equal(base.begin(), base.end(), header.begin()))
+    throw bad_header();
+  std::size_t at = base.size();
+  bool with_cache = false;
+  if (at + 1 < header.size() && header[at] == kCacheColumns[0] &&
+      header[at + 1] == kCacheColumns[1]) {
+    with_cache = true;
+    at += 2;
   }
-  const std::size_t expected_fields = with_timing ? 14 : 13;
+  bool with_timing = false;
+  if (at < header.size() && header[at] == kTimingColumn) {
+    with_timing = true;
+    ++at;
+  }
+  if (at != header.size()) throw bad_header();
+  const std::size_t expected_fields = at;
 
   std::vector<result_row> rows;
-  for (std::size_t i = 1; i < lines.size(); ++i) {
-    const std::vector<std::string_view> f = split(lines[i], ',');
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    const std::vector<std::string>& f = records[i];
     if (f.size() != expected_fields)
       throw std::invalid_argument("result_table: malformed CSV line '" +
-                                  std::string(lines[i]) + "'");
+                                  join_fields(f) + "'");
     result_row r;
     r.index = parse_csv_size(f[0]);
-    r.model = std::string(f[1]);
-    r.slice = std::string(f[2]);
-    r.story = std::string(f[3]);
-    r.metric = std::string(f[4]);
-    r.scheme = std::string(f[5]);
+    r.model = f[1];
+    r.slice = f[2];
+    r.story = f[3];
+    r.metric = f[4];
+    r.scheme = f[5];
     r.points_per_unit = parse_csv_size(f[6]);
     r.dt = parse_csv_double(f[7]);
-    r.rate = std::string(f[8]);
-    r.t0 = parse_csv_double(f[9]);
-    r.t_end = parse_csv_double(f[10]);
-    r.cells = parse_csv_size(f[11]);
-    r.accuracy = parse_csv_double(f[12]);
-    if (with_timing) r.wall_ms = parse_csv_double(f[13]);
+    r.rate = f[8];
+    r.resolved_rate = f[9];
+    r.t0 = parse_csv_double(f[10]);
+    r.t_end = parse_csv_double(f[11]);
+    r.cells = parse_csv_size(f[12]);
+    r.accuracy = parse_csv_double(f[13]);
+    r.fit_d = parse_csv_double(f[14]);
+    r.fit_k = parse_csv_double(f[15]);
+    r.fit_a = parse_csv_double(f[16]);
+    r.fit_b = parse_csv_double(f[17]);
+    r.fit_c = parse_csv_double(f[18]);
+    r.fit_sse = parse_csv_double(f[19]);
+    r.fit_evals = parse_csv_size(f[20]);
+    std::size_t next = 21;
+    if (with_cache) {
+      r.fit_solves = parse_csv_size(f[next]);
+      r.fit_hits = parse_csv_size(f[next + 1]);
+      next += 2;
+    }
+    if (with_timing) r.wall_ms = parse_csv_double(f[next]);
     rows.push_back(std::move(r));
   }
   return result_table(std::move(rows));
@@ -171,14 +275,19 @@ result_table result_table::from_csv(std::string_view csv) {
 
 std::string result_table::to_text() const {
   eval::text_table table({"#", "model", "slice", "scheme", "pts/u", "dt",
-                          "rate", "accuracy", "cells", "ms"});
+                          "rate", "accuracy", "cells", "fit sse", "evals",
+                          "ms"});
   for (const result_row& r : rows_) {
+    const bool calibrated = r.fit_evals > 0;
     table.add_row({std::to_string(r.index), r.model, r.slice, r.scheme,
                    r.points_per_unit == 0 ? std::string("-")
                                           : std::to_string(r.points_per_unit),
                    r.dt == 0.0 ? std::string("-") : eval::text_table::num(r.dt),
                    r.rate, eval::text_table::pct(r.accuracy),
                    std::to_string(r.cells),
+                   calibrated ? eval::text_table::num(r.fit_sse, 4)
+                              : std::string("-"),
+                   calibrated ? std::to_string(r.fit_evals) : std::string("-"),
                    eval::text_table::num(r.wall_ms, 2)});
   }
   return table.str();

@@ -1,10 +1,15 @@
 // Aggregated sweep results: one row per scenario, CSV in and out.
 //
 // Rows carry the full scenario description (so a CSV line alone
-// reproduces the run), the accuracy score and the wall time.  CSV export
-// omits timing by default: two runs of the same sweep — at any thread
-// count — must produce byte-identical CSV, and wall time is the one
-// nondeterministic column.
+// reproduces the run), the accuracy score, the calibration outcome when
+// the scenario's rate spec was a "calibrate" form, and the wall time.
+// CSV export omits timing and the cache hit/miss split by default: two
+// runs of the same sweep — at any thread count, against a cold or a warm
+// solve cache — must produce byte-identical CSV, and those are the
+// nondeterministic columns.  String fields are quoted RFC-4180 style
+// (comma / quote / CR / LF trigger quoting, embedded quotes double), so
+// comma-bearing rate specs like "decay:1.4,1.5,0.25" — the exact form
+// calibration emits — round-trip exactly.
 #pragma once
 
 #include <cstddef>
@@ -26,20 +31,42 @@ struct result_row {
   std::string scheme;         ///< DL scheme, "-" when not applicable
   std::size_t points_per_unit = 0;  ///< 0 when not applicable
   double dt = 0.0;            ///< 0 when not applicable
-  std::string rate;           ///< rate spec, "-" when not applicable
+  std::string rate;           ///< requested rate spec, "-" when n/a
+  /// The concrete rate the model ran with: the canonical form of `rate`
+  /// ("preset" resolves to the metric's paper rate) or, for calibrate
+  /// specs, the fitted "decay:<a>,<b>,<c>".  "-" when the model has no
+  /// rate axis.
+  std::string resolved_rate = "-";
   double t0 = 0.0;
   double t_end = 0.0;
   std::size_t cells = 0;      ///< scored (distance, hour) cells
   double accuracy = 0.0;      ///< mean prediction accuracy over cells
-  double wall_ms = 0.0;       ///< solve + scoring wall time
+  // Calibration outcome — all zero for rows without a calibrate spec.
+  double fit_d = 0.0;         ///< fitted diffusion rate
+  double fit_k = 0.0;         ///< fitted carrying capacity
+  double fit_a = 0.0;         ///< fitted rate amplitude (0 if rate kept)
+  double fit_b = 0.0;         ///< fitted rate decay (0 if rate kept)
+  double fit_c = 0.0;         ///< fitted rate floor (0 if rate kept)
+  double fit_sse = 0.0;       ///< objective at the optimum
+  std::size_t fit_evals = 0;  ///< objective evaluations (deterministic)
+  /// How fit_evals split between real PDE solves and solve-cache hits.
+  /// Depends on cache warmth and scheduling — excluded from same_result
+  /// and from CSV unless csv_options::include_cache_stats.
+  std::size_t fit_solves = 0;
+  std::size_t fit_hits = 0;
+  /// Wall time of the scenario: solve + scoring, plus the whole
+  /// calibration fit for calibrate rows (which dominates it there).
+  double wall_ms = 0.0;
 
-  /// Equality over everything except wall_ms (the nondeterministic field).
+  /// Equality over everything except wall_ms and the fit_solves/fit_hits
+  /// split (the nondeterministic fields).
   [[nodiscard]] bool same_result(const result_row& other) const;
 };
 
 /// Controls CSV rendering.
 struct csv_options {
-  bool include_timing = false;  ///< append the wall_ms column
+  bool include_timing = false;       ///< append the wall_ms column
+  bool include_cache_stats = false;  ///< append fit_solves/fit_hits
 };
 
 class result_table {
@@ -62,16 +89,17 @@ class result_table {
   [[nodiscard]] double total_wall_ms() const;
 
   /// Deterministic CSV: header line + one line per row in index order.
-  /// Doubles are printed with %.17g so from_csv round-trips exactly.
+  /// Doubles are printed with %.17g and string fields are RFC-4180
+  /// quoted, so from_csv round-trips exactly.
   [[nodiscard]] std::string to_csv(const csv_options& options = {}) const;
   void write_csv(std::ostream& out, const csv_options& options = {}) const;
 
-  /// Parses CSV produced by to_csv (either column set).  Throws
+  /// Parses CSV produced by to_csv (any column set).  Throws
   /// std::invalid_argument on an unknown header or a malformed line.
   [[nodiscard]] static result_table from_csv(std::string_view csv);
 
   /// Column-aligned human-readable rendering (accuracy as a percentage,
-  /// timing included).
+  /// calibration SSE/evaluations and timing included).
   [[nodiscard]] std::string to_text() const;
 
  private:

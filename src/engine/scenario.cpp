@@ -25,6 +25,40 @@ std::vector<std::vector<double>> surface_of(const social::density_field& field,
   return surface;
 }
 
+std::uint64_t fnv1a(std::uint64_t hash, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+/// Content fingerprint of a validated slice (see dataset_slice docs).
+std::uint64_t slice_fingerprint(const dataset_slice& slice) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  const auto mix = [&hash](const auto& value) {
+    hash = fnv1a(hash, &value, sizeof(value));
+  };
+  mix(static_cast<int>(slice.metric));
+  mix(slice.max_distance);
+  mix(slice.horizon_hours);
+  for (const auto& row : slice.actual)
+    for (const double value : row) mix(value);
+  mix(slice.base_params.d);
+  mix(slice.base_params.k);
+  mix(slice.base_params.x_min);
+  mix(slice.base_params.x_max);
+  const std::string& label = slice.base_params.r.label();
+  hash = fnv1a(hash, label.data(), label.size());
+  // Graph-driven inputs by in-process identity (the SI adapter consumes
+  // them; hashing their content would rehash whole graphs per slice).
+  mix(slice.followers);
+  mix(slice.partition);
+  mix(slice.initiator);
+  return hash;
+}
+
 double parse_double(std::string_view text, const std::string& spec) {
   double value = 0.0;
   const auto [ptr, ec] =
@@ -66,6 +100,7 @@ std::size_t scenario_context::add_slice(dataset_slice slice) {
       throw std::invalid_argument("scenario_context: duplicate slice name '" +
                                   slice.name + "'");
   }
+  slice.fingerprint = slice_fingerprint(slice);
   slices_.push_back(std::move(slice));
   return slices_.size() - 1;
 }
@@ -205,6 +240,11 @@ core::growth_rate make_rate(const std::string& spec,
         parse_double(body.substr(first + 1, second - first - 1), spec),
         parse_double(body.substr(second + 1), spec));
   }
+  if (spec.starts_with("calibrate"))
+    throw std::invalid_argument(
+        "make_rate: '" + spec +
+        "' is a calibration spec, not a concrete rate; it is resolved by "
+        "engine::run_sweep before models solve");
   throw std::invalid_argument("make_rate: unknown growth-rate spec '" + spec +
                               "'");
 }

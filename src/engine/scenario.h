@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -45,6 +46,13 @@ struct dataset_slice {
   const graph::digraph* followers = nullptr;
   graph::node_id initiator = 0;
   const social::distance_partition* partition = nullptr;
+
+  /// Content fingerprint, computed by scenario_context::add_slice: a hash
+  /// of the metric, surface, base parameters and the in-process identity
+  /// of the graph handles.  Folded into solve-cache keys so two contexts
+  /// that reuse a slice *name* for different data never share cache
+  /// entries (it is a process-local identity, not a stable digest).
+  std::uint64_t fingerprint = 0;
 
   /// Observed density at group x (1-based), hour t (1-based).
   /// Throws std::out_of_range outside the surface.
@@ -114,6 +122,11 @@ struct scenario {
   double t0 = 1.0;              ///< observation hour (initial profile)
   double t_end = 6.0;           ///< last evaluated hour
   std::uint64_t seed = 20090601;  ///< RNG seed for stochastic models
+  /// Optional overrides of the slice's base (d, K) — NaN keeps the base
+  /// value.  Set by the runner when a "calibrate" rate spec resolves, so
+  /// the solved scenario (and its cache key) records the fitted values.
+  double d_override = std::numeric_limits<double>::quiet_NaN();
+  double k_override = std::numeric_limits<double>::quiet_NaN();
 };
 
 /// Declarative sweep: the cross product of the axes below over the chosen
@@ -138,7 +151,11 @@ struct sweep_spec {
 ///   "paper_interest"   — r(t) = 1.6·e^{−(t−1)} + 0.1
 ///   "constant:<v>"     — r(t) = v
 ///   "decay:<a>,<b>,<c>" — r(t) = a·e^{−b(t−1)} + c
-/// Throws std::invalid_argument for anything else.
+/// Calibration specs ("calibrate", "calibrate-fixed", optionally with a
+/// ":<hour>" fit-window suffix — see engine/calibration.h) are not
+/// concrete rates: the scenario runner resolves them to a "decay:…" /
+/// preset form before any model solves, so passing one here throws
+/// std::invalid_argument, as does any unknown spec.
 [[nodiscard]] core::growth_rate make_rate(const std::string& spec,
                                           social::distance_metric metric);
 

@@ -1,5 +1,6 @@
 #include "engine/scenario_runner.h"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <mutex>
@@ -7,6 +8,7 @@
 #include <utility>
 
 #include "core/accuracy.h"
+#include "engine/calibration.h"
 #include "engine/thread_pool.h"
 #include "social/distance.h"
 
@@ -39,6 +41,20 @@ std::pair<double, std::size_t> score_trace(const model_trace& trace,
   return {cells == 0 ? 0.0 : sum / static_cast<double>(cells), cells};
 }
 
+/// Solves through the cache when one is provided (the stored trace is
+/// keyed on the scenario's canonical identity, so a repeat — in this
+/// sweep or a later one — skips the PDE entirely).
+model_trace solve_with_cache(const diffusion_model& model, const scenario& sc,
+                             const dataset_slice& slice, solve_cache* cache) {
+  if (cache == nullptr) return model.solve(sc, slice);
+  const std::string key = scenario_cache_key(sc, slice, model);
+  if (const std::shared_ptr<const model_trace> hit = cache->find_trace(key))
+    return *hit;
+  model_trace trace = model.solve(sc, slice);
+  cache->store_trace(key, trace);
+  return trace;
+}
+
 }  // namespace
 
 std::vector<scenario> expand_sweep(const sweep_spec& spec,
@@ -64,7 +80,6 @@ std::vector<scenario> expand_sweep(const sweep_spec& spec,
   const std::vector<core::dl_scheme> no_scheme = {core::dl_scheme::strang_cn};
   const std::vector<std::size_t> no_grid = {0};
   const std::vector<double> no_dt = {0.0};
-  const std::vector<std::string> no_rate = {"-"};
 
   std::vector<scenario> scenarios;
   for (const std::string& model_name : spec.models) {
@@ -72,7 +87,22 @@ std::vector<scenario> expand_sweep(const sweep_spec& spec,
     const auto& schemes = model->uses_scheme() ? spec.schemes : no_scheme;
     const auto& grids = model->uses_grid() ? spec.grid : no_grid;
     const auto& dts = model->uses_scheme() ? spec.dts : no_dt;
-    const auto& rates = model->uses_rate() ? spec.rates : no_rate;
+    // The rate axis, with calibrate specs collapsed to "preset" for
+    // rate-using models that cannot calibrate (then deduplicated, so
+    // {"preset", "calibrate"} does not enqueue the preset run twice).
+    std::vector<std::string> rates;
+    if (!model->uses_rate()) {
+      rates = {"-"};
+    } else {
+      for (const std::string& rate : spec.rates) {
+        std::string resolved =
+            is_calibrate_spec(rate) && !model->supports_calibration()
+                ? "preset"
+                : rate;
+        if (std::find(rates.begin(), rates.end(), resolved) == rates.end())
+          rates.push_back(std::move(resolved));
+      }
+    }
     for (const std::size_t slice : slices) {
       for (const core::dl_scheme scheme : schemes) {
         for (const std::size_t grid : grids) {
@@ -111,6 +141,7 @@ sweep_result run_sweep(const scenario_context& context,
 
   std::mutex error_mutex;
   std::exception_ptr first_error;
+  std::size_t first_error_index = 0;
 
   {
     thread_pool pool(options.threads);
@@ -123,10 +154,41 @@ sweep_result run_sweep(const scenario_context& context,
               registry.make(sc.model);
 
           const clock::time_point start = clock::now();
-          model_trace trace = model->solve(sc, slice);
+          result_row& row = rows[i];
+
+          // Calibrate rate specs: fit first, then solve the rewritten
+          // scenario (resolved rate + fitted d/K overrides).  The coarse
+          // lattice fans back out over this same pool — run_batch has
+          // the submitting worker participate, so a nested batch cannot
+          // deadlock even with every worker busy calibrating.
+          scenario solved = sc;
+          const bool calibrated =
+              model->uses_rate() && is_calibrate_spec(sc.rate);
+          if (calibrated) {
+            if (!model->supports_calibration())
+              throw std::invalid_argument(
+                  "run_sweep: model '" + sc.model +
+                  "' does not support calibrate rate specs");
+            const scenario_calibration cal = calibrate_scenario(
+                sc, slice, options.calibration, options.cache, &pool);
+            solved.rate = cal.resolved_rate;
+            solved.d_override = cal.fit.params.d;
+            solved.k_override = cal.fit.params.k;
+            row.fit_d = cal.fit.params.d;
+            row.fit_k = cal.fit.params.k;
+            row.fit_a = cal.fit_a;
+            row.fit_b = cal.fit_b;
+            row.fit_c = cal.fit_c;
+            row.fit_sse = cal.fit.sse;
+            row.fit_evals = cal.fit.evaluations;
+            row.fit_solves = cal.fit.pde_solves;
+            row.fit_hits = cal.fit.cache_hits;
+          }
+
+          model_trace trace =
+              solve_with_cache(*model, solved, slice, options.cache);
           const auto [accuracy, cells] = score_trace(trace, slice);
 
-          result_row& row = rows[i];
           row.index = i;
           row.model = sc.model;
           row.slice = slice.name;
@@ -139,6 +201,11 @@ sweep_result run_sweep(const scenario_context& context,
           // clamps for stability (FTCS on fine grids).
           row.dt = model->uses_scheme() ? trace.effective_dt : 0.0;
           row.rate = model->uses_rate() ? sc.rate : "-";
+          row.resolved_rate =
+              model->uses_rate()
+                  ? (calibrated ? solved.rate
+                                : resolve_rate_spec(sc.rate, slice.metric))
+                  : "-";
           row.t0 = sc.t0;
           row.t_end = sc.t_end;
           row.cells = cells;
@@ -147,13 +214,34 @@ sweep_result run_sweep(const scenario_context& context,
           if (options.keep_traces) result.traces[i] = std::move(trace);
         } catch (...) {
           const std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
+          // Keep the failure of the lowest scenario index so the error —
+          // like the rows — is deterministic across thread schedules.
+          if (!first_error || i < first_error_index) {
+            first_error = std::current_exception();
+            first_error_index = i;
+          }
         }
       });
     }
     pool.wait();
   }
-  if (first_error) std::rethrow_exception(first_error);
+  if (first_error) {
+    const scenario& sc = scenarios[first_error_index];
+    std::string slice_name = "<bad slice index " +
+                             std::to_string(sc.slice) + ">";
+    if (sc.slice < context.slice_count())
+      slice_name = context.slice(sc.slice).name;
+    try {
+      std::rethrow_exception(first_error);
+    } catch (const std::exception& e) {
+      // Wrap with the failing scenario's identity so a 1-in-500 sweep
+      // failure is diagnosable; non-std exceptions propagate unwrapped.
+      throw std::runtime_error(
+          "run_sweep: scenario #" + std::to_string(first_error_index) +
+          " (model '" + sc.model + "', slice '" + slice_name +
+          "') failed: " + e.what());
+    }
+  }
 
   result.table = result_table(std::move(rows));
   result.wall_ms = elapsed_ms(sweep_start);

@@ -16,6 +16,8 @@
 #include "engine/model_registry.h"
 #include "engine/result_table.h"
 #include "engine/scenario.h"
+#include "engine/solve_cache.h"
+#include "fit/calibrate.h"
 
 namespace dlm::engine {
 
@@ -29,6 +31,15 @@ struct runner_options {
   /// result rows) — needed by convergence studies; off by default to
   /// keep big sweeps lean.
   bool keep_traces = false;
+  /// Memoizing solve cache (see engine/solve_cache.h); null → every
+  /// solve runs.  Shared across run_sweep calls by the caller: a warm
+  /// repeat of a sweep performs zero additional PDE solves, and the
+  /// table CSV is byte-identical to the cold run's.
+  solve_cache* cache = nullptr;
+  /// Box bounds / lattice resolution / refinement cap for "calibrate"
+  /// rate specs.  The solver options and fit_rate flag inside are
+  /// ignored — they come from each scenario and its spec.
+  fit::calibration_options calibration{};
 };
 
 struct sweep_result {
@@ -43,14 +54,20 @@ struct sweep_result {
 
 /// Expands the sweep into scenarios: slices × models × (the axes each
 /// model consumes).  Axes a model ignores are collapsed and recorded as
-/// canonical "n/a" values, so no duplicate work is enqueued.  Throws on
+/// canonical "n/a" values, so no duplicate work is enqueued; "calibrate"
+/// rate specs additionally collapse to "preset" for rate-using models
+/// that do not support calibration (duplicates removed).  Throws on
 /// unknown models/slices or empty axes.
 [[nodiscard]] std::vector<scenario> expand_sweep(
     const sweep_spec& spec, const scenario_context& context,
     const model_registry& registry = default_registry());
 
-/// Executes the scenarios on a worker pool.  The first exception thrown
-/// by any scenario is rethrown here after the queue drains.
+/// Executes the scenarios on a worker pool.  Scenarios whose rate spec
+/// is a "calibrate" form are fitted first (see engine/calibration.h) —
+/// the fitted parameters land in the row's fit_* columns and the solved
+/// scenario records the resolved rate.  The failure of lowest scenario
+/// index is rethrown here after the queue drains, wrapped in a
+/// std::runtime_error naming the scenario's index, model and slice.
 [[nodiscard]] sweep_result run_sweep(const scenario_context& context,
                                      std::span<const scenario> scenarios,
                                      const runner_options& options = {});

@@ -1,0 +1,92 @@
+#include "engine/solve_cache.h"
+
+#include <cmath>
+
+#include "engine/format.h"
+
+namespace dlm::engine {
+
+std::shared_ptr<const model_trace> solve_cache::find_trace(
+    const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = traces_.find(key);
+  if (it == traces_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void solve_cache::store_trace(const std::string& key, model_trace trace) {
+  auto stored = std::make_shared<const model_trace>(std::move(trace));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  traces_.emplace(key, std::move(stored));  // first insert wins
+}
+
+std::optional<double> solve_cache::find_value(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void solve_cache::store_value(const std::string& key, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  values_.emplace(key, value);  // first insert wins
+}
+
+cache_stats solve_cache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t solve_cache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return traces_.size() + values_.size();
+}
+
+void solve_cache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  traces_.clear();
+  values_.clear();
+  stats_ = cache_stats{};
+}
+
+std::string resolve_rate_spec(const std::string& spec,
+                              social::distance_metric metric) {
+  if (spec == "preset")
+    return metric == social::distance_metric::friendship_hops
+               ? "paper_hops"
+               : "paper_interest";
+  return spec;
+}
+
+std::string scenario_cache_key(const scenario& sc, const dataset_slice& slice,
+                               const diffusion_model& model) {
+  // Name + content fingerprint: a colliding slice name in another
+  // context must not alias this slice's entries.
+  std::string key = "slice=" + slice.name + '#' +
+                    std::to_string(slice.fingerprint) + "|model=" + sc.model;
+  key += "|scheme=";
+  key += model.uses_scheme() ? core::to_string(sc.scheme) : "-";
+  key += "|grid=";
+  key += model.uses_grid() ? std::to_string(sc.points_per_unit) : "0";
+  key += "|dt=";
+  key += model.uses_scheme() ? format_full_precision(sc.dt) : "0";
+  key += "|rate=";
+  key += model.uses_rate() ? resolve_rate_spec(sc.rate, slice.metric) : "-";
+  key += "|t0=" + format_full_precision(sc.t0) + "|t_end=" + format_full_precision(sc.t_end);
+  key += "|seed=" + std::to_string(sc.seed);
+  key += "|d=";
+  key += std::isnan(sc.d_override) ? "-" : format_full_precision(sc.d_override);
+  key += "|k=";
+  key += std::isnan(sc.k_override) ? "-" : format_full_precision(sc.k_override);
+  return key;
+}
+
+}  // namespace dlm::engine

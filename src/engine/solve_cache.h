@@ -1,0 +1,88 @@
+// Memoizing solve cache keyed on canonical scenario identity.
+//
+// A sweep frequently re-solves identical work: the same scenario repeated
+// across sweeps, the reference scenario of an ablation, and — dominating
+// everything — the dozens to hundreds of PDE solves a calibration run
+// spends probing the same parameter vectors.  The cache stores both kinds
+// of payload under one canonical string key:
+//
+//  * traces  — the model_trace of a full scenario solve, keyed by
+//              `scenario_cache_key` (slice name + content fingerprint +
+//              model + scheme + grid + dt + resolved rate + window + seed
+//              + parameter overrides: the fields the result-table CSV
+//              records, so cache identity == CSV identity, plus the
+//              fingerprint guarding against name collisions when one
+//              cache is shared across contexts);
+//  * values  — scalar objective values (calibration SSE), keyed by the
+//              scenario key extended with the probed parameter vector.
+//
+// Lookups are thread-safe; hit/miss counts are tracked so calibration can
+// report how many PDE solves were real vs served from cache.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "engine/diffusion_model.h"
+#include "engine/scenario.h"
+
+namespace dlm::engine {
+
+/// Cumulative lookup statistics (traces + values combined).
+struct cache_stats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+};
+
+class solve_cache {
+ public:
+  solve_cache() = default;
+  solve_cache(const solve_cache&) = delete;
+  solve_cache& operator=(const solve_cache&) = delete;
+
+  /// Returns the cached trace or null (counting a hit/miss).
+  [[nodiscard]] std::shared_ptr<const model_trace> find_trace(
+      const std::string& key);
+
+  /// Stores a trace under `key`.  A concurrent duplicate insert is benign:
+  /// the first stored trace wins and later ones are dropped (both were
+  /// computed from identical inputs).
+  void store_trace(const std::string& key, model_trace trace);
+
+  /// Returns the cached scalar or nullopt (counting a hit/miss).
+  [[nodiscard]] std::optional<double> find_value(const std::string& key);
+
+  /// Stores a scalar under `key` (first insert wins, as for traces).
+  void store_value(const std::string& key, double value);
+
+  [[nodiscard]] cache_stats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const model_trace>> traces_;
+  std::unordered_map<std::string, double> values_;
+  cache_stats stats_;
+};
+
+/// Resolves a growth-rate spec to its canonical form: "preset" names the
+/// paper rate of the slice's metric, so a hop-slice "preset" and an
+/// explicit "paper_hops" share one cache entry.  Calibrate specs and
+/// every other form are already canonical and returned unchanged.
+[[nodiscard]] std::string resolve_rate_spec(const std::string& spec,
+                                            social::distance_metric metric);
+
+/// Canonical identity of one scenario solve — the axes `model` consumes
+/// (the collapsed ones render as their "n/a" values, mirroring the CSV)
+/// plus the (d, K) overrides, so a calibrated solve never collides with a
+/// plain solve that happens to share the same resolved rate.
+[[nodiscard]] std::string scenario_cache_key(const scenario& sc,
+                                             const dataset_slice& slice,
+                                             const diffusion_model& model);
+
+}  // namespace dlm::engine

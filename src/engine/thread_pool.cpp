@@ -1,5 +1,8 @@
 #include "engine/thread_pool.h"
 
+#include <algorithm>
+#include <atomic>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
@@ -36,6 +39,72 @@ void thread_pool::submit(std::function<void()> task) {
 void thread_pool::wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void thread_pool::run_batch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  for (const auto& task : tasks) {
+    if (!task) throw std::invalid_argument("thread_pool: null task in batch");
+  }
+
+  // Shared by the caller and any helper tasks; helpers may outlive this
+  // call (they can be popped from the queue after the batch has drained),
+  // so the state is reference-counted.
+  struct batch_state {
+    std::vector<std::function<void()>> tasks;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mutex;
+    std::condition_variable all_done;
+    std::exception_ptr error;
+    std::size_t error_index = 0;
+  };
+  auto state = std::make_shared<batch_state>();
+  state->tasks = std::move(tasks);
+  const std::size_t total = state->tasks.size();
+
+  const auto drain = [state, total] {
+    for (;;) {
+      const std::size_t i = state->next.fetch_add(1);
+      if (i >= total) return;
+      try {
+        state->tasks[i]();
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(state->mutex);
+        if (!state->error || i < state->error_index) {
+          state->error = std::current_exception();
+          state->error_index = i;
+        }
+      }
+      if (state->done.fetch_add(1) + 1 == total) {
+        const std::lock_guard<std::mutex> lock(state->mutex);
+        state->all_done.notify_all();
+      }
+    }
+  };
+
+  // The caller always participates and waits for every task to finish
+  // before unwinding — helpers reference the shared state, but the task
+  // closures' own captures may point into the caller's stack frame.
+  const auto finish = [&] {
+    drain();
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->all_done.wait(lock, [&] { return state->done.load() == total; });
+  };
+
+  // One helper per worker (capped at the batch size); the caller claims
+  // tasks too, so progress never depends on a helper being scheduled.
+  const std::size_t helpers = std::min(workers_.size(), total - 1);
+  try {
+    for (std::size_t h = 0; h < helpers; ++h) submit(drain);
+  } catch (...) {
+    // submit can fail mid-loop (allocation); helpers already enqueued may
+    // be running tasks, so complete the batch before propagating.
+    finish();
+    throw;
+  }
+  finish();
+  if (state->error) std::rethrow_exception(state->error);
 }
 
 void thread_pool::worker_loop() {

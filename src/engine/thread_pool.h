@@ -36,6 +36,15 @@ class thread_pool {
   /// Blocks until every submitted task has finished.
   void wait();
 
+  /// Runs every task in `tasks` and returns once all have completed.
+  /// The calling thread participates in execution, so this is safe to
+  /// call from *inside* a pool worker (a nested batch cannot deadlock
+  /// even when every worker is busy); idle workers join in to speed the
+  /// batch up.  The first exception thrown by a task (lowest task index)
+  /// is rethrown after the batch drains.  Throws std::invalid_argument
+  /// for a null task.
+  void run_batch(std::vector<std::function<void()>> tasks);
+
  private:
   void worker_loop();
 

@@ -7,7 +7,6 @@
 #include "core/dl_model.h"
 #include "engine/scenario_runner.h"
 #include "eval/table.h"
-#include "fit/calibrate.h"
 #include "models/heat_model.h"
 #include "models/per_distance_logistic.h"
 #include "numerics/stats.h"
@@ -191,60 +190,50 @@ std::vector<growth_ablation_row> run_growth_ablation(
       ctx.density(story_index, social::distance_metric::friendship_hops);
   const int upper = std::min(max_distance, field.max_distance());
 
-  std::vector<double> initial;
-  std::vector<int> distances;
+  // The observed surface (t = 1..6) as an engine slice; the whole
+  // ablation is then one engine sweep over the `rates` axis, with the
+  // calibrated variant expressed as a "calibrate:4" spec (fit d, K and
+  // the rate on the t <= 4 window, evaluate on t = 2..6) instead of a
+  // hand-rolled fit::calibrate_dl call.
+  std::vector<std::vector<double>> surface(static_cast<std::size_t>(upper));
   for (int x = 1; x <= upper; ++x) {
-    distances.push_back(x);
-    initial.push_back(field.at(x, 1));
+    for (int t = 1; t <= 6; ++t)
+      surface[static_cast<std::size_t>(x - 1)].push_back(field.at(x, t));
   }
+  const engine::scenario_context context = engine::scenario_context::
+      from_surface("growth-ablation", social::distance_metric::friendship_hops,
+                   std::move(surface), core::dl_parameters::paper_hops(upper));
 
-  const auto evaluate = [&](const core::dl_parameters& params) {
-    const core::dl_model model(params, initial, 1.0, 6.0);
-    double acc = 0.0;
-    std::size_t n = 0;
-    for (int t = 2; t <= 6; ++t) {
-      const std::vector<double> p =
-          model.predict_profile(static_cast<double>(t));
-      for (std::size_t i = 0; i < distances.size(); ++i) {
-        acc += core::prediction_accuracy(p[i], field.at(distances[i], t));
-        ++n;
-      }
-    }
-    return acc / static_cast<double>(n);
-  };
+  engine::sweep_spec spec;
+  spec.models = {"dl"};
+  spec.rates = {"preset", "constant:0.25", "constant:0.5", "constant:0.8",
+                "calibrate:4"};
+  spec.t_end = 6.0;
+
+  engine::solve_cache cache;
+  engine::runner_options options;
+  options.cache = &cache;
+  options.calibration.a_max = 3.0;
+  options.calibration.b_min = 0.5;
+  options.calibration.c_max = 0.6;
+  const engine::sweep_result result =
+      engine::run_sweep(context, spec, options);
 
   std::vector<growth_ablation_row> rows;
-
-  core::dl_parameters paper = core::dl_parameters::paper_hops(upper);
-  rows.push_back({"paper r(t) = 1.4 exp(-1.5(t-1)) + 0.25", evaluate(paper)});
-
-  for (double c : {0.25, 0.5, 0.8}) {
-    core::dl_parameters constant = paper;
-    constant.r = core::growth_rate::constant(c);
-    rows.push_back({"constant r = " + text_table::num(c, 2),
-                    evaluate(constant)});
+  for (const engine::result_row& row : result.table.rows()) {
+    std::string label;
+    if (row.rate == "preset") {
+      label = "paper r(t) = 1.4 exp(-1.5(t-1)) + 0.25";
+    } else if (row.rate.starts_with("constant:")) {
+      label = "constant r = " + row.rate.substr(sizeof("constant:") - 1);
+    } else {
+      label = "calibrated (fit on t<=4): r(t) = " +
+              text_table::num(row.fit_a, 2) + " exp(-" +
+              text_table::num(row.fit_b, 2) + "(t-1)) + " +
+              text_table::num(row.fit_c, 2);
+    }
+    rows.push_back({std::move(label), row.accuracy});
   }
-
-  // Calibrated rate: fit (a, b, c) plus (d, K) on the t = 2..4 window,
-  // evaluate on the full t = 2..6 range.
-  fit::observation_window window;
-  window.t0 = 1.0;
-  window.initial = initial;
-  window.times = {2.0, 3.0, 4.0};
-  window.observed.resize(initial.size());
-  for (std::size_t i = 0; i < initial.size(); ++i) {
-    for (double t : window.times)
-      window.observed[i].push_back(
-          field.at(distances[i], static_cast<int>(t)));
-  }
-  fit::calibration_options cal;
-  cal.coarse_steps = 4;
-  cal.a_max = 3.0;
-  cal.b_min = 0.5;
-  cal.c_max = 0.6;
-  const fit::calibration_result fitted = fit::calibrate_dl(window, paper, cal);
-  rows.push_back({"calibrated (fit on t<=4): " + fitted.params.r.label(),
-                  evaluate(fitted.params)});
   return rows;
 }
 

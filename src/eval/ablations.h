@@ -49,7 +49,9 @@ void print_scheme_ablation(std::ostream& out,
                            const std::vector<scheme_ablation_row>& rows);
 
 // ------------------------------------------------------ growth-rate ablation
-/// Paper decaying r(t) vs constant rates vs least-squares-calibrated rate.
+/// Paper decaying r(t) vs constant rates vs least-squares-calibrated rate
+/// (one engine sweep over the `rates` axis; the calibrated variant is the
+/// "calibrate:4" spec running fit::calibrate_dl behind the scenes).
 struct growth_ablation_row {
   std::string label;
   double overall_accuracy = 0.0;

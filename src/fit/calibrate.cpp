@@ -1,7 +1,9 @@
 #include "fit/calibrate.h"
 
 #include <algorithm>
-#include <vector>
+#include <atomic>
+#include <limits>
+#include <utility>
 
 #include "numerics/optimize/grid_search.h"
 #include "numerics/optimize/nelder_mead.h"
@@ -27,16 +29,39 @@ calibration_result calibrate_dl(const observation_window& window,
                                 const calibration_options& options) {
   window.validate();
 
-  std::size_t evaluations = 0;
+  // Counters are atomic because the coarse lattice may run on a pool.
+  std::atomic<std::size_t> pde_solves{0};
+  std::atomic<std::size_t> cache_hits{0};
   const auto objective = [&](std::span<const double> v) {
-    ++evaluations;
-    return dl_sse(params_from_vector(start, v, options.fit_rate), window,
-                  options.solver);
+    if (options.cache_find) {
+      if (const std::optional<double> cached = options.cache_find(v)) {
+        cache_hits.fetch_add(1, std::memory_order_relaxed);
+        return *cached;
+      }
+    }
+    pde_solves.fetch_add(1, std::memory_order_relaxed);
+    const core::dl_parameters params =
+        params_from_vector(start, v, options.fit_rate);
+    core::dl_solver_options solver = options.solver;
+    if (solver.scheme == core::dl_scheme::ftcs && params.d > 0.0 &&
+        solver.points_per_unit > 0) {
+      // Mirror the engine adapter's FTCS stability clamp (dt <=
+      // dx²/(2d)) per probed d, so the objective evaluates exactly the
+      // discretization the fitted parameters will later run under.
+      const double dx = 1.0 / static_cast<double>(solver.points_per_unit);
+      solver.dt = std::min(solver.dt, 0.9 * dx * dx / (2.0 * params.d));
+    }
+    const double value = dl_sse(params, window, solver);
+    if (options.cache_store) options.cache_store(v, value);
+    return value;
   };
 
   const std::size_t dims = options.fit_rate ? 5 : 2;
 
-  // Coarse lattice scan.
+  // Coarse lattice scan over minimize_grid's own enumeration order.  The
+  // objective values are independent solves, so the scan fans out through
+  // the caller's batch executor when provided; the argmin (lowest index
+  // on ties) is identical either way.
   std::vector<num::grid_axis> axes;
   axes.push_back({options.d_min, options.d_max, options.coarse_steps});
   axes.push_back({options.k_min, options.k_max, options.coarse_steps});
@@ -45,7 +70,27 @@ calibration_result calibrate_dl(const observation_window& window,
     axes.push_back({options.b_min, options.b_max, options.coarse_steps});
     axes.push_back({options.c_min, options.c_max, options.coarse_steps});
   }
-  const num::grid_search_result coarse = num::minimize_grid(objective, axes);
+  const std::vector<std::vector<double>> points =
+      num::grid_lattice_points(axes);
+  std::vector<double> values(points.size());
+  if (options.run_batch) {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i)
+      tasks.push_back([&, i] { values[i] = objective(points[i]); });
+    options.run_batch(std::move(tasks));
+  } else {
+    for (std::size_t i = 0; i < points.size(); ++i)
+      values[i] = objective(points[i]);
+  }
+  std::size_t best = 0;
+  double best_value = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] < best_value) {
+      best_value = values[i];
+      best = i;
+    }
+  }
 
   // Refinement with bounded Nelder–Mead from the best lattice point.
   std::vector<double> lower{options.d_min, options.k_min};
@@ -55,18 +100,21 @@ calibration_result calibrate_dl(const observation_window& window,
     upper.insert(upper.end(), {options.a_max, options.b_max, options.c_max});
   }
   num::nelder_mead_options nm;
-  nm.max_iterations = 600;
+  nm.max_iterations = options.refine_iterations;
   nm.initial_step = 0.15;
   nm.f_tolerance = 1e-9;
   nm.x_tolerance = 1e-7;
   const num::nelder_mead_result refined = num::minimize_nelder_mead_bounded(
-      objective, std::span<const double>(coarse.x.data(), dims), lower, upper,
-      nm);
+      objective, std::span<const double>(points[best].data(), dims), lower,
+      upper, nm);
 
   calibration_result result;
   result.params = params_from_vector(start, refined.x, options.fit_rate);
+  result.x = refined.x;
   result.sse = refined.f_value;
-  result.evaluations = evaluations;
+  result.pde_solves = pde_solves.load();
+  result.cache_hits = cache_hits.load();
+  result.evaluations = result.pde_solves + result.cache_hits;
   result.converged = refined.converged;
   return result;
 }

@@ -3,11 +3,18 @@
 // Coarse lattice scan (grid search) followed by bounded Nelder–Mead
 // refinement over (d, K, a, b, c) where r(t) = a·e^{−b(t−1)} + c — the
 // paper's growth-rate family.  The paper tunes by hand; this automates the
-// same procedure and is used by the `model_comparison` example and the
-// r(t)-family ablation bench.
+// same procedure and is reachable either directly (this header) or as the
+// engine workload behind the "calibrate" growth-rate spec
+// (engine::scenario_runner), which memoizes objective values in a solve
+// cache and fans the lattice out over the engine thread pool via the
+// hooks below.
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
 
 #include "core/dl_parameters.h"
 #include "fit/objective.h"
@@ -23,14 +30,37 @@ struct calibration_options {
   double c_min = 0.0, c_max = 1.0;   ///< rate floor
   bool fit_rate = true;   ///< false: keep the rate from `start`, fit (d, K)
   std::size_t coarse_steps = 4;  ///< lattice points per axis in the scan
+  std::size_t refine_iterations = 600;  ///< Nelder–Mead iteration cap
   core::dl_solver_options solver{};
+
+  /// Optional memoization hooks.  `cache_find(v)` returns the objective
+  /// value previously stored for parameter vector `v` (or nullopt);
+  /// `cache_store(v, f)` records a freshly solved value.  When set, every
+  /// lookup is counted in calibration_result::cache_hits / pde_solves so
+  /// the reported "PDE solves spent" stays truthful instead of silently
+  /// shrinking as the cache warms up.  Hooks must be thread-safe when
+  /// `run_batch` is also set.
+  std::function<std::optional<double>(std::span<const double>)> cache_find;
+  std::function<void(std::span<const double>, double)> cache_store;
+
+  /// Optional batch executor for the coarse lattice: receives one task
+  /// per lattice point and must run them all before returning (order
+  /// free — each task owns its output slot).  Unset → serial scan.  The
+  /// engine wires this to thread_pool::run_batch.
+  std::function<void(std::vector<std::function<void()>>)> run_batch;
 };
 
 /// Calibration outcome.
 struct calibration_result {
   core::dl_parameters params;  ///< best-fit parameters
+  /// Raw optimizer vector behind `params`: (d, K) or (d, K, a, b, c) —
+  /// callers that need the fitted rate coefficients read them here, since
+  /// core::growth_rate does not expose its constants.
+  std::vector<double> x;
   double sse = 0.0;            ///< objective at the optimum
-  std::size_t evaluations = 0; ///< PDE solves spent
+  std::size_t evaluations = 0; ///< objective evaluations (solves + hits)
+  std::size_t pde_solves = 0;  ///< evaluations that actually solved the PDE
+  std::size_t cache_hits = 0;  ///< evaluations served from the memo hooks
   bool converged = false;
 };
 

@@ -4,10 +4,14 @@
 #include <stdexcept>
 
 namespace dlm::num {
+namespace {
 
-grid_search_result minimize_grid(
-    const std::function<double(std::span<const double>)>& f,
-    std::span<const grid_axis> axes) {
+/// Validates the axes and visits every lattice point in scan order (axis
+/// 0 varying fastest) with O(dims) memory — both public entry points
+/// share this enumeration, so their orders can never drift apart.
+template <typename Visitor>
+void for_each_lattice_point(std::span<const grid_axis> axes,
+                            Visitor&& visit) {
   if (axes.empty()) throw std::invalid_argument("minimize_grid: no axes");
   for (const grid_axis& ax : axes) {
     if (ax.count == 0)
@@ -20,9 +24,6 @@ grid_search_result minimize_grid(
   std::vector<std::size_t> idx(dims, 0);
   std::vector<double> point(dims);
 
-  grid_search_result best;
-  best.f_value = std::numeric_limits<double>::infinity();
-
   bool done = false;
   while (!done) {
     for (std::size_t k = 0; k < dims; ++k) {
@@ -32,12 +33,7 @@ grid_search_result minimize_grid(
                      : ax.lo + (ax.hi - ax.lo) * static_cast<double>(idx[k]) /
                            static_cast<double>(ax.count - 1);
     }
-    const double fv = f(point);
-    ++best.evaluations;
-    if (fv < best.f_value) {
-      best.f_value = fv;
-      best.x = point;
-    }
+    visit(std::span<const double>(point));
 
     // Odometer increment across the lattice.
     std::size_t k = 0;
@@ -47,6 +43,32 @@ grid_search_result minimize_grid(
     }
     done = (k == dims);
   }
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> grid_lattice_points(
+    std::span<const grid_axis> axes) {
+  std::vector<std::vector<double>> points;
+  for_each_lattice_point(axes, [&points](std::span<const double> point) {
+    points.emplace_back(point.begin(), point.end());
+  });
+  return points;
+}
+
+grid_search_result minimize_grid(
+    const std::function<double(std::span<const double>)>& f,
+    std::span<const grid_axis> axes) {
+  grid_search_result best;
+  best.f_value = std::numeric_limits<double>::infinity();
+  for_each_lattice_point(axes, [&](std::span<const double> point) {
+    const double fv = f(point);
+    ++best.evaluations;
+    if (fv < best.f_value) {
+      best.f_value = fv;
+      best.x.assign(point.begin(), point.end());
+    }
+  });
   return best;
 }
 

@@ -26,9 +26,19 @@ struct grid_search_result {
   std::size_t evaluations = 0;  ///< total lattice points visited
 };
 
-/// Evaluates `f` at every point of the Cartesian lattice defined by `axes`
-/// and returns the argmin.  Throws std::invalid_argument for empty axes or
-/// a zero-count axis.
+/// Every point of the Cartesian lattice defined by `axes`, materialized
+/// in evaluation order (axis 0 varying fastest) — the exact sequence
+/// minimize_grid visits, exposed so callers that fan the evaluations out
+/// (parallel calibration) resolve ties identically to the serial scan.
+/// O(points × dims) memory; use minimize_grid for a streaming scan.
+/// Throws std::invalid_argument for empty axes, a zero-count axis, or
+/// hi <= lo on a multi-point axis.
+[[nodiscard]] std::vector<std::vector<double>> grid_lattice_points(
+    std::span<const grid_axis> axes);
+
+/// Evaluates `f` at every point of the Cartesian lattice defined by
+/// `axes` — streaming, O(dims) memory — and returns the argmin (lowest
+/// index on ties).  Throws like grid_lattice_points.
 [[nodiscard]] grid_search_result minimize_grid(
     const std::function<double(std::span<const double>)>& f,
     std::span<const grid_axis> axes);

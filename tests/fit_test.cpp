@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
+#include <optional>
+#include <vector>
 
 #include "core/dl_model.h"
 #include "fit/calibrate.h"
@@ -93,6 +96,80 @@ TEST(CalibrateDl, RecoversDiffusionAndCapacity) {
   EXPECT_NEAR(result.params.k, 20.0, 2.0);
   EXPECT_LT(result.sse, 1e-3);
   EXPECT_GT(result.evaluations, 10u);
+}
+
+TEST(CalibrateDl, RejectsDegenerateLatticeConfiguration) {
+  const fit::observation_window window =
+      window_from_model(core::dl_parameters::paper_hops(6.0));
+  fit::calibration_options zero_steps;
+  zero_steps.coarse_steps = 0;
+  EXPECT_THROW((void)fit::calibrate_dl(window,
+                                       core::dl_parameters::paper_hops(6.0),
+                                       zero_steps),
+               std::invalid_argument);
+  fit::calibration_options inverted;
+  inverted.d_min = 0.4;
+  inverted.d_max = 0.1;
+  EXPECT_THROW((void)fit::calibrate_dl(window,
+                                       core::dl_parameters::paper_hops(6.0),
+                                       inverted),
+               std::invalid_argument);
+}
+
+TEST(CalibrateDl, MemoHooksKeepSolveCountsTruthful) {
+  core::dl_parameters truth = core::dl_parameters::paper_hops(6.0);
+  truth.d = 0.08;
+  truth.k = 20.0;
+  const fit::observation_window window = window_from_model(truth);
+
+  // A toy memo store standing in for the engine solve cache.
+  std::map<std::vector<double>, double> memo;
+  fit::calibration_options options;
+  options.fit_rate = false;
+  options.coarse_steps = 3;
+  options.d_max = 0.3;
+  options.k_min = 5.0;
+  options.k_max = 50.0;
+  options.cache_find =
+      [&memo](std::span<const double> v) -> std::optional<double> {
+    const auto it = memo.find(std::vector<double>(v.begin(), v.end()));
+    if (it == memo.end()) return std::nullopt;
+    return it->second;
+  };
+  options.cache_store = [&memo](std::span<const double> v, double value) {
+    memo.emplace(std::vector<double>(v.begin(), v.end()), value);
+  };
+
+  const core::dl_parameters start = core::dl_parameters::paper_hops(6.0);
+  const fit::calibration_result cold = fit::calibrate_dl(window, start,
+                                                         options);
+  EXPECT_EQ(cold.evaluations, cold.pde_solves + cold.cache_hits);
+  EXPECT_GT(cold.pde_solves, 0u);
+
+  // Re-running against the warm memo must spend zero PDE solves, report
+  // the split truthfully, and land on the identical optimum.
+  const fit::calibration_result warm = fit::calibrate_dl(window, start,
+                                                         options);
+  EXPECT_EQ(warm.pde_solves, 0u);
+  EXPECT_EQ(warm.cache_hits, warm.evaluations);
+  EXPECT_EQ(warm.evaluations, cold.evaluations);
+  EXPECT_EQ(warm.x, cold.x);
+  EXPECT_DOUBLE_EQ(warm.sse, cold.sse);
+
+  // The batch hook (a deliberately out-of-order serial executor) must
+  // not change the outcome: each lattice task owns its slot.
+  fit::calibration_options batched = options;
+  std::map<std::vector<double>, double> fresh;
+  batched.cache_find = nullptr;
+  batched.cache_store = nullptr;
+  batched.run_batch = [](std::vector<std::function<void()>> tasks) {
+    for (auto it = tasks.rbegin(); it != tasks.rend(); ++it) (*it)();
+  };
+  const fit::calibration_result via_batch = fit::calibrate_dl(window, start,
+                                                              batched);
+  EXPECT_EQ(via_batch.x, cold.x);
+  EXPECT_EQ(via_batch.cache_hits, 0u);
+  EXPECT_EQ(via_batch.pde_solves, via_batch.evaluations);
 }
 
 TEST(CalibrateDl, FullRateFitImprovesOnBadStart) {

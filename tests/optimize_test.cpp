@@ -120,6 +120,30 @@ TEST(GridSearch, SinglePointAxisPinsValue) {
   EXPECT_DOUBLE_EQ(res.x[1], 0.0);
 }
 
+TEST(GridSearch, LatticePointsMatchScanOrder) {
+  // grid_lattice_points is the enumeration minimize_grid scans — axis 0
+  // fastest — so callers that parallelize over it (calibration) break
+  // ties on the same point the serial scan would pick.
+  const std::vector<num::grid_axis> axes{{0.0, 1.0, 2}, {10.0, 30.0, 3}};
+  const auto points = num::grid_lattice_points(axes);
+  ASSERT_EQ(points.size(), 6u);
+  EXPECT_EQ(points[0], (std::vector<double>{0.0, 10.0}));
+  EXPECT_EQ(points[1], (std::vector<double>{1.0, 10.0}));
+  EXPECT_EQ(points[2], (std::vector<double>{0.0, 20.0}));
+  EXPECT_EQ(points[5], (std::vector<double>{1.0, 30.0}));
+
+  std::size_t visit = 0;
+  const auto res = num::minimize_grid(
+      [&](std::span<const double> x) {
+        EXPECT_EQ(std::vector<double>(x.begin(), x.end()), points[visit]);
+        ++visit;
+        return 0.0;  // all tied: the argmin must be the first point
+      },
+      axes);
+  EXPECT_EQ(visit, points.size());
+  EXPECT_EQ(res.x, points.front());
+}
+
 TEST(GridSearch, InvalidAxesThrow) {
   EXPECT_THROW((void)num::minimize_grid(
                    [](std::span<const double>) { return 0.0; },

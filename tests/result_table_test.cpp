@@ -65,13 +65,87 @@ TEST(ResultTable, FromCsvRejectsGarbage) {
   // Truncated line under a valid header.
   EXPECT_THROW((void)result_table::from_csv(csv + "1,dl,s1\n"),
                std::invalid_argument);
-  // Non-numeric field in a numeric column.
+  // Non-numeric field in a numeric column: corrupt the index field of the
+  // valid data line.
+  const std::size_t header_end = csv.find('\n') + 1;
+  EXPECT_THROW((void)result_table::from_csv(csv.substr(0, header_end) + "x" +
+                                            csv.substr(header_end + 1)),
+               std::invalid_argument);
+  // Unterminated quote.
   EXPECT_THROW(
-      (void)result_table::from_csv(
-          csv.substr(0, csv.find('\n') + 1) +
-          "x,dl,s1/hops,s1,friendship_hops,strang-cn,20,0.02,preset,1,6,30,"
-          "0.9\n"),
+      (void)result_table::from_csv(csv.substr(0, header_end) + "\"broken\n"),
       std::invalid_argument);
+}
+
+TEST(ResultTable, CsvQuotesCommaBearingRateSpecs) {
+  // The exact shape calibration emits: a requested "calibrate" spec that
+  // resolved to a full-precision comma-bearing decay rate.
+  result_row row = sample_row(0);
+  row.rate = "calibrate";
+  row.resolved_rate = "decay:1.3999999999999999,1.5,0.25";
+  row.fit_d = 0.0123456789012345678;
+  row.fit_k = 24.5;
+  row.fit_a = 1.3999999999999999;
+  row.fit_b = 1.5;
+  row.fit_c = 0.25;
+  row.fit_sse = 1.5e-7;
+  row.fit_evals = 841;
+  row.fit_solves = 500;
+  row.fit_hits = 341;
+  // A second row whose *requested* spec is already comma-bearing, plus a
+  // quote-and-comma-bearing slice name for the full RFC-4180 treatment.
+  result_row second = sample_row(1);
+  second.rate = "decay:1.4,1.5,0.25";
+  second.resolved_rate = second.rate;
+  second.slice = "weird \"slice\", with commas";
+  const result_table table({row, second});
+
+  const std::string csv = table.to_csv();
+  // The comma-bearing fields must be quoted on write...
+  EXPECT_NE(csv.find("\"decay:1.3999999999999999,1.5,0.25\""),
+            std::string::npos);
+  EXPECT_NE(csv.find("\"weird \"\"slice\"\", with commas\""),
+            std::string::npos);
+  // ...and the documented byte-identical round-trip must survive them.
+  const result_table parsed = result_table::from_csv(csv);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed.row(0).resolved_rate, row.resolved_rate);
+  EXPECT_EQ(parsed.row(1).rate, second.rate);
+  EXPECT_EQ(parsed.row(1).slice, second.slice);
+  for (std::size_t i = 0; i < table.size(); ++i)
+    EXPECT_TRUE(parsed.row(i).same_result(table.row(i))) << "row " << i;
+  EXPECT_EQ(parsed.to_csv(), csv);
+}
+
+TEST(ResultTable, CacheStatColumnsAreOptInAndRoundTrip) {
+  result_row row = sample_row(0);
+  row.rate = "calibrate";
+  row.resolved_rate = "decay:1.2,0.9,0.1";
+  row.fit_evals = 100;
+  row.fit_solves = 60;
+  row.fit_hits = 40;
+  const result_table table({row});
+
+  // Default CSV: the solves/hits split (nondeterministic across cache
+  // warmth) is omitted, like timing.
+  const std::string plain = table.to_csv();
+  EXPECT_EQ(plain.find("fit_solves"), std::string::npos);
+  const result_table parsed_plain = result_table::from_csv(plain);
+  EXPECT_EQ(parsed_plain.row(0).fit_solves, 0u);
+  EXPECT_EQ(parsed_plain.row(0).fit_evals, 100u);
+
+  // Opt-in columns round-trip, in every combination with timing.
+  const csv_options both{.include_timing = true, .include_cache_stats = true};
+  const std::string full = table.to_csv(both);
+  const result_table parsed = result_table::from_csv(full);
+  EXPECT_EQ(parsed.row(0).fit_solves, 60u);
+  EXPECT_EQ(parsed.row(0).fit_hits, 40u);
+  EXPECT_DOUBLE_EQ(parsed.row(0).wall_ms, 1.25);
+  EXPECT_EQ(parsed.to_csv(both), full);
+
+  const csv_options stats_only{.include_cache_stats = true};
+  const std::string cache_csv = table.to_csv(stats_only);
+  EXPECT_EQ(result_table::from_csv(cache_csv).to_csv(stats_only), cache_csv);
 }
 
 TEST(ResultTable, BestPicksHighestAccuracy) {

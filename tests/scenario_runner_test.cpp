@@ -134,16 +134,76 @@ TEST(ScenarioRunner, KeepTracesAlignsWithRows) {
   EXPECT_EQ(trace.predicted.size(), trace.distances.size());
 }
 
-TEST(ScenarioRunner, ErrorsInWorkersPropagate) {
+TEST(ScenarioRunner, ErrorsInWorkersPropagateWithScenarioContext) {
   const scenario_context ctx = synthetic_context();
+  scenario ok;
+  ok.model = "dl";
+  ok.t_end = 8.0;
   scenario si;  // synthetic slice has no follower graph
   si.model = "si";
   si.t_end = 8.0;
-  const std::vector<scenario> scenarios{si};
+  const std::vector<scenario> scenarios{ok, si};
   runner_options options;
   options.threads = 2;
-  EXPECT_THROW((void)run_sweep(ctx, scenarios, options),
-               std::invalid_argument);
+  // The failure is wrapped with the scenario's index, model and slice so
+  // a one-in-N sweep failure is diagnosable.
+  try {
+    (void)run_sweep(ctx, scenarios, options);
+    FAIL() << "run_sweep should have thrown";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("scenario #1"), std::string::npos) << message;
+    EXPECT_NE(message.find("model 'si'"), std::string::npos) << message;
+    EXPECT_NE(message.find("slice 'synthetic'"), std::string::npos) << message;
+    EXPECT_NE(message.find("follower graph"), std::string::npos) << message;
+  }
+}
+
+TEST(ScenarioRunner, ErrorReportsLowestFailingIndex) {
+  const scenario_context ctx = synthetic_context();
+  scenario si;
+  si.model = "si";
+  si.t_end = 8.0;
+  // Two failures: the wrapped error must name the lower index regardless
+  // of thread scheduling.
+  const std::vector<scenario> scenarios{si, si};
+  runner_options options;
+  options.threads = 4;
+  try {
+    (void)run_sweep(ctx, scenarios, options);
+    FAIL() << "run_sweep should have thrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("scenario #0"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ScenarioRunner, SolveCacheKeepsCsvIdenticalAndSkipsResolves) {
+  const scenario_context ctx = synthetic_context();
+  const std::vector<scenario> scenarios =
+      expand_sweep(synthetic_sweep(), ctx);
+
+  const sweep_result plain = run_sweep(ctx, scenarios, {});
+
+  solve_cache cache;
+  runner_options cached;
+  cached.cache = &cache;
+  cached.threads = 4;
+  const sweep_result cold = run_sweep(ctx, scenarios, cached);
+  const cache_stats after_cold = cache.stats();
+  EXPECT_GT(after_cold.misses, 0u);
+
+  // Warm repeat: no new misses (zero additional solves), same CSV — at a
+  // different thread count, too.
+  runner_options warm_serial = cached;
+  warm_serial.threads = 1;
+  const sweep_result warm = run_sweep(ctx, scenarios, warm_serial);
+  const cache_stats after_warm = cache.stats();
+  EXPECT_EQ(after_warm.misses, after_cold.misses);
+  EXPECT_EQ(after_warm.hits, after_cold.hits + scenarios.size());
+
+  EXPECT_EQ(cold.table.to_csv(), plain.table.to_csv());
+  EXPECT_EQ(warm.table.to_csv(), plain.table.to_csv());
 }
 
 TEST(ScenarioRunner, DatasetSweepCoversAllModelsDeterministically) {

@@ -68,4 +68,63 @@ TEST(ThreadPool, NullTaskThrows) {
   EXPECT_THROW(pool.submit(nullptr), std::invalid_argument);
 }
 
+TEST(ThreadPool, RunBatchRunsEveryTaskAndReturnsAfterAll) {
+  thread_pool pool(4);
+  std::vector<int> results(97, -1);
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < results.size(); ++i)
+    tasks.push_back([&results, i] { results[i] = static_cast<int>(i); });
+  pool.run_batch(std::move(tasks));
+  for (std::size_t i = 0; i < results.size(); ++i)
+    EXPECT_EQ(results[i], static_cast<int>(i));
+}
+
+TEST(ThreadPool, RunBatchEmptyAndNullHandling) {
+  thread_pool pool(2);
+  pool.run_batch({});  // no-op
+  std::vector<std::function<void()>> with_null;
+  with_null.push_back([] {});
+  with_null.push_back(nullptr);
+  EXPECT_THROW(pool.run_batch(std::move(with_null)), std::invalid_argument);
+}
+
+TEST(ThreadPool, RunBatchRethrowsLowestIndexFailure) {
+  thread_pool pool(4);
+  std::atomic<int> executed{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 20; ++i) {
+    tasks.push_back([&executed, i] {
+      executed.fetch_add(1);
+      if (i == 3) throw std::runtime_error("task three");
+      if (i == 11) throw std::logic_error("task eleven");
+    });
+  }
+  try {
+    pool.run_batch(std::move(tasks));
+    FAIL() << "run_batch should have rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task three");  // lowest failing index wins
+  }
+  EXPECT_EQ(executed.load(), 20);  // a failure does not stop the batch
+}
+
+TEST(ThreadPool, RunBatchNestedInsideWorkerDoesNotDeadlock) {
+  // The engine calibrates *inside* pool workers: every worker may block
+  // in a nested run_batch while no idle worker exists.  The calling
+  // thread participates, so this must complete.
+  thread_pool pool(2);
+  std::atomic<int> inner_total{0};
+  std::vector<std::function<void()>> outer;
+  for (int i = 0; i < 4; ++i) {
+    outer.push_back([&pool, &inner_total] {
+      std::vector<std::function<void()>> inner;
+      for (int j = 0; j < 16; ++j)
+        inner.push_back([&inner_total] { inner_total.fetch_add(1); });
+      pool.run_batch(std::move(inner));
+    });
+  }
+  pool.run_batch(std::move(outer));
+  EXPECT_EQ(inner_total.load(), 4 * 16);
+}
+
 }  // namespace
