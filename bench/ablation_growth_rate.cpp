@@ -1,6 +1,8 @@
-// Ablation: growth-rate family r(t).  Paper's decaying exponential (Eq. 7)
-// vs constant rates vs a rate calibrated by least squares on the t ≤ 4
-// window — all evaluated on story s1's t = 2..6 prediction task.
+// Ablation: growth-rate family.  Paper's decaying exponential (Eq. 7)
+// vs constant rates vs rates calibrated by least squares on the t ≤ 4
+// window — temporal r(t) and the §V spatio-temporal r(x, t) = m(x)·r(t),
+// fixed and fitted — all evaluated on story s1's t = 2..6 prediction
+// task, with fit-window SSE reported for the calibrated rows.
 
 #include <iostream>
 

@@ -43,11 +43,11 @@ int main() {
   const core::dl_model baseline(paper, initial, 1.0, 6.0);
 
   // Refinement: r(x, t) = m(x) · r_paper(t), m fitted on t <= 3.
-  const std::vector<double> multipliers =
-      core::fit_rate_profile(initial, at_t3, paper.r, paper.k, 1.0, 3.0);
+  const std::vector<double> multipliers = core::fit_rate_profile(
+      initial, at_t3, paper.r.base(), paper.k, 1.0, 3.0);
   core::dl_variable_parameters refined =
       core::dl_variable_parameters::from_constant(paper);
-  refined.r = core::scaled_rate_field(multipliers, paper.r, paper.x_min);
+  refined.r = core::scaled_rate_field(multipliers, paper.r.base(), paper.x_min);
   const core::initial_condition phi(initial);
   const core::dl_solution refined_sol =
       core::solve_dl_variable(refined, phi, 1.0, 6.0);

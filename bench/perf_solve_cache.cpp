@@ -4,7 +4,9 @@
 // engine/solve_cache.h): a cold sweep pays every PDE solve — dominated by
 // the calibration lattice + Nelder–Mead probes — while a warm repeat of
 // the identical sweep must serve everything from the cache.  The spread
-// between the two is the headline number of the caching PR.
+// between the two is the headline number of the caching PR.  The spatial
+// pair repeats the measurement on the r(x, t) axis (a concrete separable
+// field + the "calibrate-spatial" per-hop-multiplier fit).
 
 #include <benchmark/benchmark.h>
 
@@ -65,6 +67,42 @@ void BM_calibration_sweep_warm(benchmark::State& state) {
     benchmark::DoNotOptimize(engine::run_sweep(ctx, spec, options));
 }
 BENCHMARK(BM_calibration_sweep_warm)->Unit(benchmark::kMillisecond);
+
+engine::sweep_spec make_spatial_spec() {
+  // The §V spatial-rate axis: a concrete separable field plus the
+  // per-hop-multiplier fit family ("calibrate-spatial" probes carry 6
+  // extra optimizer dimensions, so its cache pressure is the worst case).
+  engine::sweep_spec spec;
+  spec.models = {"dl"};
+  spec.rates = {"spatial:preset|1.3,1,0.75,0.6,0.5,0.45",
+                "calibrate-spatial:3"};
+  spec.t_end = 6.0;
+  return spec;
+}
+
+void BM_spatial_sweep_cold(benchmark::State& state) {
+  const engine::scenario_context ctx = make_context();
+  const engine::sweep_spec spec = make_spatial_spec();
+  for (auto _ : state) {
+    engine::solve_cache cache;  // fresh: every solve runs
+    engine::runner_options options;
+    options.cache = &cache;
+    benchmark::DoNotOptimize(engine::run_sweep(ctx, spec, options));
+  }
+}
+BENCHMARK(BM_spatial_sweep_cold)->Unit(benchmark::kMillisecond);
+
+void BM_spatial_sweep_warm(benchmark::State& state) {
+  const engine::scenario_context ctx = make_context();
+  const engine::sweep_spec spec = make_spatial_spec();
+  engine::solve_cache cache;
+  engine::runner_options options;
+  options.cache = &cache;
+  (void)engine::run_sweep(ctx, spec, options);  // warm it up once
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine::run_sweep(ctx, spec, options));
+}
+BENCHMARK(BM_spatial_sweep_warm)->Unit(benchmark::kMillisecond);
 
 void BM_calibration_sweep_uncached(benchmark::State& state) {
   // Baseline without any cache, for the no-regression comparison on the

@@ -6,9 +6,11 @@
 // fitted) and asks which model explains the organic data best.  One
 // declarative sweep replaces the hand-rolled per-model loops: every
 // registered model family (DL under all four schemes × two grid
-// resolutions × three growth rates — including the "calibrate" spec that
-// fits (d, K, a, b, c) on the early window — plus the heat, logistic,
-// per-distance logistic and SI baselines) runs on the same slice through
+// resolutions × five growth rates — the "calibrate" spec that fits
+// (d, K, a, b, c) on the early window, plus the paper-§V spatial axis: a
+// fixed separable r(x, t) = m(x)·r(t) and "calibrate-spatial", which
+// fits the per-hop multipliers — plus the heat, logistic, per-distance
+// logistic and SI baselines) runs on the same slice through
 // engine::run_sweep, first single-threaded and then on the full pool to
 // show the determinism + speedup contract.  A shared solve cache then
 // replays the whole sweep warm: zero additional PDE solves, byte-identical
@@ -54,15 +56,19 @@ int main() {
 
   // One declarative sweep over every model family: DL expands over all
   // four schemes × grids × rates (the "calibrate" spec fits the paper's
-  // untuned parameters to the first half of the window before solving);
+  // untuned parameters to the first half of the window before solving;
+  // the spatial specs exercise the §V r(x, t) axis — "calibrate-spatial"
+  // fits one rate multiplier per distance group on the same window);
   // baselines collapse the axes they ignore — a calibrate spec collapses
-  // to "preset" for models that cannot calibrate.
+  // to "preset" for models that cannot calibrate, a spatial spec to its
+  // temporal base for models without a spatial-rate axis.
   engine::sweep_spec spec;
   spec.models = engine::default_registry().names();
   spec.schemes = {core::dl_scheme::ftcs, core::dl_scheme::strang_cn,
                   core::dl_scheme::implicit_newton, core::dl_scheme::mol_rk4};
   spec.grid = {20, 40};
-  spec.rates = {"preset", "constant:0.5", "calibrate"};
+  spec.rates = {"preset", "constant:0.5", "spatial:preset|1.2,1,0.8,0.65",
+                "calibrate", "calibrate-spatial"};
   spec.t_end = cp.horizon_hours;
 
   const std::vector<engine::scenario> scenarios =

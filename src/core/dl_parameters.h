@@ -1,17 +1,19 @@
-// Parameter set of the Diffusive Logistic equation (paper Eq. 4).
+// Parameter set of the Diffusive Logistic equation (paper Eq. 4,
+// generalized to the §V spatio-temporal rate).
 //
-//   ∂I/∂t = d ∂²I/∂x² + r(t) I (1 − I/K),   x ∈ [l, L], t ≥ t0
-//   ∂I/∂x = 0 at x = l and x = L            (Neumann / no-flux)
+//   ∂I/∂t = d ∂²I/∂x² + r(x, t) I (1 − I/K),   x ∈ [l, L], t ≥ t0
+//   ∂I/∂x = 0 at x = l and x = L               (Neumann / no-flux)
 //
 // d — diffusion rate (how fast influence travels across distances)
 // K — carrying capacity (max density at any distance; percent scale)
-// r — intrinsic growth rate within a distance group (growth_rate)
+// r — growth-rate field r(x, t) (core::rate_field; a plain growth_rate
+//     converts implicitly, giving the paper's r(t)-only Eq. 4)
 // [l, L] — distance domain bounds.
 #pragma once
 
 #include <string>
 
-#include "core/growth_rate.h"
+#include "core/rate_field.h"
 
 namespace dlm::core {
 
@@ -19,7 +21,7 @@ namespace dlm::core {
 struct dl_parameters {
   double d = 0.01;                              ///< diffusion rate
   double k = 25.0;                              ///< carrying capacity
-  growth_rate r = growth_rate::paper_hops();    ///< intrinsic growth rate
+  rate_field r = growth_rate::paper_hops();     ///< growth-rate field r(x, t)
   double x_min = 1.0;                           ///< l: nearest distance
   double x_max = 5.0;                           ///< L: farthest distance
 

@@ -164,6 +164,38 @@ dl_solution solve_dl_profile(const dl_parameters& params,
   std::vector<double> u(phi_samples.begin(), phi_samples.end());
   std::vector<double> lap(n), scratch(n), rhs_vec(n);
 
+  // Per-node growth rates.  For separable-form fields — every r(t)-only
+  // run and the "spatial:<base>|m,..." family — the spatial profile is
+  // hoisted out of the time loop: one base evaluation (or base integral)
+  // plus n multiplies per step, so the pre-r(x,t) fast path is preserved.
+  const rate_field& rate = params.r;
+  std::vector<double> node_x(n);
+  for (std::size_t i = 0; i < n; ++i) node_x[i] = grid.x(i);
+  const bool factored = rate.separable_form();
+  std::vector<double> mod;
+  if (factored) {
+    mod.resize(n);
+    for (std::size_t i = 0; i < n; ++i) mod[i] = rate.modulation(node_x[i]);
+  }
+  std::vector<double> rt(n), r_int(n);
+  const auto rates_at = [&](double t, std::span<double> out) {
+    if (factored) {
+      const double base = rate.base()(t);
+      for (std::size_t i = 0; i < n; ++i) out[i] = mod[i] * base;
+    } else {
+      rate.profile(t, node_x, out);
+    }
+  };
+  const auto integrals_over = [&](double from, double to,
+                                  std::span<double> out) {
+    if (factored) {
+      const double base = rate.base().integral(from, to);
+      for (std::size_t i = 0; i < n; ++i) out[i] = mod[i] * base;
+    } else {
+      rate.integral_profile(from, to, node_x, out);
+    }
+  };
+
   // Pre-built CN matrices for the Strang scheme.
   num::tridiagonal_matrix cn_lhs(n), cn_rhs(n);
   if (options.scheme == dl_scheme::strang_cn) {
@@ -178,12 +210,14 @@ dl_solution solve_dl_profile(const dl_parameters& params,
   const std::size_t total_steps = static_cast<std::size_t>(
       std::ceil((t_end - t0) / options.dt - 1e-12));
 
+  std::vector<double> rt_react(n);
   const auto reaction = [&](double t, std::span<const double> y,
                             std::span<double> dydt) {
     neumann_laplacian(y, dx, dydt);
-    const double rt = params.r(t);
+    rates_at(t, rt_react);
     for (std::size_t i = 0; i < y.size(); ++i)
-      dydt[i] = params.d * dydt[i] + rt * y[i] * (1.0 - y[i] / params.k);
+      dydt[i] =
+          params.d * dydt[i] + rt_react[i] * y[i] * (1.0 - y[i] / params.k);
   };
 
   std::vector<double> u_next(n);
@@ -196,16 +230,18 @@ dl_solution solve_dl_profile(const dl_parameters& params,
     switch (options.scheme) {
       case dl_scheme::ftcs: {
         neumann_laplacian(u, dx, lap);
-        const double rt = params.r(t);
+        rates_at(t, rt);
         for (std::size_t i = 0; i < n; ++i)
           u[i] += h * (params.d * lap[i] +
-                       rt * u[i] * (1.0 - u[i] / params.k));
+                       rt[i] * u[i] * (1.0 - u[i] / params.k));
         break;
       }
       case dl_scheme::strang_cn: {
-        // Reaction half-step (exact logistic with integrated rate).
-        const double r_first = params.r.integral(t, t + 0.5 * h);
-        for (double& v : u) v = logistic_exact(v, r_first, params.k);
+        // Reaction half-step (exact logistic with the per-node integrated
+        // rate ∫ r(x_i, s) ds).
+        integrals_over(t, t + 0.5 * h, r_int);
+        for (std::size_t i = 0; i < n; ++i)
+          u[i] = logistic_exact(u[i], r_int[i], params.k);
         // Diffusion full step (Crank–Nicolson).  Matrices were built for
         // options.dt; rebuild for a short trailing step.
         if (h != options.dt) {
@@ -216,14 +252,15 @@ dl_solution solve_dl_profile(const dl_parameters& params,
         num::solve_tridiagonal_in_place(cn_lhs, rhs_vec, scratch);
         u = rhs_vec;
         // Reaction half-step.
-        const double r_second = params.r.integral(t + 0.5 * h, t + h);
-        for (double& v : u) v = logistic_exact(v, r_second, params.k);
+        integrals_over(t + 0.5 * h, t + h, r_int);
+        for (std::size_t i = 0; i < n; ++i)
+          u[i] = logistic_exact(u[i], r_int[i], params.k);
         break;
       }
       case dl_scheme::implicit_newton: {
         // Backward Euler: solve u_next - u - h*(d*A u_next + f(u_next)) = 0.
         const double t_next = t + h;
-        const double rt = params.r(t_next);
+        rates_at(t_next, rt);
         u_next = u;  // warm start
         num::tridiagonal_matrix jac(n);
         std::vector<double> g(n);
@@ -234,7 +271,7 @@ dl_solution solve_dl_profile(const dl_parameters& params,
           for (std::size_t i = 0; i < n; ++i) {
             g[i] = u_next[i] - u[i] -
                    h * (params.d * lap[i] +
-                        rt * u_next[i] * (1.0 - u_next[i] / params.k));
+                        rt[i] * u_next[i] * (1.0 - u_next[i] / params.k));
             g_norm = std::max(g_norm, std::abs(g[i]));
           }
           if (g_norm <= options.newton_tol) {
@@ -245,7 +282,7 @@ dl_solution solve_dl_profile(const dl_parameters& params,
           const double mu = h * params.d / (dx * dx);
           for (std::size_t i = 0; i < n; ++i) {
             jac.diag[i] = 1.0 + 2.0 * mu -
-                          h * rt * (1.0 - 2.0 * u_next[i] / params.k);
+                          h * rt[i] * (1.0 - 2.0 * u_next[i] / params.k);
             if (i + 1 < n) jac.upper[i] = -mu * (i == 0 ? 2.0 : 1.0);
             if (i > 0) jac.lower[i - 1] = -mu * (i + 1 == n ? 2.0 : 1.0);
           }

@@ -18,6 +18,12 @@
 //
 // Space is discretized on a uniform grid over [l, L]; the Neumann no-flux
 // boundaries use mirror ghost nodes (second-order one-sided Laplacian).
+//
+// All four schemes consume the growth rate as a spatio-temporal field
+// r(x, t) (core::rate_field, paper §V): the reaction term — and, for
+// strang_cn, the exact logistic substep's integrated rate — is evaluated
+// per grid node.  Separable-form fields (every r(t)-only run) keep the
+// original cost: the spatial profile is hoisted out of the time loop.
 #pragma once
 
 #include <cstddef>

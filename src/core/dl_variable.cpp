@@ -10,8 +10,8 @@ dl_variable_parameters dl_variable_parameters::from_constant(
     const dl_parameters& params) {
   params.validate();
   dl_variable_parameters out;
-  const growth_rate rate = params.r;
-  out.r = [rate](double, double t) { return rate(t); };
+  const rate_field rate = params.r;
+  out.r = [rate](double x, double t) { return rate(x, t); };
   const double d_value = params.d;
   out.d = [d_value](double) { return d_value; };
   const double k_value = params.k;

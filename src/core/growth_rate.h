@@ -3,9 +3,10 @@
 // The paper observes (Fig. 4) that density increments shrink hour over
 // hour and therefore makes r a *decreasing function of time*; its Eq. 7
 // instance is r(t) = 1.4·e^{−1.5(t−1)} + 0.25 (Fig. 6).  The model also
-// admits constant rates and arbitrary callables (future-work §V suggests
-// r as a function of both t and x; the solver takes r(t) here, with
-// per-distance multipliers handled at the data layer).
+// admits constant rates and arbitrary callables.  growth_rate is the
+// purely-temporal building block; the solver consumes the §V
+// spatio-temporal field core::rate_field (see core/rate_field.h), into
+// which a growth_rate lifts implicitly as r(x, t) = r(t).
 #pragma once
 
 #include <functional>

@@ -47,14 +47,13 @@ double lower_solution_margin(const initial_condition& phi,
                              const dl_parameters& params, double t0,
                              std::size_t samples) {
   params.validate();
-  const double r0 = params.r(t0);
   double margin = std::numeric_limits<double>::infinity();
   const std::vector<double> xs =
       num::linspace(params.x_min, params.x_max, std::max<std::size_t>(samples, 2));
   for (double x : xs) {
     const double p = phi(x);
-    const double value =
-        params.d * phi.second_derivative(x) + r0 * p * (1.0 - p / params.k);
+    const double value = params.d * phi.second_derivative(x) +
+                         params.r(x, t0) * p * (1.0 - p / params.k);
     margin = std::min(margin, value);
   }
   return margin;

@@ -98,7 +98,12 @@ model_trace heat_adapter::solve(const scenario& sc,
 model_trace global_logistic_adapter::solve(const scenario& sc,
                                            const dataset_slice& slice) const {
   model_trace trace = make_trace(sc, slice);
-  const core::growth_rate rate = make_rate(sc.rate, slice.metric);
+  const core::rate_field rate = make_rate(sc.rate, slice.metric);
+  if (rate.spatial())
+    throw std::invalid_argument(
+        "global_logistic: spatial rate spec '" + sc.rate +
+        "' has no meaning for a space-free model (expand_sweep collapses "
+        "spatial specs to their temporal base for this model)");
   const std::vector<double> hour0 =
       slice.profile_at(static_cast<int>(sc.t0));
   const double n0 =
@@ -106,7 +111,8 @@ model_trace global_logistic_adapter::solve(const scenario& sc,
       static_cast<double>(hour0.size());
 
   for (std::size_t j = 0; j < trace.times.size(); ++j) {
-    const double integrated = rate.integral(sc.t0, trace.times[j]);
+    const double integrated =
+        rate.integral(sc.t0, trace.times[j], slice.base_params.x_min);
     const double value =
         models::logistic_step(n0, integrated, slice.base_params.k);
     for (std::size_t i = 0; i < trace.distances.size(); ++i)
@@ -118,10 +124,19 @@ model_trace global_logistic_adapter::solve(const scenario& sc,
 model_trace per_distance_logistic_adapter::solve(
     const scenario& sc, const dataset_slice& slice) const {
   model_trace trace = make_trace(sc, slice);
-  const core::growth_rate rate = make_rate(sc.rate, slice.metric);
+  const core::rate_field rate = make_rate(sc.rate, slice.metric);
+  // One rate callable per distance group: r(x_i, t).  A temporal field
+  // collapses to the single shared callable (one Simpson integral).
+  std::vector<models::rate_fn> rates;
+  const std::size_t groups =
+      rate.spatial() ? static_cast<std::size_t>(slice.max_distance) : 1;
+  for (std::size_t i = 0; i < groups; ++i) {
+    const double x = slice.base_params.x_min + static_cast<double>(i);
+    rates.push_back([rate, x](double t) { return rate(x, t); });
+  }
   const models::per_distance_logistic model(
       slice.profile_at(static_cast<int>(sc.t0)), sc.t0, slice.base_params.k,
-      [rate](double t) { return rate(t); });
+      std::move(rates));
 
   for (std::size_t j = 0; j < trace.times.size(); ++j) {
     const std::vector<double> profile = model.predict(trace.times[j]);

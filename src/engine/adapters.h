@@ -23,6 +23,7 @@ class dl_adapter final : public diffusion_model {
   [[nodiscard]] bool uses_grid() const override { return true; }
   [[nodiscard]] bool uses_rate() const override { return true; }
   [[nodiscard]] bool supports_calibration() const override { return true; }
+  [[nodiscard]] bool supports_spatial_rate() const override { return true; }
   [[nodiscard]] model_trace solve(const scenario& sc,
                                   const dataset_slice& slice) const override;
 };
@@ -50,13 +51,15 @@ class global_logistic_adapter final : public diffusion_model {
 };
 
 /// Temporal-only ablation (d = 0): models::per_distance_logistic, one
-/// independent logistic per distance group under the scenario rate.
+/// independent logistic per distance group under the scenario rate —
+/// per-group rates r(x_i, t) when the spec is a spatial form.
 class per_distance_logistic_adapter final : public diffusion_model {
  public:
   [[nodiscard]] std::string name() const override {
     return "per_distance_logistic";
   }
   [[nodiscard]] bool uses_rate() const override { return true; }
+  [[nodiscard]] bool supports_spatial_rate() const override { return true; }
   [[nodiscard]] model_trace solve(const scenario& sc,
                                   const dataset_slice& slice) const override;
 };

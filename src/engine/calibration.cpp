@@ -31,7 +31,11 @@ std::string vector_suffix(std::span<const double> v) {
 bool is_calibrate_spec(const std::string& spec) {
   if (!spec.starts_with(kCalibrate)) return false;
   std::string_view rest = std::string_view(spec).substr(kCalibrate.size());
-  if (rest.starts_with("-fixed")) rest = rest.substr(sizeof("-fixed") - 1);
+  if (rest.starts_with("-fixed")) {
+    rest = rest.substr(sizeof("-fixed") - 1);
+  } else if (rest.starts_with("-spatial")) {
+    rest = rest.substr(sizeof("-spatial") - 1);
+  }
   return rest.empty() || rest.front() == ':';
 }
 
@@ -45,6 +49,12 @@ calibrate_spec parse_calibrate_spec(const std::string& spec, double t0,
   if (rest.starts_with("-fixed")) {
     info.fit_rate = false;
     rest = rest.substr(sizeof("-fixed") - 1);
+  } else if (rest.starts_with("-spatial")) {
+    // Per-hop multipliers on top of the preset r(t): the temporal factor
+    // is kept, space is fitted.
+    info.fit_rate = false;
+    info.fit_spatial = true;
+    rest = rest.substr(sizeof("-spatial") - 1);
   }
 
   const int first_hour = static_cast<int>(std::floor(t0)) + 1;
@@ -102,6 +112,8 @@ scenario_calibration calibrate_scenario(const scenario& sc,
 
   fit::calibration_options options = base;
   options.fit_rate = info.fit_rate;
+  options.spatial_groups =
+      info.fit_spatial ? static_cast<std::size_t>(slice.max_distance) : 0;
   // The solver configuration comes from the scenario; calibrate_dl
   // applies the same per-d FTCS stability clamp the adapter will use for
   // the final solve, so fitted parameters and fit_sse describe the
@@ -121,9 +133,16 @@ scenario_calibration calibrate_scenario(const scenario& sc,
     prefix += "|scheme=" + core::to_string(sc.scheme);
     prefix += "|grid=" + std::to_string(sc.points_per_unit);
     prefix += "|dt=" + format_full_precision(options.solver.dt);
-    prefix += info.fit_rate
-                  ? std::string("|rate=fit")
-                  : "|rate=" + resolve_rate_spec("preset", slice.metric);
+    // Distinguish the three fit families: their probe vectors have
+    // different layouts (and, for -fixed vs -spatial, different models
+    // behind equal-length (d, K) lattice prefixes).
+    if (info.fit_rate) {
+      prefix += "|rate=fit";
+    } else if (info.fit_spatial) {
+      prefix += "|rate=fit-m:" + resolve_rate_spec("preset", slice.metric);
+    } else {
+      prefix += "|rate=" + resolve_rate_spec("preset", slice.metric);
+    }
     prefix += "|t0=" + format_full_precision(sc.t0);
     prefix += "|fit_end=" + std::to_string(info.fit_end);
     options.cache_find = [cache, prefix](std::span<const double> v) {
@@ -156,6 +175,13 @@ scenario_calibration calibrate_scenario(const scenario& sc,
     result.resolved_rate = "decay:" + format_full_precision(result.fit_a) + ',' +
                            format_full_precision(result.fit_b) + ',' +
                            format_full_precision(result.fit_c);
+  } else if (info.fit_spatial) {
+    // The fitted separable field as a concrete spec: full precision so
+    // the re-parsed rate — and the cache key built from it — is exact.
+    result.multipliers.assign(result.fit.x.begin() + 2, result.fit.x.end());
+    result.resolved_rate = "spatial:" +
+                           resolve_rate_spec("preset", slice.metric) + '|' +
+                           join_full_precision(result.multipliers);
   } else {
     result.resolved_rate = resolve_rate_spec("preset", slice.metric);
   }

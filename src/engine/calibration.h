@@ -7,6 +7,10 @@
 //   "calibrate:<H>"        same, fit window capped at hour H
 //   "calibrate-fixed"      keep the slice's preset r(t); fit (d, K) only
 //   "calibrate-fixed:<H>"  same, fit window capped at hour H
+//   "calibrate-spatial"    fit (d, K) plus one rate multiplier per
+//                          distance group: the solved rate is the
+//                          separable field m(x)·preset(t) (paper §V)
+//   "calibrate-spatial:<H>"  same, fit window capped at hour H
 //
 // runs fit::calibrate_dl on the scenario's early observation window —
 // hours floor(t0)+1 .. H, where H defaults to the midpoint
@@ -21,6 +25,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "engine/scenario.h"
 #include "engine/solve_cache.h"
@@ -29,14 +34,18 @@
 
 namespace dlm::engine {
 
-/// True for "calibrate" / "calibrate-fixed" specs (with or without the
-/// ":<hour>" suffix).  Purely syntactic — parse errors surface later.
+/// True for "calibrate" / "calibrate-fixed" / "calibrate-spatial" specs
+/// (with or without the ":<hour>" suffix).  Purely syntactic — parse
+/// errors surface later.
 [[nodiscard]] bool is_calibrate_spec(const std::string& spec);
 
 /// A parsed calibration spec, with the fit window resolved against a
 /// concrete scenario.
 struct calibrate_spec {
-  bool fit_rate = true;  ///< false for "calibrate-fixed"
+  bool fit_rate = true;  ///< false for "calibrate-fixed" / "-spatial"
+  /// True for "calibrate-spatial": fit one per-group rate multiplier on
+  /// top of the slice's preset r(t).
+  bool fit_spatial = false;
   /// Last observed hour used for fitting (inclusive); always in
   /// [floor(t0)+1, min(floor(t_end), horizon)].
   int fit_end = 0;
@@ -54,9 +63,12 @@ struct scenario_calibration {
   fit::calibration_result fit;  ///< fitted params + SSE + solve counts
   /// The concrete rate spec the fitted model uses: "decay:<a>,<b>,<c>"
   /// (full %.17g precision, so it re-parses exactly) for "calibrate",
-  /// the canonical preset name for "calibrate-fixed".
+  /// the canonical preset name for "calibrate-fixed", and
+  /// "spatial:<preset>|<m1>,<m2>,..." for "calibrate-spatial".
   std::string resolved_rate;
   double fit_a = 0.0, fit_b = 0.0, fit_c = 0.0;  ///< 0 when !fit_rate
+  /// Fitted per-group multipliers; empty unless "calibrate-spatial".
+  std::vector<double> multipliers;
 };
 
 /// Runs the calibration behind `sc.rate` (which must satisfy

@@ -41,6 +41,13 @@ class diffusion_model {
   [[nodiscard]] virtual bool uses_grid() const { return false; }
   [[nodiscard]] virtual bool uses_rate() const { return false; }
 
+  /// Whether spatial rate specs ("spatial:...", "per-hop:...",
+  /// "calibrate-spatial") are meaningful: the model evaluates the rate
+  /// per distance.  Rate-using models that return false have a spatial
+  /// spec collapsed to its temporal base by `expand_sweep` (the
+  /// space-free global logistic cannot honour r(x, t)).
+  [[nodiscard]] virtual bool supports_spatial_rate() const { return false; }
+
   /// Whether "calibrate" rate specs apply: the runner fits (d, K[, r])
   /// on the slice's early window before solving.  Only meaningful for
   /// models that honour scenario d/k overrides and the fitted rate —

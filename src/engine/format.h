@@ -9,6 +9,8 @@
 
 #include <cstdio>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace dlm::engine {
 
@@ -18,6 +20,36 @@ namespace dlm::engine {
   char buffer[32];
   const int written = std::snprintf(buffer, sizeof(buffer), "%.17g", value);
   return std::string(buffer, static_cast<std::size_t>(written));
+}
+
+/// Separator-joined full-precision values: the fit_m CSV field and the
+/// multiplier list of a resolved "spatial:..." spec share this form.
+[[nodiscard]] inline std::string join_full_precision(
+    const std::vector<double>& values, char sep = ',') {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += sep;
+    out += format_full_precision(values[i]);
+  }
+  return out;
+}
+
+/// Splits `text` on `sep`, keeping empty pieces — callers reject or
+/// preserve them deliberately (spec parsers quote the empty piece in
+/// their error, the CSV reader must keep empty fields positional).
+[[nodiscard]] inline std::vector<std::string> split_keep_empty(
+    std::string_view text, char sep) {
+  std::vector<std::string> pieces;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t at = text.find(sep, start);
+    if (at == std::string_view::npos) {
+      pieces.emplace_back(text.substr(start));
+      return pieces;
+    }
+    pieces.emplace_back(text.substr(start, at - start));
+    start = at + 1;
+  }
 }
 
 }  // namespace dlm::engine

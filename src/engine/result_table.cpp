@@ -17,7 +17,7 @@ const std::vector<std::string>& base_columns() {
       "index",  "model", "slice", "story",    "metric",  "scheme",
       "points_per_unit", "dt",    "rate",     "resolved_rate", "t0",
       "t_end",  "cells", "accuracy", "fit_d", "fit_k",   "fit_a",
-      "fit_b",  "fit_c", "fit_sse",  "fit_evals"};
+      "fit_b",  "fit_c", "fit_m", "fit_sse",  "fit_evals"};
   return columns;
 }
 
@@ -93,6 +93,14 @@ double parse_csv_double(const std::string& field) {
   return value;
 }
 
+std::vector<double> parse_multipliers(const std::string& field) {
+  std::vector<double> out;
+  if (field.empty()) return out;
+  for (const std::string& piece : split_keep_empty(field, ','))
+    out.push_back(parse_csv_double(piece));
+  return out;
+}
+
 std::size_t parse_csv_size(const std::string& field) {
   std::size_t value = 0;
   const auto [ptr, ec] =
@@ -123,7 +131,8 @@ bool result_row::same_result(const result_row& other) const {
          accuracy == other.accuracy && fit_d == other.fit_d &&
          fit_k == other.fit_k && fit_a == other.fit_a &&
          fit_b == other.fit_b && fit_c == other.fit_c &&
-         fit_sse == other.fit_sse && fit_evals == other.fit_evals;
+         fit_m == other.fit_m && fit_sse == other.fit_sse &&
+         fit_evals == other.fit_evals;
 }
 
 result_table::result_table(std::vector<result_row> rows)
@@ -185,6 +194,7 @@ std::string result_table::to_csv(const csv_options& options) const {
     out += ',' + format_full_precision(r.fit_a);
     out += ',' + format_full_precision(r.fit_b);
     out += ',' + format_full_precision(r.fit_c);
+    out += ',' + csv_field(join_full_precision(r.fit_m));
     out += ',' + format_full_precision(r.fit_sse);
     out += ',' + std::to_string(r.fit_evals);
     if (options.include_cache_stats) {
@@ -259,9 +269,10 @@ result_table result_table::from_csv(std::string_view csv) {
     r.fit_a = parse_csv_double(f[16]);
     r.fit_b = parse_csv_double(f[17]);
     r.fit_c = parse_csv_double(f[18]);
-    r.fit_sse = parse_csv_double(f[19]);
-    r.fit_evals = parse_csv_size(f[20]);
-    std::size_t next = 21;
+    r.fit_m = parse_multipliers(f[19]);
+    r.fit_sse = parse_csv_double(f[20]);
+    r.fit_evals = parse_csv_size(f[21]);
+    std::size_t next = 22;
     if (with_cache) {
       r.fit_solves = parse_csv_size(f[next]);
       r.fit_hits = parse_csv_size(f[next + 1]);

@@ -47,6 +47,10 @@ struct result_row {
   double fit_a = 0.0;         ///< fitted rate amplitude (0 if rate kept)
   double fit_b = 0.0;         ///< fitted rate decay (0 if rate kept)
   double fit_c = 0.0;         ///< fitted rate floor (0 if rate kept)
+  /// Fitted per-group rate multipliers of a "calibrate-spatial" row
+  /// (paper §V); empty otherwise.  Rendered in CSV as one comma-joined,
+  /// RFC-4180-quoted field.
+  std::vector<double> fit_m;
   double fit_sse = 0.0;       ///< objective at the optimum
   std::size_t fit_evals = 0;  ///< objective evaluations (deterministic)
   /// How fit_evals split between real PDE solves and solve-cache hits.

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "engine/format.h"
 #include "social/density.h"
 #include "social/network.h"
 
@@ -59,14 +60,65 @@ std::uint64_t slice_fingerprint(const dataset_slice& slice) {
   return hash;
 }
 
+/// Fails a make_rate parse: the reason, the offending spec verbatim, and
+/// the full accepted grammar (failures usually surface deep inside a
+/// sweep, where "unknown spec" alone is not attributable).
+[[noreturn]] void bad_rate_spec(const std::string& spec,
+                                const std::string& reason) {
+  throw std::invalid_argument("make_rate: " + reason + " in spec '" + spec +
+                              "'\n" + rate_spec_grammar());
+}
+
 double parse_double(std::string_view text, const std::string& spec) {
   double value = 0.0;
   const auto [ptr, ec] =
       std::from_chars(text.data(), text.data() + text.size(), value);
   if (ec != std::errc{} || ptr != text.data() + text.size())
-    throw std::invalid_argument("make_rate: bad number in spec '" + spec +
-                                "'");
+    bad_rate_spec(spec, "bad number '" + std::string(text) + "'");
   return value;
+}
+
+/// The temporal subset of the grammar ("preset" resolved per metric).
+core::growth_rate make_temporal_rate(const std::string& body,
+                                     social::distance_metric metric,
+                                     const std::string& spec) {
+  if (body == "preset" || body == "-") {
+    return metric == social::distance_metric::friendship_hops
+               ? core::growth_rate::paper_hops()
+               : core::growth_rate::paper_interest();
+  }
+  if (body == "paper_hops") return core::growth_rate::paper_hops();
+  if (body == "paper_interest") return core::growth_rate::paper_interest();
+  if (body.starts_with("constant:")) {
+    const double value = parse_double(
+        std::string_view(body).substr(sizeof("constant:") - 1), spec);
+    if (value < 0.0) bad_rate_spec(spec, "negative constant rate");
+    return core::growth_rate::constant(value);
+  }
+  if (body.starts_with("decay:")) {
+    const std::string_view params =
+        std::string_view(body).substr(sizeof("decay:") - 1);
+    const std::size_t first = params.find(',');
+    const std::size_t second =
+        first == std::string_view::npos ? first : params.find(',', first + 1);
+    if (first == std::string_view::npos || second == std::string_view::npos)
+      bad_rate_spec(spec, "decay form needs 3 comma-separated numbers");
+    const double a = parse_double(params.substr(0, first), spec);
+    const double b =
+        parse_double(params.substr(first + 1, second - first - 1), spec);
+    const double c = parse_double(params.substr(second + 1), spec);
+    if (a < 0.0 || b <= 0.0 || c < 0.0)
+      bad_rate_spec(spec, "decay form needs a >= 0, b > 0, c >= 0");
+    return core::growth_rate::exponential_decay(a, b, c);
+  }
+  if (body.starts_with("calibrate"))
+    bad_rate_spec(spec,
+                  "'" + body +
+                      "' is a calibration spec, not a concrete rate; it is "
+                      "resolved by engine::run_sweep before models solve");
+  if (body.starts_with("spatial:") || body.starts_with("per-hop:"))
+    bad_rate_spec(spec, "spatial forms cannot nest ('" + body + "')");
+  bad_rate_spec(spec, "unknown growth-rate form '" + body + "'");
 }
 
 }  // namespace
@@ -214,39 +266,72 @@ scenario_context scenario_context::from_surface(
   return ctx;
 }
 
-core::growth_rate make_rate(const std::string& spec,
-                            social::distance_metric metric) {
-  if (spec == "preset" || spec == "-") {
-    return metric == social::distance_metric::friendship_hops
-               ? core::growth_rate::paper_hops()
-               : core::growth_rate::paper_interest();
-  }
-  if (spec == "paper_hops") return core::growth_rate::paper_hops();
-  if (spec == "paper_interest") return core::growth_rate::paper_interest();
-  if (spec.starts_with("constant:"))
-    return core::growth_rate::constant(parse_double(
-        std::string_view(spec).substr(sizeof("constant:") - 1), spec));
-  if (spec.starts_with("decay:")) {
+const std::string& rate_spec_grammar() {
+  static const std::string grammar =
+      "accepted growth-rate specs:\n"
+      "  preset | paper_hops | paper_interest\n"
+      "  constant:<v>\n"
+      "  decay:<a>,<b>,<c>\n"
+      "  spatial:<base>|<m1>,<m2>,...   (base = any temporal form above)\n"
+      "  per-hop:<spec1>;<spec2>;...    (one temporal form per group)\n"
+      "  calibrate[:<H>] | calibrate-fixed[:<H>] | calibrate-spatial[:<H>]\n"
+      "    (calibration specs; resolved by engine::run_sweep, not "
+      "make_rate)";
+  return grammar;
+}
+
+bool is_spatial_rate_spec(const std::string& spec) {
+  return spec.starts_with("spatial:") || spec.starts_with("per-hop:");
+}
+
+std::string spatial_base_spec(const std::string& spec) {
+  if (spec.starts_with("spatial:")) {
     const std::string_view body =
-        std::string_view(spec).substr(sizeof("decay:") - 1);
-    const std::size_t first = body.find(',');
-    const std::size_t second =
-        first == std::string_view::npos ? first : body.find(',', first + 1);
-    if (first == std::string_view::npos || second == std::string_view::npos)
-      throw std::invalid_argument("make_rate: decay spec needs 3 numbers: '" +
-                                  spec + "'");
-    return core::growth_rate::exponential_decay(
-        parse_double(body.substr(0, first), spec),
-        parse_double(body.substr(first + 1, second - first - 1), spec),
-        parse_double(body.substr(second + 1), spec));
+        std::string_view(spec).substr(sizeof("spatial:") - 1);
+    const std::size_t bar = body.find('|');
+    if (bar == std::string_view::npos)
+      bad_rate_spec(spec, "spatial form needs '<base>|<m1>,<m2>,...'");
+    return std::string(body.substr(0, bar));
   }
-  if (spec.starts_with("calibrate"))
-    throw std::invalid_argument(
-        "make_rate: '" + spec +
-        "' is a calibration spec, not a concrete rate; it is resolved by "
-        "engine::run_sweep before models solve");
-  throw std::invalid_argument("make_rate: unknown growth-rate spec '" + spec +
-                              "'");
+  if (spec.starts_with("per-hop:")) return "preset";
+  return spec;
+}
+
+core::rate_field make_rate(const std::string& spec,
+                           social::distance_metric metric) {
+  if (spec.starts_with("spatial:")) {
+    const std::string_view body =
+        std::string_view(spec).substr(sizeof("spatial:") - 1);
+    const std::size_t bar = body.find('|');
+    if (bar == std::string_view::npos)
+      bad_rate_spec(spec, "spatial form needs '<base>|<m1>,<m2>,...'");
+    const std::string base(body.substr(0, bar));
+    if (base.empty()) bad_rate_spec(spec, "spatial form has an empty base");
+    const std::vector<std::string> pieces =
+        split_keep_empty(body.substr(bar + 1), ',');
+    std::vector<double> multipliers;
+    multipliers.reserve(pieces.size());
+    for (const std::string& piece : pieces) {
+      if (piece.empty()) bad_rate_spec(spec, "empty multiplier");
+      const double m = parse_double(piece, spec);
+      if (m < 0.0) bad_rate_spec(spec, "negative multiplier " + piece);
+      multipliers.push_back(m);
+    }
+    return core::rate_field::separable(
+        make_temporal_rate(base, metric, spec), std::move(multipliers));
+  }
+  if (spec.starts_with("per-hop:")) {
+    const std::vector<std::string> pieces = split_keep_empty(
+        std::string_view(spec).substr(sizeof("per-hop:") - 1), ';');
+    std::vector<core::growth_rate> rates;
+    rates.reserve(pieces.size());
+    for (const std::string& piece : pieces) {
+      if (piece.empty()) bad_rate_spec(spec, "empty per-hop entry");
+      rates.push_back(make_temporal_rate(piece, metric, spec));
+    }
+    return core::rate_field::per_group(std::move(rates));
+  }
+  return make_temporal_rate(spec, metric, spec);
 }
 
 }  // namespace dlm::engine

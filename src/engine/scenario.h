@@ -145,18 +145,40 @@ struct sweep_spec {
   std::uint64_t seed = 20090601;
 };
 
-/// Growth-rate spec parser.  Accepted forms:
+/// Growth-rate spec parser.  Accepted forms (temporal):
 ///   "preset"           — the paper rate matching the slice metric
 ///   "paper_hops"       — r(t) = 1.4·e^{−1.5(t−1)} + 0.25
 ///   "paper_interest"   — r(t) = 1.6·e^{−(t−1)} + 0.1
 ///   "constant:<v>"     — r(t) = v
 ///   "decay:<a>,<b>,<c>" — r(t) = a·e^{−b(t−1)} + c
-/// Calibration specs ("calibrate", "calibrate-fixed", optionally with a
-/// ":<hour>" fit-window suffix — see engine/calibration.h) are not
-/// concrete rates: the scenario runner resolves them to a "decay:…" /
-/// preset form before any model solves, so passing one here throws
-/// std::invalid_argument, as does any unknown spec.
-[[nodiscard]] core::growth_rate make_rate(const std::string& spec,
-                                          social::distance_metric metric);
+/// and spatial (r varies with distance, paper §V):
+///   "spatial:<base>|<m1>,<m2>,..." — r(x, t) = m(x)·base(t): <base> is
+///       any temporal form above, m_i applies at distance i, linearly
+///       interpolated between integer distances and clamped outside (a
+///       short list extends its last multiplier to farther groups);
+///   "per-hop:<spec1>;<spec2>;..." — one temporal form per distance
+///       group, values and integrals interpolated across groups.
+/// Calibration specs ("calibrate", "calibrate-fixed", "calibrate-spatial",
+/// optionally with a ":<hour>" fit-window suffix — see
+/// engine/calibration.h) are not concrete rates: the scenario runner
+/// resolves them to a concrete form before any model solves, so passing
+/// one here throws std::invalid_argument.  Every rejection quotes the
+/// offending spec and lists this grammar.
+[[nodiscard]] core::rate_field make_rate(const std::string& spec,
+                                         social::distance_metric metric);
+
+/// The accepted `make_rate` grammar, one form per line — appended to
+/// every make_rate rejection so a failure deep inside a sweep is
+/// attributable without source-diving.
+[[nodiscard]] const std::string& rate_spec_grammar();
+
+/// True for the concrete spatial forms ("spatial:...", "per-hop:...").
+/// Purely syntactic; parse errors surface in make_rate.
+[[nodiscard]] bool is_spatial_rate_spec(const std::string& spec);
+
+/// The temporal spec a spatial form collapses to for models without a
+/// spatial-rate axis: the <base> of a "spatial:..." spec, "preset" for
+/// "per-hop:...".  Non-spatial specs pass through unchanged.
+[[nodiscard]] std::string spatial_base_spec(const std::string& spec);
 
 }  // namespace dlm::engine

@@ -88,8 +88,10 @@ std::vector<scenario> expand_sweep(const sweep_spec& spec,
     const auto& grids = model->uses_grid() ? spec.grid : no_grid;
     const auto& dts = model->uses_scheme() ? spec.dts : no_dt;
     // The rate axis, with calibrate specs collapsed to "preset" for
-    // rate-using models that cannot calibrate (then deduplicated, so
-    // {"preset", "calibrate"} does not enqueue the preset run twice).
+    // rate-using models that cannot calibrate and spatial forms collapsed
+    // to their temporal base for models without a spatial-rate axis (then
+    // deduplicated, so {"preset", "calibrate"} does not enqueue the
+    // preset run twice).
     std::vector<std::string> rates;
     if (!model->uses_rate()) {
       rates = {"-"};
@@ -99,6 +101,8 @@ std::vector<scenario> expand_sweep(const sweep_spec& spec,
             is_calibrate_spec(rate) && !model->supports_calibration()
                 ? "preset"
                 : rate;
+        if (is_spatial_rate_spec(resolved) && !model->supports_spatial_rate())
+          resolved = spatial_base_spec(resolved);
         if (std::find(rates.begin(), rates.end(), resolved) == rates.end())
           rates.push_back(std::move(resolved));
       }
@@ -169,6 +173,11 @@ sweep_result run_sweep(const scenario_context& context,
               throw std::invalid_argument(
                   "run_sweep: model '" + sc.model +
                   "' does not support calibrate rate specs");
+            if (sc.rate.starts_with("calibrate-spatial") &&
+                !model->supports_spatial_rate())
+              throw std::invalid_argument(
+                  "run_sweep: model '" + sc.model +
+                  "' does not support spatial rate specs");
             const scenario_calibration cal = calibrate_scenario(
                 sc, slice, options.calibration, options.cache, &pool);
             solved.rate = cal.resolved_rate;
@@ -179,6 +188,7 @@ sweep_result run_sweep(const scenario_context& context,
             row.fit_a = cal.fit_a;
             row.fit_b = cal.fit_b;
             row.fit_c = cal.fit_c;
+            row.fit_m = cal.multipliers;
             row.fit_sse = cal.fit.sse;
             row.fit_evals = cal.fit.evaluations;
             row.fit_solves = cal.fit.pde_solves;

@@ -6,6 +6,20 @@
 
 namespace dlm::engine {
 
+void solve_cache::evict_overflow() {
+  if (max_entries_ == 0) return;
+  while (traces_.size() + values_.size() > max_entries_ && !lru_.empty()) {
+    const auto& [kind, key] = lru_.back();
+    if (kind == entry_kind::trace) {
+      traces_.erase(key);
+    } else {
+      values_.erase(key);
+    }
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
 std::shared_ptr<const model_trace> solve_cache::find_trace(
     const std::string& key) {
   const std::lock_guard<std::mutex> lock(mutex_);
@@ -15,13 +29,17 @@ std::shared_ptr<const model_trace> solve_cache::find_trace(
     return nullptr;
   }
   ++stats_.hits;
-  return it->second;
+  lru_.splice(lru_.begin(), lru_, it->second.second);  // refresh recency
+  return it->second.first;
 }
 
 void solve_cache::store_trace(const std::string& key, model_trace trace) {
   auto stored = std::make_shared<const model_trace>(std::move(trace));
   const std::lock_guard<std::mutex> lock(mutex_);
-  traces_.emplace(key, std::move(stored));  // first insert wins
+  if (traces_.contains(key)) return;  // first insert wins
+  lru_.emplace_front(entry_kind::trace, key);
+  traces_.emplace(key, std::make_pair(std::move(stored), lru_.begin()));
+  evict_overflow();
 }
 
 std::optional<double> solve_cache::find_value(const std::string& key) {
@@ -32,12 +50,16 @@ std::optional<double> solve_cache::find_value(const std::string& key) {
     return std::nullopt;
   }
   ++stats_.hits;
-  return it->second;
+  lru_.splice(lru_.begin(), lru_, it->second.second);  // refresh recency
+  return it->second.first;
 }
 
 void solve_cache::store_value(const std::string& key, double value) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  values_.emplace(key, value);  // first insert wins
+  if (values_.contains(key)) return;  // first insert wins
+  lru_.emplace_front(entry_kind::value, key);
+  values_.emplace(key, std::make_pair(value, lru_.begin()));
+  evict_overflow();
 }
 
 cache_stats solve_cache::stats() const {
@@ -54,16 +76,43 @@ void solve_cache::clear() {
   const std::lock_guard<std::mutex> lock(mutex_);
   traces_.clear();
   values_.clear();
+  lru_.clear();
   stats_ = cache_stats{};
 }
 
 std::string resolve_rate_spec(const std::string& spec,
                               social::distance_metric metric) {
-  if (spec == "preset")
-    return metric == social::distance_metric::friendship_hops
-               ? "paper_hops"
-               : "paper_interest";
-  return spec;
+  const auto resolve_temporal = [metric](const std::string& body) {
+    if (body == "preset")
+      return metric == social::distance_metric::friendship_hops
+                 ? std::string("paper_hops")
+                 : std::string("paper_interest");
+    return body;
+  };
+  if (spec.starts_with("spatial:")) {
+    // Canonicalize the base so "spatial:preset|..." on a hop slice and
+    // "spatial:paper_hops|..." share one cache entry.
+    const std::string body = spec.substr(sizeof("spatial:") - 1);
+    const std::size_t bar = body.find('|');
+    if (bar == std::string::npos) return spec;  // malformed; make_rate throws
+    return "spatial:" + resolve_temporal(body.substr(0, bar)) +
+           body.substr(bar);
+  }
+  if (spec.starts_with("per-hop:")) {
+    std::string out = "per-hop:";
+    std::string body = spec.substr(sizeof("per-hop:") - 1);
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t at = body.find(';', start);
+      out += resolve_temporal(body.substr(
+          start, at == std::string::npos ? at : at - start));
+      if (at == std::string::npos) break;
+      out += ';';
+      start = at + 1;
+    }
+    return out;
+  }
+  return resolve_temporal(spec);
 }
 
 std::string scenario_cache_key(const scenario& sc, const dataset_slice& slice,

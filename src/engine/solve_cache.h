@@ -17,15 +17,20 @@
 //              scenario key extended with the probed parameter vector.
 //
 // Lookups are thread-safe; hit/miss counts are tracked so calibration can
-// report how many PDE solves were real vs served from cache.
+// report how many PDE solves were real vs served from cache.  The cache
+// is unbounded by default; constructing it with `max_entries > 0` caps
+// the combined trace + value count with least-recently-used eviction
+// (finds refresh recency, evictions are counted in the stats).
 #pragma once
 
 #include <cstddef>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "engine/diffusion_model.h"
 #include "engine/scenario.h"
@@ -36,11 +41,18 @@ namespace dlm::engine {
 struct cache_stats {
   std::size_t hits = 0;
   std::size_t misses = 0;
+  /// Entries dropped by the LRU cap (0 while unbounded).
+  std::size_t evictions = 0;
 };
 
 class solve_cache {
  public:
+  /// Unbounded cache (the pre-cap behaviour).
   solve_cache() = default;
+  /// Caps the combined number of stored traces + values; the least
+  /// recently used entry is evicted when an insert overflows the cap.
+  /// 0 means unbounded.
+  explicit solve_cache(std::size_t max_entries) : max_entries_(max_entries) {}
   solve_cache(const solve_cache&) = delete;
   solve_cache& operator=(const solve_cache&) = delete;
 
@@ -61,19 +73,39 @@ class solve_cache {
 
   [[nodiscard]] cache_stats stats() const;
   [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t max_entries() const noexcept {
+    return max_entries_;
+  }
   void clear();
 
  private:
+  /// Recency list: most recently used at the front.  Each node remembers
+  /// which map owns its key so eviction can erase the right entry.
+  enum class entry_kind { trace, value };
+  using lru_list = std::list<std::pair<entry_kind, std::string>>;
+
+  /// Drops least-recently-used entries until the cap holds.  Caller must
+  /// hold the mutex.
+  void evict_overflow();
+
   mutable std::mutex mutex_;
-  std::unordered_map<std::string, std::shared_ptr<const model_trace>> traces_;
-  std::unordered_map<std::string, double> values_;
+  std::size_t max_entries_ = 0;
+  lru_list lru_;
+  std::unordered_map<std::string,
+                     std::pair<std::shared_ptr<const model_trace>,
+                               lru_list::iterator>>
+      traces_;
+  std::unordered_map<std::string, std::pair<double, lru_list::iterator>>
+      values_;
   cache_stats stats_;
 };
 
 /// Resolves a growth-rate spec to its canonical form: "preset" names the
 /// paper rate of the slice's metric, so a hop-slice "preset" and an
-/// explicit "paper_hops" share one cache entry.  Calibrate specs and
-/// every other form are already canonical and returned unchanged.
+/// explicit "paper_hops" share one cache entry.  The base of a
+/// "spatial:<base>|..." spec and every entry of a "per-hop:..." spec are
+/// canonicalized the same way.  Calibrate specs and every other form are
+/// already canonical and returned unchanged.
 [[nodiscard]] std::string resolve_rate_spec(const std::string& spec,
                                             social::distance_metric metric);
 

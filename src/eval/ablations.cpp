@@ -42,10 +42,15 @@ diffusion_ablation_result run_diffusion_ablation(
   std::vector<double> initial;
   for (const auto& row : dl.actual) initial.push_back(row.front());
 
-  // Temporal-only baseline: per-distance logistic with the same r(t), K.
-  const core::growth_rate rate = dl.params.r;
-  models::per_distance_logistic logistic(
-      initial, /*t0=*/1.0, dl.params.k, [rate](double t) { return rate(t); });
+  // Growth-only baseline (d = 0): per-distance logistic under the same
+  // rate field and K — one callable per distance group, so a spatial
+  // r(x, t) keeps its per-group rates here too.
+  const core::rate_field rate = dl.params.r;
+  std::vector<models::rate_fn> rates;
+  for (const int x : dl.distances)
+    rates.push_back([rate, x](double t) { return rate(x, t); });
+  models::per_distance_logistic logistic(initial, /*t0=*/1.0, dl.params.k,
+                                         std::move(rates));
 
   // Diffusion-only baseline: Neumann heat equation from the same profile.
   const std::size_t heat_nodes = 101;
@@ -191,10 +196,11 @@ std::vector<growth_ablation_row> run_growth_ablation(
   const int upper = std::min(max_distance, field.max_distance());
 
   // The observed surface (t = 1..6) as an engine slice; the whole
-  // ablation is then one engine sweep over the `rates` axis, with the
-  // calibrated variant expressed as a "calibrate:4" spec (fit d, K and
-  // the rate on the t <= 4 window, evaluate on t = 2..6) instead of a
-  // hand-rolled fit::calibrate_dl call.
+  // ablation is then one engine sweep over the `rates` axis.  The
+  // calibrated variants are "calibrate" specs (fit on the t <= 4 window,
+  // evaluate on t = 2..6) instead of hand-rolled fit::calibrate_dl
+  // calls; the spatial rows ("spatial:...", "calibrate-spatial:4")
+  // evaluate the paper's §V r(x, t) conjecture on the same Digg slice.
   std::vector<std::vector<double>> surface(static_cast<std::size_t>(upper));
   for (int x = 1; x <= upper; ++x) {
     for (int t = 1; t <= 6; ++t)
@@ -207,7 +213,8 @@ std::vector<growth_ablation_row> run_growth_ablation(
   engine::sweep_spec spec;
   spec.models = {"dl"};
   spec.rates = {"preset", "constant:0.25", "constant:0.5", "constant:0.8",
-                "calibrate:4"};
+                "spatial:preset|1.25,1,0.85,0.7,0.6,0.5", "calibrate:4",
+                "calibrate-spatial:4"};
   spec.t_end = 6.0;
 
   engine::solve_cache cache;
@@ -221,28 +228,47 @@ std::vector<growth_ablation_row> run_growth_ablation(
 
   std::vector<growth_ablation_row> rows;
   for (const engine::result_row& row : result.table.rows()) {
-    std::string label;
+    growth_ablation_row out_row;
     if (row.rate == "preset") {
-      label = "paper r(t) = 1.4 exp(-1.5(t-1)) + 0.25";
+      out_row.label = "paper r(t) = 1.4 exp(-1.5(t-1)) + 0.25";
     } else if (row.rate.starts_with("constant:")) {
-      label = "constant r = " + row.rate.substr(sizeof("constant:") - 1);
+      out_row.label =
+          "constant r = " + row.rate.substr(sizeof("constant:") - 1);
+    } else if (row.rate.starts_with("spatial:")) {
+      out_row.label = "fixed r(x,t) = m(x)*preset, m = " +
+                      row.rate.substr(row.rate.find('|') + 1);
+    } else if (row.rate.starts_with("calibrate-spatial")) {
+      out_row.fitted = true;
+      out_row.fit_sse = row.fit_sse;
+      out_row.label = "calibrated r(x,t) (fit m on t<=4): m = ";
+      for (std::size_t i = 0; i < row.fit_m.size(); ++i) {
+        if (i > 0) out_row.label += ',';
+        out_row.label += text_table::num(row.fit_m[i], 2);
+      }
     } else {
-      label = "calibrated (fit on t<=4): r(t) = " +
-              text_table::num(row.fit_a, 2) + " exp(-" +
-              text_table::num(row.fit_b, 2) + "(t-1)) + " +
-              text_table::num(row.fit_c, 2);
+      out_row.fitted = true;
+      out_row.fit_sse = row.fit_sse;
+      out_row.label = "calibrated r(t) (fit on t<=4): r(t) = " +
+                      text_table::num(row.fit_a, 2) + " exp(-" +
+                      text_table::num(row.fit_b, 2) + "(t-1)) + " +
+                      text_table::num(row.fit_c, 2);
     }
-    rows.push_back({std::move(label), row.accuracy});
+    out_row.overall_accuracy = row.accuracy;
+    rows.push_back(std::move(out_row));
   }
   return rows;
 }
 
 void print_growth_ablation(std::ostream& out,
                            const std::vector<growth_ablation_row>& rows) {
-  out << "Ablation — growth-rate family r(t) (story s1, hops, t = 2..6)\n\n";
-  text_table table({"growth rate", "overall accuracy"});
+  out << "Ablation — growth-rate family (story s1, hops, t = 2..6)\n"
+      << "fit SSE = squared residuals on the t <= 4 window (calibrated\n"
+      << "rows); calibrated r(x,t) vs r(t) evaluates the paper's §V\n"
+      << "spatio-temporal conjecture on the same Digg slice\n\n";
+  text_table table({"growth rate", "overall accuracy", "fit SSE"});
   for (const auto& row : rows)
-    table.add_row({row.label, text_table::pct(row.overall_accuracy, 2)});
+    table.add_row({row.label, text_table::pct(row.overall_accuracy, 2),
+                   row.fitted ? text_table::num(row.fit_sse, 3) : "-"});
   out << table << "\n";
 }
 

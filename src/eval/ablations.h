@@ -49,12 +49,16 @@ void print_scheme_ablation(std::ostream& out,
                            const std::vector<scheme_ablation_row>& rows);
 
 // ------------------------------------------------------ growth-rate ablation
-/// Paper decaying r(t) vs constant rates vs least-squares-calibrated rate
-/// (one engine sweep over the `rates` axis; the calibrated variant is the
-/// "calibrate:4" spec running fit::calibrate_dl behind the scenes).
+/// Paper decaying r(t) vs constant rates vs least-squares-calibrated
+/// rates — temporal ("calibrate:4") and spatio-temporal
+/// ("calibrate-spatial:4": per-hop multipliers m(x)·r(t), paper §V) —
+/// one engine sweep over the `rates` axis.  Calibrated rows carry the
+/// fit-window SSE so r(x, t) vs r(t) is directly comparable.
 struct growth_ablation_row {
   std::string label;
   double overall_accuracy = 0.0;
+  bool fitted = false;   ///< true for the calibrate rows
+  double fit_sse = 0.0;  ///< fit-window SSE (calibrate rows only)
 };
 [[nodiscard]] std::vector<growth_ablation_row> run_growth_ablation(
     const experiment_context& ctx, std::size_t story_index);

@@ -13,12 +13,26 @@ namespace {
 
 core::dl_parameters params_from_vector(const core::dl_parameters& base,
                                        std::span<const double> v,
-                                       bool fit_rate) {
+                                       const calibration_options& options) {
   core::dl_parameters p = base;
   p.d = v[0];
   p.k = v[1];
-  if (fit_rate)
+  if (options.spatial_groups > 0) {
+    // Separable spatio-temporal rate m(x)·base(t): the multipliers are
+    // the trailing coordinates, the base the fitted decay family or the
+    // temporal factor of the start rate.
+    core::growth_rate base_rate =
+        options.fit_rate
+            ? core::growth_rate::exponential_decay(v[2], v[3], v[4])
+            : base.r.base();
+    const std::size_t first_m = options.fit_rate ? 5 : 2;
+    std::vector<double> multipliers(v.begin() + static_cast<std::ptrdiff_t>(first_m),
+                                    v.end());
+    p.r = core::rate_field::separable(std::move(base_rate),
+                                      std::move(multipliers), base.x_min);
+  } else if (options.fit_rate) {
     p.r = core::growth_rate::exponential_decay(v[2], v[3], v[4]);
+  }
   return p;
 }
 
@@ -40,8 +54,7 @@ calibration_result calibrate_dl(const observation_window& window,
       }
     }
     pde_solves.fetch_add(1, std::memory_order_relaxed);
-    const core::dl_parameters params =
-        params_from_vector(start, v, options.fit_rate);
+    const core::dl_parameters params = params_from_vector(start, v, options);
     core::dl_solver_options solver = options.solver;
     if (solver.scheme == core::dl_scheme::ftcs && params.d > 0.0 &&
         solver.points_per_unit > 0) {
@@ -56,12 +69,15 @@ calibration_result calibrate_dl(const observation_window& window,
     return value;
   };
 
-  const std::size_t dims = options.fit_rate ? 5 : 2;
+  const std::size_t dims =
+      (options.fit_rate ? 5 : 2) + options.spatial_groups;
 
   // Coarse lattice scan over minimize_grid's own enumeration order.  The
   // objective values are independent solves, so the scan fans out through
   // the caller's batch executor when provided; the argmin (lowest index
-  // on ties) is identical either way.
+  // on ties) is identical either way.  Spatial multiplier axes are
+  // pinned at the neutral 1.0 — a lattice over them would grow
+  // exponentially in the group count; Nelder–Mead refines them below.
   std::vector<num::grid_axis> axes;
   axes.push_back({options.d_min, options.d_max, options.coarse_steps});
   axes.push_back({options.k_min, options.k_max, options.coarse_steps});
@@ -70,6 +86,8 @@ calibration_result calibrate_dl(const observation_window& window,
     axes.push_back({options.b_min, options.b_max, options.coarse_steps});
     axes.push_back({options.c_min, options.c_max, options.coarse_steps});
   }
+  for (std::size_t g = 0; g < options.spatial_groups; ++g)
+    axes.push_back({1.0, 1.0, 1});
   const std::vector<std::vector<double>> points =
       num::grid_lattice_points(axes);
   std::vector<double> values(points.size());
@@ -99,6 +117,10 @@ calibration_result calibrate_dl(const observation_window& window,
     lower.insert(lower.end(), {options.a_min, options.b_min, options.c_min});
     upper.insert(upper.end(), {options.a_max, options.b_max, options.c_max});
   }
+  for (std::size_t g = 0; g < options.spatial_groups; ++g) {
+    lower.push_back(options.m_min);
+    upper.push_back(options.m_max);
+  }
   num::nelder_mead_options nm;
   nm.max_iterations = options.refine_iterations;
   nm.initial_step = 0.15;
@@ -109,7 +131,7 @@ calibration_result calibrate_dl(const observation_window& window,
       upper, nm);
 
   calibration_result result;
-  result.params = params_from_vector(start, refined.x, options.fit_rate);
+  result.params = params_from_vector(start, refined.x, options);
   result.x = refined.x;
   result.sse = refined.f_value;
   result.pde_solves = pde_solves.load();

@@ -29,6 +29,17 @@ struct calibration_options {
   double b_min = 0.1, b_max = 4.0;   ///< rate decay
   double c_min = 0.0, c_max = 1.0;   ///< rate floor
   bool fit_rate = true;   ///< false: keep the rate from `start`, fit (d, K)
+  /// > 0: additionally fit that many per-group rate multipliers — the
+  /// optimizer vector grows to (d, K[, a, b, c], m_1..m_n) and the fitted
+  /// rate becomes the separable field m(x)·base(t) anchored at
+  /// start.x_min (paper §V; the engine's "calibrate-spatial" workload).
+  /// The base is the fitted decay family when fit_rate, otherwise the
+  /// rate carried by `start` — which must then be of separable form.
+  /// The coarse lattice pins every multiplier at 1.0 (a lattice over n
+  /// extra axes would grow exponentially); Nelder–Mead refines them
+  /// inside [m_min, m_max].
+  std::size_t spatial_groups = 0;
+  double m_min = 0.2, m_max = 2.5;   ///< multiplier box bounds
   std::size_t coarse_steps = 4;  ///< lattice points per axis in the scan
   std::size_t refine_iterations = 600;  ///< Nelder–Mead iteration cap
   core::dl_solver_options solver{};
@@ -53,8 +64,9 @@ struct calibration_options {
 /// Calibration outcome.
 struct calibration_result {
   core::dl_parameters params;  ///< best-fit parameters
-  /// Raw optimizer vector behind `params`: (d, K) or (d, K, a, b, c) —
-  /// callers that need the fitted rate coefficients read them here, since
+  /// Raw optimizer vector behind `params`: (d, K[, a, b, c][, m_1..m_n])
+  /// per calibration_options::fit_rate / spatial_groups — callers that
+  /// need the fitted rate coefficients read them here, since
   /// core::growth_rate does not expose its constants.
   std::vector<double> x;
   double sse = 0.0;            ///< objective at the optimum

@@ -1,6 +1,8 @@
 #include "models/per_distance_logistic.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "models/logistic.h"
 #include "numerics/quadrature.h"
@@ -9,13 +11,24 @@ namespace dlm::models {
 
 per_distance_logistic::per_distance_logistic(std::vector<double> initial,
                                              double t0, double k, rate_fn rate)
-    : initial_(std::move(initial)), t0_(t0), k_(k), rate_(std::move(rate)) {
+    : per_distance_logistic(std::move(initial), t0, k,
+                            std::vector<rate_fn>{std::move(rate)}) {}
+
+per_distance_logistic::per_distance_logistic(std::vector<double> initial,
+                                             double t0, double k,
+                                             std::vector<rate_fn> rates)
+    : initial_(std::move(initial)), t0_(t0), k_(k), rates_(std::move(rates)) {
   if (initial_.empty())
     throw std::invalid_argument("per_distance_logistic: empty initial profile");
   if (!(k_ > 0.0))
     throw std::invalid_argument("per_distance_logistic: K must be positive");
-  if (!rate_)
-    throw std::invalid_argument("per_distance_logistic: missing rate function");
+  if (rates_.empty())
+    throw std::invalid_argument("per_distance_logistic: empty rate table");
+  for (const rate_fn& rate : rates_) {
+    if (!rate)
+      throw std::invalid_argument(
+          "per_distance_logistic: missing rate function");
+  }
 }
 
 std::vector<double> per_distance_logistic::predict(double t,
@@ -26,14 +39,19 @@ std::vector<double> per_distance_logistic::predict(double t,
     throw std::invalid_argument("per_distance_logistic: substeps must be >= 1");
 
   // The logistic ODE with time-varying rate is exactly solvable given the
-  // integrated rate; one Simpson evaluation of ∫r over [t0, t] suffices.
-  const double total_rate =
-      (t > t0_) ? num::simpson(rate_, t0_, t,
-                               static_cast<std::size_t>(substeps))
-                : 0.0;
+  // integrated rate; one Simpson evaluation of ∫r per distinct rate
+  // suffices (a single shared rate — the common case — integrates once).
+  std::vector<double> integrated(rates_.size(), 0.0);
+  if (t > t0_) {
+    for (std::size_t i = 0; i < rates_.size(); ++i)
+      integrated[i] = num::simpson(rates_[i], t0_, t,
+                                   static_cast<std::size_t>(substeps));
+  }
   std::vector<double> out(initial_.size());
-  for (std::size_t x = 0; x < initial_.size(); ++x)
+  for (std::size_t x = 0; x < initial_.size(); ++x) {
+    const double total_rate = integrated[std::min(x, rates_.size() - 1)];
     out[x] = logistic_step(initial_[x], total_rate, k_);
+  }
   return out;
 }
 

@@ -25,6 +25,13 @@ class per_distance_logistic {
   per_distance_logistic(std::vector<double> initial, double t0, double k,
                         rate_fn rate);
 
+  /// Per-group rates (the r(x, t) extension, paper §V): `rates[x]` drives
+  /// group x; when there are fewer rates than groups the last one extends
+  /// to the remaining groups.  Throws std::invalid_argument for an empty
+  /// or partially-empty rate table.
+  per_distance_logistic(std::vector<double> initial, double t0, double k,
+                        std::vector<rate_fn> rates);
+
   /// Density profile at time `t >= t0()`: one value per group, integrated
   /// with the exact logistic propagator on `substeps` sub-intervals per
   /// unit time (rate integral via Simpson).
@@ -38,7 +45,8 @@ class per_distance_logistic {
   std::vector<double> initial_;
   double t0_;
   double k_;
-  rate_fn rate_;
+  /// One shared rate (size 1) or one per group (last extends).
+  std::vector<rate_fn> rates_;
 };
 
 }  // namespace dlm::models

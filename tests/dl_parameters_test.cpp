@@ -12,7 +12,7 @@ TEST(DlParameters, PaperHopsPreset) {
   EXPECT_DOUBLE_EQ(p.k, 25.0);
   EXPECT_DOUBLE_EQ(p.x_min, 1.0);
   EXPECT_DOUBLE_EQ(p.x_max, 6.0);
-  EXPECT_NEAR(p.r(1.0), 1.65, 1e-12);
+  EXPECT_NEAR(p.r(p.x_min, 1.0), 1.65, 1e-12);
 }
 
 TEST(DlParameters, PaperInterestPreset) {
@@ -20,7 +20,7 @@ TEST(DlParameters, PaperInterestPreset) {
   EXPECT_DOUBLE_EQ(p.d, 0.05);
   EXPECT_DOUBLE_EQ(p.k, 60.0);
   EXPECT_DOUBLE_EQ(p.x_max, 5.0);
-  EXPECT_NEAR(p.r(1.0), 1.7, 1e-12);
+  EXPECT_NEAR(p.r(p.x_min, 1.0), 1.7, 1e-12);
 }
 
 TEST(DlParameters, ValidationAcceptsDefaults) {

@@ -64,6 +64,22 @@ TEST(PerDistanceLogistic, Accessors) {
   EXPECT_EQ(model.groups(), 2u);
 }
 
+TEST(PerDistanceLogistic, PerGroupRatesDriveEachGroupIndependently) {
+  // r(x, t) support (paper §V): each group integrates its own rate; a
+  // shorter rate table extends its last entry to the remaining groups.
+  const std::vector<double> initial{1.0, 1.0, 1.0};
+  const double k = 25.0;
+  const per_distance_logistic model(
+      initial, 1.0, k,
+      std::vector<rate_fn>{[](double) { return 0.9; },
+                           [](double) { return 0.3; }});
+  const std::vector<double> at4 = model.predict(4.0);
+  EXPECT_NEAR(at4[0], logistic_solution(1.0, 0.9, k, 1.0, 4.0), 1e-9);
+  EXPECT_NEAR(at4[1], logistic_solution(1.0, 0.3, k, 1.0, 4.0), 1e-9);
+  EXPECT_DOUBLE_EQ(at4[2], at4[1]);  // last rate extends
+  EXPECT_GT(at4[0], at4[1]);
+}
+
 TEST(PerDistanceLogistic, InvalidArgumentsThrow) {
   EXPECT_THROW(per_distance_logistic({}, 1.0, 25.0, [](double) { return 1.0; }),
                std::invalid_argument);
@@ -72,6 +88,9 @@ TEST(PerDistanceLogistic, InvalidArgumentsThrow) {
       std::invalid_argument);
   EXPECT_THROW(per_distance_logistic({1.0}, 1.0, 25.0, nullptr),
                std::invalid_argument);
+  EXPECT_THROW(
+      per_distance_logistic({1.0}, 1.0, 25.0, std::vector<rate_fn>{}),
+      std::invalid_argument);
   const per_distance_logistic model({1.0}, 2.0, 25.0,
                                     [](double) { return 1.0; });
   EXPECT_THROW((void)model.predict(1.0), std::invalid_argument);

@@ -229,17 +229,18 @@ TEST(ScenarioRunner, DatasetSweepCoversAllModelsDeterministically) {
 
 TEST(MakeRate, ParsesEveryForm) {
   EXPECT_DOUBLE_EQ(
-      make_rate("preset", social::distance_metric::friendship_hops)(1.0),
+      make_rate("preset", social::distance_metric::friendship_hops)(1.0, 1.0),
       core::growth_rate::paper_hops()(1.0));
   EXPECT_DOUBLE_EQ(
-      make_rate("preset", social::distance_metric::shared_interests)(1.0),
+      make_rate("preset", social::distance_metric::shared_interests)(1.0, 1.0),
       core::growth_rate::paper_interest()(1.0));
-  EXPECT_DOUBLE_EQ(
-      make_rate("constant:0.5", social::distance_metric::friendship_hops)(9.0),
-      0.5);
-  const core::growth_rate decay =
+  EXPECT_DOUBLE_EQ(make_rate("constant:0.5",
+                             social::distance_metric::friendship_hops)(1.0,
+                                                                       9.0),
+                   0.5);
+  const core::rate_field decay =
       make_rate("decay:1.4,1.5,0.25", social::distance_metric::friendship_hops);
-  EXPECT_NEAR(decay(1.0), 1.65, 1e-12);
+  EXPECT_NEAR(decay(1.0, 1.0), 1.65, 1e-12);
   EXPECT_THROW(
       (void)make_rate("bogus", social::distance_metric::friendship_hops),
       std::invalid_argument);

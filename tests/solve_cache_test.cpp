@@ -54,6 +54,55 @@ TEST(SolveCache, FirstInsertWins) {
   EXPECT_DOUBLE_EQ(*cache.find_value("v"), 1.0);
 }
 
+TEST(SolveCache, UnboundedByDefault) {
+  solve_cache cache;
+  EXPECT_EQ(cache.max_entries(), 0u);
+  for (int i = 0; i < 100; ++i)
+    cache.store_value("k" + std::to_string(i), static_cast<double>(i));
+  EXPECT_EQ(cache.size(), 100u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(SolveCache, LruCapEvictsOldestAndCountsEvictions) {
+  solve_cache cache(2);
+  EXPECT_EQ(cache.max_entries(), 2u);
+  cache.store_value("a", 1.0);
+  cache.store_value("b", 2.0);
+  cache.store_value("c", 3.0);  // overflows: "a" is least recently used
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_FALSE(cache.find_value("a").has_value());
+  EXPECT_TRUE(cache.find_value("b").has_value());
+  EXPECT_TRUE(cache.find_value("c").has_value());
+}
+
+TEST(SolveCache, FindRefreshesRecency) {
+  solve_cache cache(2);
+  cache.store_value("a", 1.0);
+  cache.store_value("b", 2.0);
+  EXPECT_TRUE(cache.find_value("a").has_value());  // "a" now most recent
+  cache.store_value("c", 3.0);                     // evicts "b", not "a"
+  EXPECT_TRUE(cache.find_value("a").has_value());
+  EXPECT_FALSE(cache.find_value("b").has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(SolveCache, CapCountsTracesAndValuesTogether) {
+  solve_cache cache(2);
+  cache.store_trace("t1", sample_trace(1.0));
+  cache.store_value("v1", 1.0);
+  cache.store_trace("t2", sample_trace(2.0));  // evicts the "t1" trace
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.find_trace("t1"), nullptr);
+  EXPECT_TRUE(cache.find_value("v1").has_value());
+  EXPECT_NE(cache.find_trace("t2"), nullptr);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.max_entries(), 2u);  // the cap survives clear()
+}
+
 TEST(ResolveRateSpec, PresetResolvesPerMetricOthersPassThrough) {
   EXPECT_EQ(
       resolve_rate_spec("preset", social::distance_metric::friendship_hops),
