@@ -222,6 +222,11 @@ dl_solution solve_dl_profile(const dl_parameters& params,
 
   std::vector<double> u_next(n);
 
+  // Newton scratch for the implicit scheme: every entry is overwritten
+  // each iteration, so one allocation serves the whole run.
+  num::tridiagonal_matrix jac(n);
+  std::vector<double> g(n);
+
   for (std::size_t step = 0; step < total_steps; ++step) {
     const double t = t0 + static_cast<double>(step) * options.dt;
     const double h = std::min(options.dt, t_end - t);
@@ -262,8 +267,6 @@ dl_solution solve_dl_profile(const dl_parameters& params,
         const double t_next = t + h;
         rates_at(t_next, rt);
         u_next = u;  // warm start
-        num::tridiagonal_matrix jac(n);
-        std::vector<double> g(n);
         bool converged = false;
         for (int it = 0; it < options.newton_max_iter; ++it) {
           neumann_laplacian(u_next, dx, lap);
