@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/dl_workspace.h"
 #include "numerics/integrate.h"
 #include "numerics/tridiagonal.h"
 
@@ -15,6 +16,14 @@ namespace {
 double logistic_exact(double n, double integrated_rate, double k) {
   if (n <= 0.0) return n;
   const double growth = std::exp(integrated_rate);
+  return k * n * growth / (k + n * (growth - 1.0));
+}
+
+/// Same propagator with e^R precomputed — for fields constant in x, every
+/// node shares one integrated rate, so the exp is hoisted out of the node
+/// loop (bitwise identical: exp of the same value is the same value).
+double logistic_exact_with_growth(double n, double growth, double k) {
+  if (n <= 0.0) return n;
   return k * n * growth / (k + n * (growth - 1.0));
 }
 
@@ -50,6 +59,20 @@ void build_cn_matrices(std::size_t n, double lambda,
   }
 }
 
+/// Marks a workspace busy for the duration of a solve, so the
+/// thread-local wrapper can detect reentrancy and fall back to a private
+/// workspace instead of clobbering live buffers.
+class workspace_guard {
+ public:
+  explicit workspace_guard(dl_workspace& ws) : ws_(ws) { ws_.in_use = true; }
+  ~workspace_guard() { ws_.in_use = false; }
+  workspace_guard(const workspace_guard&) = delete;
+  workspace_guard& operator=(const workspace_guard&) = delete;
+
+ private:
+  dl_workspace& ws_;
+};
+
 }  // namespace
 
 std::string to_string(dl_scheme scheme) {
@@ -76,22 +99,29 @@ void neumann_laplacian(std::span<const double> u, double dx,
 }
 
 dl_solution::dl_solution(num::uniform_grid grid, std::vector<double> times,
-                         std::vector<std::vector<double>> states)
+                         trace_storage states)
     : grid_(grid), times_(std::move(times)), states_(std::move(states)) {
   if (times_.empty() || times_.size() != states_.size())
     throw std::invalid_argument("dl_solution: times/states mismatch");
 }
 
-double dl_solution::at(double x, double t) const {
-  if (!grid_.contains(x))
-    throw std::out_of_range("dl_solution::at: x outside the domain");
+dl_solution::dl_solution(num::uniform_grid grid, std::vector<double> times,
+                         const std::vector<std::vector<double>>& states)
+    : grid_(grid), times_(std::move(times)) {
+  if (times_.empty() || times_.size() != states.size())
+    throw std::invalid_argument("dl_solution: times/states mismatch");
+  trace_storage packed(states.front().size());
+  packed.reserve(states.size());
+  for (const std::vector<double>& row : states) packed.append_row(row);
+  states_ = std::move(packed);
+}
+
+dl_solution::time_bracket dl_solution::bracket_time(double t) const {
   if (t < times_.front() - 1e-12 || t > times_.back() + 1e-12)
     throw std::out_of_range("dl_solution::at: t outside the solved range");
   t = std::clamp(t, times_.front(), times_.back());
 
-  // Bracketing snapshots.
-  const auto upper =
-      std::lower_bound(times_.begin(), times_.end(), t);
+  const auto upper = std::lower_bound(times_.begin(), times_.end(), t);
   std::size_t hi = upper == times_.end()
                        ? times_.size() - 1
                        : static_cast<std::size_t>(upper - times_.begin());
@@ -100,22 +130,37 @@ double dl_solution::at(double x, double t) const {
   const double w = (times_[hi] > times_[lo])
                        ? (t - times_[lo]) / (times_[hi] - times_[lo])
                        : 1.0;
+  return {lo, hi, w};
+}
 
-  // Linear interpolation in x within each snapshot.
-  const auto value_in = [&](const std::vector<double>& state) {
-    const double pos = (x - grid_.lower()) / grid_.spacing();
-    const auto i = static_cast<std::size_t>(
-        std::clamp(pos, 0.0, static_cast<double>(grid_.points() - 1)));
-    const std::size_t j = std::min(i + 1, grid_.points() - 1);
-    const double frac = std::clamp(pos - static_cast<double>(i), 0.0, 1.0);
-    return state[i] * (1.0 - frac) + state[j] * frac;
-  };
-  return (1.0 - w) * value_in(states_[lo]) + w * value_in(states_[hi]);
+double dl_solution::value_at(double x, const time_bracket& b) const {
+  // Linear interpolation in x within each bracketing snapshot; the x
+  // weights depend only on x, so they are computed once for both rows.
+  const double pos = (x - grid_.lower()) / grid_.spacing();
+  const auto i = static_cast<std::size_t>(
+      std::clamp(pos, 0.0, static_cast<double>(grid_.points() - 1)));
+  const std::size_t j = std::min(i + 1, grid_.points() - 1);
+  const double frac = std::clamp(pos - static_cast<double>(i), 0.0, 1.0);
+  const std::span<const double> lo = states_[b.lo];
+  const std::span<const double> hi = states_[b.hi];
+  const double in_lo = lo[i] * (1.0 - frac) + lo[j] * frac;
+  const double in_hi = hi[i] * (1.0 - frac) + hi[j] * frac;
+  return (1.0 - b.w) * in_lo + b.w * in_hi;
+}
+
+double dl_solution::at(double x, double t) const {
+  if (!grid_.contains(x))
+    throw std::out_of_range("dl_solution::at: x outside the domain");
+  return value_at(x, bracket_time(t));
 }
 
 std::vector<double> dl_solution::profile_at(double t) const {
+  // One time bracket for the whole profile — the old per-node at() calls
+  // re-ran the lower_bound bracketing grid.points() times.
+  const time_bracket b = bracket_time(t);
   std::vector<double> out(grid_.points());
-  for (std::size_t i = 0; i < grid_.points(); ++i) out[i] = at(grid_.x(i), t);
+  for (std::size_t i = 0; i < grid_.points(); ++i)
+    out[i] = value_at(grid_.x(i), b);
   return out;
 }
 
@@ -123,24 +168,36 @@ std::vector<double> dl_solution::at_integer_distances(double t, int x_from,
                                                       int x_to) const {
   if (x_from > x_to)
     throw std::invalid_argument("at_integer_distances: empty range");
-  std::vector<double> out;
-  out.reserve(static_cast<std::size_t>(x_to - x_from + 1));
-  for (int x = x_from; x <= x_to; ++x)
-    out.push_back(at(static_cast<double>(x), t));
+  std::vector<double> out(static_cast<std::size_t>(x_to - x_from + 1));
+  at_integer_distances(t, x_from, x_to, out);
   return out;
+}
+
+void dl_solution::at_integer_distances(double t, int x_from, int x_to,
+                                       std::span<double> out) const {
+  if (x_from > x_to)
+    throw std::invalid_argument("at_integer_distances: empty range");
+  if (out.size() != static_cast<std::size_t>(x_to - x_from + 1))
+    throw std::invalid_argument("at_integer_distances: output size mismatch");
+  const time_bracket b = bracket_time(t);  // bracket once, not per distance
+  for (int x = x_from; x <= x_to; ++x) {
+    const double xd = static_cast<double>(x);
+    if (!grid_.contains(xd))
+      throw std::out_of_range("dl_solution::at: x outside the domain");
+    out[static_cast<std::size_t>(x - x_from)] = value_at(xd, b);
+  }
 }
 
 double dl_solution::max_abs() const {
   double best = 0.0;
-  for (const auto& state : states_) {
-    for (double v : state) best = std::max(best, std::abs(v));
-  }
+  for (double v : states_.data()) best = std::max(best, std::abs(v));
   return best;
 }
 
 dl_solution solve_dl_profile(const dl_parameters& params,
                              std::span<const double> phi_samples, double t0,
-                             double t_end, const dl_solver_options& options) {
+                             double t_end, const dl_solver_options& options,
+                             dl_workspace& ws) {
   params.validate();
   if (!(t_end > t0))
     throw std::invalid_argument("solve_dl: t_end must exceed t0");
@@ -161,29 +218,38 @@ dl_solution solve_dl_profile(const dl_parameters& params,
           std::to_string(dt_max));
   }
 
-  std::vector<double> u(phi_samples.begin(), phi_samples.end());
-  std::vector<double> lap(n), scratch(n), rhs_vec(n);
+  const workspace_guard guard(ws);
+  ws.prepare(n);
+  std::vector<double>& u = ws.u;
+  std::vector<double>& u_next = ws.u_next;
+  std::vector<double>& lap = ws.lap;
+  std::vector<double>& rhs = ws.rhs;
+  std::vector<double>& scratch = ws.scratch;
+  u.assign(phi_samples.begin(), phi_samples.end());
 
   // Per-node growth rates.  For separable-form fields — every r(t)-only
   // run and the "spatial:<base>|m,..." family — the spatial profile is
   // hoisted out of the time loop: one base evaluation (or base integral)
   // plus n multiplies per step, so the pre-r(x,t) fast path is preserved.
   const rate_field& rate = params.r;
-  std::vector<double> node_x(n);
+  std::vector<double>& node_x = ws.node_x;
   for (std::size_t i = 0; i < n; ++i) node_x[i] = grid.x(i);
   const bool factored = rate.separable_form();
-  std::vector<double> mod;
+  // Constant in x (the temporal family): every node shares one rate, so
+  // the Strang logistic substep computes a single exp per substep.
+  const bool uniform = !rate.spatial();
+  std::vector<double>& mod = ws.mod;
   if (factored) {
-    mod.resize(n);
     for (std::size_t i = 0; i < n; ++i) mod[i] = rate.modulation(node_x[i]);
   }
-  std::vector<double> rt(n), r_int(n);
+  std::vector<double>& rt = ws.rt;
+  std::vector<double>& r_int = ws.r_int;
   const auto rates_at = [&](double t, std::span<double> out) {
     if (factored) {
       const double base = rate.base()(t);
       for (std::size_t i = 0; i < n; ++i) out[i] = mod[i] * base;
     } else {
-      rate.profile(t, node_x, out);
+      rate.profile(t, node_x, out, ws.rate_scratch);
     }
   };
   const auto integrals_over = [&](double from, double to,
@@ -192,40 +258,50 @@ dl_solution solve_dl_profile(const dl_parameters& params,
       const double base = rate.base().integral(from, to);
       for (std::size_t i = 0; i < n; ++i) out[i] = mod[i] * base;
     } else {
-      rate.integral_profile(from, to, node_x, out);
+      rate.integral_profile(from, to, node_x, out, ws.rate_scratch);
     }
   };
 
-  // Pre-built CN matrices for the Strang scheme.
-  num::tridiagonal_matrix cn_lhs(n), cn_rhs(n);
+  // Pre-built CN matrices for the Strang scheme; the LHS is constant for
+  // the whole run, so its Thomas elimination is cached once here instead
+  // of being redone every step.
+  num::tridiagonal_matrix& cn_rhs_m = ws.cn_rhs;
   if (options.scheme == dl_scheme::strang_cn) {
     const double lambda = params.d * options.dt / (dx * dx);
-    build_cn_matrices(n, lambda, cn_lhs, cn_rhs);
+    build_cn_matrices(n, lambda, ws.cn_lhs, cn_rhs_m);
+    ws.cn_factor.factor(ws.cn_lhs);
   }
-
-  std::vector<double> times{t0};
-  std::vector<std::vector<double>> states{u};
-  double next_record = t0 + options.record_dt;
 
   const std::size_t total_steps = static_cast<std::size_t>(
       std::ceil((t_end - t0) / options.dt - 1e-12));
 
-  std::vector<double> rt_react(n);
-  const auto reaction = [&](double t, std::span<const double> y,
-                            std::span<double> dydt) {
+  // Recorded snapshots: one contiguous buffer, reserved for the exact
+  // record count so steady-state stepping never reallocates.
+  std::size_t max_records = total_steps;
+  if (options.record_dt > 0.0) {
+    const double est = (t_end - t0) / options.record_dt;
+    if (est < static_cast<double>(total_steps))
+      max_records = static_cast<std::size_t>(est) + 1;
+  }
+  std::vector<double> times;
+  times.reserve(max_records + 2);
+  trace_storage trace(n);
+  trace.reserve(max_records + 2);
+  times.push_back(t0);
+  trace.append_row(u);
+  double next_record = t0 + options.record_dt;
+
+  std::vector<double>& rt_react = ws.rt_react;
+  // Hoisted into a std::function once — handing the lambda to rk4_step
+  // directly would rebuild (and heap-allocate) the ode_rhs every step.
+  const num::ode_rhs reaction = [&](double t, std::span<const double> y,
+                                    std::span<double> dydt) {
     neumann_laplacian(y, dx, dydt);
     rates_at(t, rt_react);
     for (std::size_t i = 0; i < y.size(); ++i)
       dydt[i] =
           params.d * dydt[i] + rt_react[i] * y[i] * (1.0 - y[i] / params.k);
   };
-
-  std::vector<double> u_next(n);
-
-  // Newton scratch for the implicit scheme: every entry is overwritten
-  // each iteration, so one allocation serves the whole run.
-  num::tridiagonal_matrix jac(n);
-  std::vector<double> g(n);
 
   for (std::size_t step = 0; step < total_steps; ++step) {
     const double t = t0 + static_cast<double>(step) * options.dt;
@@ -242,24 +318,97 @@ dl_solution solve_dl_profile(const dl_parameters& params,
         break;
       }
       case dl_scheme::strang_cn: {
-        // Reaction half-step (exact logistic with the per-node integrated
-        // rate ∫ r(x_i, s) ds).
+        // Strang step, fused into two grid passes.  Logically:
+        //   (1) reaction half-step — exact logistic with the per-node
+        //       integrated rate ∫ r(x_i, s) ds (one shared exp when the
+        //       rate is uniform in x);
+        //   (2) Crank–Nicolson diffusion full step — rhs-matrix multiply,
+        //       then the cached Thomas forward sweep + back substitution;
+        //   (3) reaction half-step.
+        // The forward pass computes (1) into rolling registers, forms the
+        // CN rhs row from them and eliminates it in place; the backward
+        // pass back-substitutes and applies (3) to each node as it is
+        // finalized.  Every individual expression — logistic propagator,
+        // rhs-row accumulation order, elimination, substitution — is kept
+        // verbatim from the unfused form, so results are bitwise
+        // identical; fusing only removes the extra sweeps over the grid
+        // between substeps.
         integrals_over(t, t + 0.5 * h, r_int);
-        for (std::size_t i = 0; i < n; ++i)
-          u[i] = logistic_exact(u[i], r_int[i], params.k);
-        // Diffusion full step (Crank–Nicolson).  Matrices were built for
-        // options.dt; rebuild for a short trailing step.
+        integrals_over(t + 0.5 * h, t + h, rt);  // second half, up front
+        // Matrices were built and factored for options.dt; rebuild for a
+        // short trailing step.
         if (h != options.dt) {
           const double lambda = params.d * h / (dx * dx);
-          build_cn_matrices(n, lambda, cn_lhs, cn_rhs);
+          build_cn_matrices(n, lambda, ws.cn_lhs, cn_rhs_m);
+          ws.cn_factor.factor(ws.cn_lhs);
         }
-        rhs_vec = cn_rhs.multiply(u);
-        num::solve_tridiagonal_in_place(cn_lhs, rhs_vec, scratch);
-        u = rhs_vec;
-        // Reaction half-step.
-        integrals_over(t + 0.5 * h, t + h, r_int);
-        for (std::size_t i = 0; i < n; ++i)
-          u[i] = logistic_exact(u[i], r_int[i], params.k);
+        const std::vector<double>& dm = cn_rhs_m.diag;
+        const std::vector<double>& lm = cn_rhs_m.lower;
+        const std::vector<double>& um = cn_rhs_m.upper;
+        const std::vector<double>& fl = ws.cn_factor.lower();
+        const std::vector<double>& fp = ws.cn_factor.pivots();
+        const std::vector<double>& fc = ws.cn_factor.c_star();
+        const double kk = params.k;
+        // The recurrence value is carried in a register (`w`) and the
+        // reaction values roll through three registers, so each logistic
+        // is computed exactly once and the serial elimination chain never
+        // waits on a store/reload; the backward pass stores nothing but
+        // the finished state.  Instantiated per reaction flavour so the
+        // node loops stay branch-free.
+        const auto fused_step = [&](auto&& react1, auto&& react2) {
+          double v_prev;
+          double v_cur = react1(u[0], std::size_t{0});
+          double v_next = react1(u[1], std::size_t{1});
+          double w;
+          {
+            double acc = dm[0] * v_cur;
+            acc += um[0] * v_next;
+            w = acc / fp[0];
+            rhs[0] = w;
+          }
+          for (std::size_t i = 1; i + 1 < n; ++i) {
+            v_prev = v_cur;
+            v_cur = v_next;
+            v_next = react1(u[i + 1], i + 1);
+            double acc = dm[i] * v_cur;
+            acc += lm[i - 1] * v_prev;
+            acc += um[i] * v_next;
+            w = (acc - fl[i - 1] * w) / fp[i];
+            rhs[i] = w;
+          }
+          {
+            v_prev = v_cur;
+            v_cur = v_next;
+            double acc = dm[n - 1] * v_cur;
+            acc += lm[n - 2] * v_prev;
+            w = (acc - fl[n - 2] * w) / fp[n - 1];
+          }
+          // Backward pass: back substitution + second reaction half-step.
+          u[n - 1] = react2(w, n - 1);
+          for (std::size_t i = n - 1; i-- > 0;) {
+            w = rhs[i] - fc[i] * w;
+            u[i] = react2(w, i);
+          }
+        };
+        if (uniform) {
+          const double growth1 = std::exp(r_int[0]);
+          const double growth2 = std::exp(rt[0]);
+          fused_step(
+              [&](double v, std::size_t) {
+                return logistic_exact_with_growth(v, growth1, kk);
+              },
+              [&](double v, std::size_t) {
+                return logistic_exact_with_growth(v, growth2, kk);
+              });
+        } else {
+          fused_step(
+              [&](double v, std::size_t i) {
+                return logistic_exact(v, r_int[i], kk);
+              },
+              [&](double v, std::size_t i) {
+                return logistic_exact(v, rt[i], kk);
+              });
+        }
         break;
       }
       case dl_scheme::implicit_newton: {
@@ -267,6 +416,8 @@ dl_solution solve_dl_profile(const dl_parameters& params,
         const double t_next = t + h;
         rates_at(t_next, rt);
         u_next = u;  // warm start
+        num::tridiagonal_matrix& jac = ws.jac;
+        std::vector<double>& g = ws.newton_g;
         bool converged = false;
         for (int it = 0; it < options.newton_max_iter; ++it) {
           neumann_laplacian(u_next, dx, lap);
@@ -296,11 +447,11 @@ dl_solution solve_dl_profile(const dl_parameters& params,
           // Accept the last iterate; the step size is small enough in
           // practice that Newton stalls only at negligible residuals.
         }
-        u = u_next;
+        u.swap(u_next);
         break;
       }
       case dl_scheme::mol_rk4: {
-        num::rk4_step(reaction, t, u, h, u_next);
+        num::rk4_step(reaction, t, u, h, u_next, ws.rk4);
         u.swap(u_next);
         break;
       }
@@ -309,24 +460,48 @@ dl_solution solve_dl_profile(const dl_parameters& params,
     const double t_new = t + h;
     if (t_new + 1e-12 >= next_record || step + 1 == total_steps) {
       times.push_back(t_new);
-      states.push_back(u);
+      trace.append_row(u);
       while (next_record <= t_new + 1e-12) next_record += options.record_dt;
     }
   }
 
-  return dl_solution(grid, std::move(times), std::move(states));
+  return dl_solution(grid, std::move(times), std::move(trace));
+}
+
+dl_solution solve_dl_profile(const dl_parameters& params,
+                             std::span<const double> phi_samples, double t0,
+                             double t_end, const dl_solver_options& options) {
+  dl_workspace& shared = thread_workspace();
+  if (shared.in_use) {
+    // Reentrant solve (e.g. a custom rate field that itself runs the
+    // solver): don't clobber the outer solve's live buffers.
+    dl_workspace local;
+    return solve_dl_profile(params, phi_samples, t0, t_end, options, local);
+  }
+  return solve_dl_profile(params, phi_samples, t0, t_end, options, shared);
 }
 
 dl_solution solve_dl(const dl_parameters& params, const initial_condition& phi,
-                     double t0, double t_end,
-                     const dl_solver_options& options) {
+                     double t0, double t_end, const dl_solver_options& options,
+                     dl_workspace& ws) {
   params.validate();
   const std::size_t n = node_count(params, options);
   std::vector<double> samples = phi.sample(params.x_min, params.x_max, n);
   // Densities are non-negative (paper §II.D); a cubic interpolant may
   // undershoot slightly between sparse knots, so clip at zero.
   for (double& v : samples) v = std::max(v, 0.0);
-  return solve_dl_profile(params, samples, t0, t_end, options);
+  return solve_dl_profile(params, samples, t0, t_end, options, ws);
+}
+
+dl_solution solve_dl(const dl_parameters& params, const initial_condition& phi,
+                     double t0, double t_end,
+                     const dl_solver_options& options) {
+  dl_workspace& shared = thread_workspace();
+  if (shared.in_use) {
+    dl_workspace local;
+    return solve_dl(params, phi, t0, t_end, options, local);
+  }
+  return solve_dl(params, phi, t0, t_end, options, shared);
 }
 
 }  // namespace dlm::core

@@ -24,6 +24,13 @@
 // strang_cn, the exact logistic substep's integrated rate — is evaluated
 // per grid node.  Separable-form fields (every r(t)-only run) keep the
 // original cost: the spatial profile is hoisted out of the time loop.
+//
+// The hot path is allocation-free: every scratch buffer lives in a
+// core::dl_workspace (reused across solves — the plain overloads below
+// borrow a thread-local one, or pass your own), the Strang–CN diffusion
+// matrix is Thomas-factored once per run, and recorded snapshots land in
+// one contiguous trace_storage buffer reserved up front.  A steady-state
+// time step performs zero heap allocations.
 #pragma once
 
 #include <cstddef>
@@ -32,9 +39,12 @@
 
 #include "core/dl_parameters.h"
 #include "core/initial_condition.h"
+#include "core/trace_storage.h"
 #include "numerics/grid.h"
 
 namespace dlm::core {
+
+struct dl_workspace;
 
 /// Time-stepping scheme selector.
 enum class dl_scheme { ftcs, strang_cn, implicit_newton, mol_rk4 };
@@ -56,15 +66,22 @@ struct dl_solver_options {
 /// A solved trajectory I(x, t).
 class dl_solution {
  public:
+  /// Snapshots packed row-major in `states` (one row per entry of
+  /// `times`); this is what the solver produces.
   dl_solution(num::uniform_grid grid, std::vector<double> times,
-              std::vector<std::vector<double>> states);
+              trace_storage states);
+
+  /// Compatibility overload: per-snapshot vectors, packed on entry.
+  dl_solution(num::uniform_grid grid, std::vector<double> times,
+              const std::vector<std::vector<double>>& states);
 
   [[nodiscard]] const num::uniform_grid& grid() const noexcept { return grid_; }
   [[nodiscard]] const std::vector<double>& times() const noexcept {
     return times_;
   }
-  [[nodiscard]] const std::vector<std::vector<double>>& states()
-      const noexcept {
+  /// Recorded snapshots: a random-access range of std::span rows over one
+  /// contiguous buffer; states()[s][i] is node i of snapshot s.
+  [[nodiscard]] const trace_storage& states() const noexcept {
     return states_;
   }
 
@@ -80,18 +97,34 @@ class dl_solution {
   [[nodiscard]] std::vector<double> at_integer_distances(double t, int x_from,
                                                          int x_to) const;
 
+  /// Allocation-free variant writing into `out` (size x_to − x_from + 1);
+  /// the time bracket is computed once and shared across all distances.
+  void at_integer_distances(double t, int x_from, int x_to,
+                            std::span<double> out) const;
+
   /// Maximum of |I| over all snapshots — used by stability tests.
   [[nodiscard]] double max_abs() const;
 
  private:
+  /// A time bracket: snapshot indices lo/hi and the interpolation weight
+  /// of hi.  Computed once per query time, shared across nodes.
+  struct time_bracket {
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+    double w = 0.0;
+  };
+  [[nodiscard]] time_bracket bracket_time(double t) const;
+  [[nodiscard]] double value_at(double x, const time_bracket& b) const;
+
   num::uniform_grid grid_;
   std::vector<double> times_;
-  std::vector<std::vector<double>> states_;
+  trace_storage states_;
 };
 
 /// Solves the DL equation from φ over [t0, t_end].
 /// φ is sampled on the grid implied by params.x_min/x_max and
-/// options.points_per_unit.
+/// options.points_per_unit.  Scratch buffers are borrowed from this
+/// thread's shared workspace (see core/dl_workspace.h).
 [[nodiscard]] dl_solution solve_dl(const dl_parameters& params,
                                    const initial_condition& phi, double t0,
                                    double t_end,
@@ -103,6 +136,20 @@ class dl_solution {
                                            std::span<const double> phi_samples,
                                            double t0, double t_end,
                                            const dl_solver_options& options = {});
+
+/// Explicit-workspace overloads: identical results, but the caller owns
+/// the scratch buffers (deterministic memory accounting, custom threading).
+[[nodiscard]] dl_solution solve_dl(const dl_parameters& params,
+                                   const initial_condition& phi, double t0,
+                                   double t_end,
+                                   const dl_solver_options& options,
+                                   dl_workspace& workspace);
+
+[[nodiscard]] dl_solution solve_dl_profile(const dl_parameters& params,
+                                           std::span<const double> phi_samples,
+                                           double t0, double t_end,
+                                           const dl_solver_options& options,
+                                           dl_workspace& workspace);
 
 /// Mirror-ghost Neumann Laplacian of `u` scaled by 1/dx² into `out`
 /// (exposed for tests).

@@ -94,7 +94,8 @@ dl_solution solve_dl_variable_profile(const dl_variable_parameters& params,
   std::vector<double> k1(n), k2(n), k3(n), k4(n), tmp(n);
 
   std::vector<double> times{t0};
-  std::vector<std::vector<double>> states{u};
+  trace_storage states(n);
+  states.append_row(u);
   double next_record = t0 + options.record_dt;
 
   const auto total_steps = static_cast<std::size_t>(
@@ -117,7 +118,7 @@ dl_solution solve_dl_variable_profile(const dl_variable_parameters& params,
     const double t_new = t + h;
     if (t_new + 1e-12 >= next_record || step + 1 == total_steps) {
       times.push_back(t_new);
-      states.push_back(u);
+      states.append_row(u);
       while (next_record <= t_new + 1e-12) next_record += options.record_dt;
     }
   }

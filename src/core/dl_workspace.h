@@ -1,0 +1,78 @@
+// Reusable scratch buffers for the DL solver hot path.
+//
+// A single solve_dl_profile call needs ~10 heap vectors (state, Laplacian,
+// tridiagonal rhs/scratch, per-node rates and integrated rates, Newton
+// Jacobian and residual, RK4 stages) plus the Crank–Nicolson matrices and
+// their cached Thomas factorization.  A calibration sweep issues hundreds
+// of solves back to back — on a handful of pool threads — so reallocating
+// those buffers per solve is pure overhead.  dl_workspace owns all of
+// them: prepare(n) sizes everything once, and a steady-state time step of
+// any of the four schemes then performs zero heap allocations.
+//
+// Two ways to get one:
+//
+//  * do nothing — the plain solve_dl / solve_dl_profile overloads borrow
+//    a thread-local workspace (thread_workspace()), so every caller —
+//    including each engine pool worker running calibration probes —
+//    reuses buffers across solves automatically;
+//  * pass one explicitly to the workspace-taking overloads when you want
+//    buffer lifetime under your control: deterministic memory accounting
+//    in tests/benches, or a solver embedded in a custom threading layer
+//    where thread identity is not a useful cache key.
+//
+// Reuse never changes results: a workspace-reusing solve is bitwise
+// identical to a fresh-workspace solve (covered by solver_workspace_test).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "numerics/integrate.h"
+#include "numerics/tridiagonal.h"
+
+namespace dlm::core {
+
+struct dl_workspace {
+  // State vectors (size n, the grid node count).
+  std::vector<double> u;       ///< current solution
+  std::vector<double> u_next;  ///< next-step / Newton iterate
+  std::vector<double> lap;     ///< discrete Laplacian
+  std::vector<double> rhs;     ///< tridiagonal right-hand side
+  std::vector<double> scratch; ///< Thomas-elimination scratch
+
+  // Growth-rate plumbing (size n; rate_scratch sized per rate family).
+  std::vector<double> node_x;        ///< grid node coordinates
+  std::vector<double> mod;           ///< separable spatial profile m(x_i)
+  std::vector<double> rt;            ///< r(x_i, t) per step
+  std::vector<double> r_int;         ///< ∫ r(x_i, s) ds per substep
+  std::vector<double> rt_react;      ///< rates inside the MOL reaction term
+  std::vector<double> rate_scratch;  ///< per-group family's group table
+
+  // Implicit-Newton scheme.
+  num::tridiagonal_matrix jac;   ///< Jacobian, rebuilt per iteration
+  std::vector<double> newton_g;  ///< Newton residual
+
+  // Strang–CN scheme: matrices built once per run, LHS factored once.
+  num::tridiagonal_matrix cn_lhs;
+  num::tridiagonal_matrix cn_rhs;
+  num::tridiagonal_factorization cn_factor;
+
+  // Method-of-lines RK4 stage buffers.
+  num::rk4_scratch rk4;
+
+  /// True while a solve is running on this workspace.  The thread-local
+  /// wrapper checks it so a reentrant solve (e.g. a custom rate field
+  /// that itself solves a PDE) falls back to a private workspace instead
+  /// of corrupting the outer solve's buffers.
+  bool in_use = false;
+
+  /// Sizes every per-node buffer to n.  Buffer *capacity* is kept across
+  /// calls, so a workspace reused at a fixed grid size allocates nothing
+  /// after its first solve.
+  void prepare(std::size_t n);
+};
+
+/// This thread's shared workspace — what the plain solve_dl overloads use.
+[[nodiscard]] dl_workspace& thread_workspace();
+
+}  // namespace dlm::core

@@ -150,6 +150,13 @@ double rate_field::modulation(double x) const {
 
 void rate_field::profile(double t, std::span<const double> xs,
                          std::span<double> out) const {
+  std::vector<double> scratch;
+  profile(t, xs, out, scratch);
+}
+
+void rate_field::profile(double t, std::span<const double> xs,
+                         std::span<double> out,
+                         std::vector<double>& scratch) const {
   if (xs.size() != out.size())
     throw std::invalid_argument("rate_field::profile: size mismatch");
   if (separable_form()) {
@@ -161,13 +168,12 @@ void rate_field::profile(double t, std::span<const double> xs,
   if (family_ == family::per_group) {
     // One evaluation per *group*, blended per node — the per-node cost
     // is two multiplies, not two growth_rate calls.
-    std::vector<double> group_values(rates_.size());
+    scratch.resize(rates_.size());
     for (std::size_t g = 0; g < rates_.size(); ++g)
-      group_values[g] = rates_[g](t);
+      scratch[g] = rates_[g](t);
     for (std::size_t i = 0; i < xs.size(); ++i) {
-      const blend b = blend_at(xs[i], group_values.size());
-      out[i] = group_values[b.lo] * (1.0 - b.frac) +
-               group_values[b.hi] * b.frac;
+      const blend b = blend_at(xs[i], scratch.size());
+      out[i] = scratch[b.lo] * (1.0 - b.frac) + scratch[b.hi] * b.frac;
     }
     return;
   }
@@ -177,6 +183,14 @@ void rate_field::profile(double t, std::span<const double> xs,
 void rate_field::integral_profile(double t0, double t1,
                                   std::span<const double> xs,
                                   std::span<double> out) const {
+  std::vector<double> scratch;
+  integral_profile(t0, t1, xs, out, scratch);
+}
+
+void rate_field::integral_profile(double t0, double t1,
+                                  std::span<const double> xs,
+                                  std::span<double> out,
+                                  std::vector<double>& scratch) const {
   if (xs.size() != out.size())
     throw std::invalid_argument("rate_field::integral_profile: size mismatch");
   if (t1 < t0)
@@ -190,13 +204,12 @@ void rate_field::integral_profile(double t0, double t1,
   if (family_ == family::per_group) {
     // One exact integral per *group*, blended per node (the solver calls
     // this once per time step over the whole grid).
-    std::vector<double> group_integrals(rates_.size());
+    scratch.resize(rates_.size());
     for (std::size_t g = 0; g < rates_.size(); ++g)
-      group_integrals[g] = rates_[g].integral(t0, t1);
+      scratch[g] = rates_[g].integral(t0, t1);
     for (std::size_t i = 0; i < xs.size(); ++i) {
-      const blend b = blend_at(xs[i], group_integrals.size());
-      out[i] = group_integrals[b.lo] * (1.0 - b.frac) +
-               group_integrals[b.hi] * b.frac;
+      const blend b = blend_at(xs[i], scratch.size());
+      out[i] = scratch[b.lo] * (1.0 - b.frac) + scratch[b.hi] * b.frac;
     }
     return;
   }

@@ -101,6 +101,17 @@ class rate_field {
   void integral_profile(double t0, double t1, std::span<const double> xs,
                         std::span<double> out) const;
 
+  /// Allocation-free variants: the per-group family's one-value-per-group
+  /// table lands in `scratch` (resized to the group count, capacity kept)
+  /// instead of a fresh vector — the solver calls these once or twice per
+  /// time step, so the plain overloads above would otherwise allocate in
+  /// the hot loop.  Other families ignore `scratch`.
+  void profile(double t, std::span<const double> xs, std::span<double> out,
+               std::vector<double>& scratch) const;
+  void integral_profile(double t0, double t1, std::span<const double> xs,
+                        std::span<double> out,
+                        std::vector<double>& scratch) const;
+
  private:
   enum class family { temporal, separable, per_group, custom };
 

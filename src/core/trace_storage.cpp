@@ -1,0 +1,27 @@
+#include "core/trace_storage.h"
+
+#include <stdexcept>
+
+namespace dlm::core {
+
+trace_storage::trace_storage(std::size_t cols) : cols_(cols) {
+  if (cols == 0)
+    throw std::invalid_argument("trace_storage: cols must be >= 1");
+}
+
+trace_storage::trace_storage(std::size_t cols, std::vector<double> data)
+    : cols_(cols), data_(std::move(data)) {
+  if (cols == 0)
+    throw std::invalid_argument("trace_storage: cols must be >= 1");
+  if (data_.size() % cols != 0)
+    throw std::invalid_argument(
+        "trace_storage: buffer size is not a multiple of the row width");
+}
+
+void trace_storage::append_row(std::span<const double> row) {
+  if (cols_ == 0 || row.size() != cols_)
+    throw std::invalid_argument("trace_storage: row width mismatch");
+  data_.insert(data_.end(), row.begin(), row.end());
+}
+
+}  // namespace dlm::core

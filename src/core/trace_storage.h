@@ -1,0 +1,147 @@
+// Contiguous row-major snapshot storage for solved trajectories.
+//
+// dl_solution used to hold one heap vector per recorded snapshot
+// (vector<vector<double>>), which costs an allocation per record and
+// scatters rows across the heap.  trace_storage packs every snapshot
+// into a single row-major buffer: one allocation per solve (the solver
+// reserves the exact record count up front) and cache-friendly row
+// scans for the accuracy / result_table consumers that walk whole
+// trajectories.  Rows are exposed as std::span views, and the class
+// models a random-access range of rows so existing range-for /
+// indexing call sites keep working unchanged.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dlm::core {
+
+class trace_storage {
+ public:
+  /// Empty storage with no row width; usable only after assigning from a
+  /// sized instance.
+  trace_storage() = default;
+
+  /// Empty storage of `cols`-wide rows.  Throws std::invalid_argument
+  /// for cols == 0.
+  explicit trace_storage(std::size_t cols);
+
+  /// Adopts an existing row-major buffer (`data.size()` must be a
+  /// multiple of `cols`).  Throws std::invalid_argument otherwise.
+  trace_storage(std::size_t cols, std::vector<double> data);
+
+  /// Reserves capacity for `rows` rows (one allocation up front).
+  void reserve(std::size_t rows) { data_.reserve(rows * cols_); }
+
+  /// Appends a snapshot.  Throws std::invalid_argument when `row` does
+  /// not have exactly cols() values.
+  void append_row(std::span<const double> row);
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return cols_ == 0 ? 0 : data_.size() / cols_;
+  }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  /// Row `i` as a view into the contiguous buffer (no bounds check).
+  [[nodiscard]] std::span<const double> operator[](
+      std::size_t i) const noexcept {
+    return {data_.data() + i * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> front() const noexcept {
+    return (*this)[0];
+  }
+  [[nodiscard]] std::span<const double> back() const noexcept {
+    return (*this)[size() - 1];
+  }
+
+  /// The raw row-major buffer (size() * cols() values).
+  [[nodiscard]] const std::vector<double>& data() const noexcept {
+    return data_;
+  }
+
+  /// Random-access iterator yielding std::span rows, so
+  /// `for (const auto& state : sol.states())` keeps working.
+  class const_iterator {
+   public:
+    using value_type = std::span<const double>;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::random_access_iterator_tag;
+
+    const_iterator() = default;
+    const_iterator(const double* ptr, std::size_t cols)
+        : ptr_(ptr), cols_(cols) {}
+
+    value_type operator*() const noexcept { return {ptr_, cols_}; }
+    value_type operator[](difference_type k) const noexcept {
+      return {ptr_ + k * static_cast<difference_type>(cols_), cols_};
+    }
+    const_iterator& operator++() noexcept {
+      ptr_ += cols_;
+      return *this;
+    }
+    const_iterator operator++(int) noexcept {
+      const_iterator old = *this;
+      ++*this;
+      return old;
+    }
+    const_iterator& operator--() noexcept {
+      ptr_ -= cols_;
+      return *this;
+    }
+    const_iterator operator--(int) noexcept {
+      const_iterator old = *this;
+      --*this;
+      return old;
+    }
+    const_iterator& operator+=(difference_type k) noexcept {
+      ptr_ += k * static_cast<difference_type>(cols_);
+      return *this;
+    }
+    const_iterator& operator-=(difference_type k) noexcept {
+      return *this += -k;
+    }
+    friend const_iterator operator+(const_iterator it,
+                                    difference_type k) noexcept {
+      return it += k;
+    }
+    friend const_iterator operator+(difference_type k,
+                                    const_iterator it) noexcept {
+      return it += k;
+    }
+    friend const_iterator operator-(const_iterator it,
+                                    difference_type k) noexcept {
+      return it -= k;
+    }
+    friend difference_type operator-(const const_iterator& a,
+                                     const const_iterator& b) noexcept {
+      return (a.ptr_ - b.ptr_) / static_cast<difference_type>(a.cols_);
+    }
+    friend bool operator==(const const_iterator& a,
+                           const const_iterator& b) noexcept {
+      return a.ptr_ == b.ptr_;
+    }
+    friend auto operator<=>(const const_iterator& a,
+                            const const_iterator& b) noexcept {
+      return a.ptr_ <=> b.ptr_;
+    }
+
+   private:
+    const double* ptr_ = nullptr;
+    std::size_t cols_ = 1;
+  };
+
+  [[nodiscard]] const_iterator begin() const noexcept {
+    return {data_.data(), cols_ == 0 ? 1 : cols_};
+  }
+  [[nodiscard]] const_iterator end() const noexcept {
+    return {data_.data() + data_.size(), cols_ == 0 ? 1 : cols_};
+  }
+
+ private:
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace dlm::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
 
@@ -63,10 +64,14 @@ model_trace dl_adapter::solve(const scenario& sc,
 
   trace.effective_dt = options.dt;
 
+  // The solve inside dl_model borrows this pool worker's thread-local
+  // dl_workspace, so the hundreds of solves a calibration sweep pushes
+  // through each worker share one set of scratch buffers.
   const core::dl_model model(params, slice.profile_at(static_cast<int>(sc.t0)),
                              sc.t0, trace.times.back(), options);
+  std::vector<double> profile(trace.distances.size());
   for (std::size_t j = 0; j < trace.times.size(); ++j) {
-    const std::vector<double> profile = model.predict_profile(trace.times[j]);
+    model.predict_profile_into(trace.times[j], profile);
     for (std::size_t i = 0; i < trace.distances.size(); ++i)
       trace.predicted[i][j] = profile[i];
   }
@@ -124,15 +129,18 @@ model_trace global_logistic_adapter::solve(const scenario& sc,
 model_trace per_distance_logistic_adapter::solve(
     const scenario& sc, const dataset_slice& slice) const {
   model_trace trace = make_trace(sc, slice);
-  const core::rate_field rate = make_rate(sc.rate, slice.metric);
   // One rate callable per distance group: r(x_i, t).  A temporal field
-  // collapses to the single shared callable (one Simpson integral).
+  // collapses to the single shared callable (one Simpson integral).  The
+  // field is shared across the lambdas — capturing it by value would
+  // deep-copy its growth_rate table once per group.
+  const auto rate = std::make_shared<const core::rate_field>(
+      make_rate(sc.rate, slice.metric));
   std::vector<models::rate_fn> rates;
   const std::size_t groups =
-      rate.spatial() ? static_cast<std::size_t>(slice.max_distance) : 1;
+      rate->spatial() ? static_cast<std::size_t>(slice.max_distance) : 1;
   for (std::size_t i = 0; i < groups; ++i) {
     const double x = slice.base_params.x_min + static_cast<double>(i);
-    rates.push_back([rate, x](double t) { return rate(x, t); });
+    rates.push_back([rate, x](double t) { return (*rate)(x, t); });
   }
   const models::per_distance_logistic model(
       slice.profile_at(static_cast<int>(sc.t0)), sc.t0, slice.base_params.k,

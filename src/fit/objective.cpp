@@ -37,9 +37,12 @@ double dl_sse(const core::dl_parameters& params,
     const core::dl_model model(params, window.initial, window.t0,
                                window.times.back(), solver);
     double acc = 0.0;
+    // One profile buffer reused across the observed hours — calibration
+    // evaluates this objective hundreds of times per fit, so the solver's
+    // allocation-free read path matters here.
+    std::vector<double> profile(window.initial.size());
     for (std::size_t j = 0; j < window.times.size(); ++j) {
-      const std::vector<double> profile =
-          model.predict_profile(window.times[j]);
+      model.predict_profile_into(window.times[j], profile);
       for (std::size_t i = 0; i < window.initial.size(); ++i) {
         const double e = profile[i] - window.observed[i][j];
         acc += e * e;

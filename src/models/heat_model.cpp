@@ -51,7 +51,7 @@ std::vector<double> heat_neumann_series(const std::vector<double>& phi,
   return out;
 }
 
-double profile_mean(const std::vector<double>& profile) {
+double profile_mean(std::span<const double> profile) {
   if (profile.size() < 2)
     throw std::invalid_argument("profile_mean: need >= 2 samples");
   double acc = 0.5 * (profile.front() + profile.back());

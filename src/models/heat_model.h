@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace dlm::models {
@@ -23,6 +24,6 @@ namespace dlm::models {
 
 /// Spatial mean of a sampled profile — the conserved quantity of the
 /// Neumann heat equation (trapezoid weights).
-[[nodiscard]] double profile_mean(const std::vector<double>& profile);
+[[nodiscard]] double profile_mean(std::span<const double> profile);
 
 }  // namespace dlm::models

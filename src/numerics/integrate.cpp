@@ -37,9 +37,28 @@ void heun_step(const ode_rhs& f, double t, std::span<const double> y, double h,
 
 void rk4_step(const ode_rhs& f, double t, std::span<const double> y, double h,
               std::span<double> y_next) {
+  rk4_scratch scratch;
+  rk4_step(f, t, y, h, y_next, scratch);
+}
+
+void rk4_scratch::prepare(std::size_t n) {
+  k1.resize(n);
+  k2.resize(n);
+  k3.resize(n);
+  k4.resize(n);
+  tmp.resize(n);
+}
+
+void rk4_step(const ode_rhs& f, double t, std::span<const double> y, double h,
+              std::span<double> y_next, rk4_scratch& scratch) {
   check_sizes(y, y_next);
   const std::size_t n = y.size();
-  std::vector<double> k1(n), k2(n), k3(n), k4(n), tmp(n);
+  scratch.prepare(n);
+  std::vector<double>& k1 = scratch.k1;
+  std::vector<double>& k2 = scratch.k2;
+  std::vector<double>& k3 = scratch.k3;
+  std::vector<double>& k4 = scratch.k4;
+  std::vector<double>& tmp = scratch.tmp;
   f(t, y, k1);
   for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + 0.5 * h * k1[i];
   f(t + 0.5 * h, tmp, k2);

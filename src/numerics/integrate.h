@@ -30,6 +30,22 @@ void heun_step(const ode_rhs& f, double t, std::span<const double> y, double h,
 void rk4_step(const ode_rhs& f, double t, std::span<const double> y, double h,
               std::span<double> y_next);
 
+/// Reusable stage buffers for rk4_step: one allocation per run instead of
+/// five per step when a caller steps the same system repeatedly (the DL
+/// method-of-lines scheme does this thousands of times per solve).
+struct rk4_scratch {
+  std::vector<double> k1, k2, k3, k4, tmp;
+
+  /// Sizes every stage buffer to n (no-op when already sized).
+  void prepare(std::size_t n);
+};
+
+/// rk4_step writing its stages into caller-owned scratch — bitwise
+/// identical to the allocating overload, zero allocations once `scratch`
+/// has been prepared at the right size.
+void rk4_step(const ode_rhs& f, double t, std::span<const double> y, double h,
+              std::span<double> y_next, rk4_scratch& scratch);
+
 /// Time-stepping scheme selector for `integrate_fixed`.
 enum class ode_scheme { euler, heun, rk4 };
 

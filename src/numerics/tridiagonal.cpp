@@ -10,18 +10,30 @@ tridiagonal_matrix::tridiagonal_matrix(std::size_t n)
   if (n == 0) throw std::invalid_argument("tridiagonal_matrix: n must be >= 1");
 }
 
+void tridiagonal_matrix::resize(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("tridiagonal_matrix: n must be >= 1");
+  lower.resize(n - 1, 0.0);
+  diag.resize(n, 0.0);
+  upper.resize(n - 1, 0.0);
+}
+
 std::vector<double> tridiagonal_matrix::multiply(std::span<const double> x) const {
+  std::vector<double> y(size(), 0.0);
+  multiply_into(x, y);
+  return y;
+}
+
+void tridiagonal_matrix::multiply_into(std::span<const double> x,
+                                       std::span<double> y) const {
   const std::size_t n = size();
-  if (x.size() != n)
+  if (x.size() != n || y.size() != n)
     throw std::invalid_argument("tridiagonal_matrix::multiply: size mismatch");
-  std::vector<double> y(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     double acc = diag[i] * x[i];
     if (i > 0) acc += lower[i - 1] * x[i - 1];
     if (i + 1 < n) acc += upper[i] * x[i + 1];
     y[i] = acc;
   }
-  return y;
 }
 
 bool tridiagonal_matrix::diagonally_dominant() const noexcept {
@@ -68,6 +80,46 @@ void solve_tridiagonal_in_place(const tridiagonal_matrix& a,
   // Back substitution.
   for (std::size_t i = n - 1; i-- > 0;) {
     rhs[i] -= scratch[i] * rhs[i + 1];
+  }
+}
+
+void tridiagonal_factorization::factor(const tridiagonal_matrix& a) {
+  const std::size_t n = a.size();
+  if (n == 0)
+    throw std::invalid_argument("tridiagonal_factorization: empty matrix");
+  lower_.assign(a.lower.begin(), a.lower.end());
+  pivot_.resize(n);
+  c_star_.resize(n);
+
+  // The same elimination solve_tridiagonal_in_place performs per call,
+  // done once: the pivots are kept verbatim (not inverted) so the solve
+  // divides by exactly the values the one-shot path divides by.
+  double pivot = a.diag[0];
+  if (pivot == 0.0) throw std::domain_error("solve_tridiagonal: zero pivot");
+  pivot_[0] = pivot;
+  c_star_[0] = (n > 1) ? a.upper[0] / pivot : 0.0;
+  for (std::size_t i = 1; i < n; ++i) {
+    pivot = a.diag[i] - a.lower[i - 1] * c_star_[i - 1];
+    if (pivot == 0.0) throw std::domain_error("solve_tridiagonal: zero pivot");
+    pivot_[i] = pivot;
+    c_star_[i] = (i + 1 < n) ? a.upper[i] / pivot : 0.0;
+  }
+}
+
+void tridiagonal_factorization::solve_in_place(std::span<double> rhs) const {
+  const std::size_t n = pivot_.size();
+  if (n == 0 || rhs.size() != n)
+    throw std::invalid_argument(
+        "tridiagonal_factorization::solve_in_place: size mismatch");
+
+  // Forward sweep over the rhs only — the coefficient work is cached.
+  rhs[0] /= pivot_[0];
+  for (std::size_t i = 1; i < n; ++i)
+    rhs[i] = (rhs[i] - lower_[i - 1] * rhs[i - 1]) / pivot_[i];
+
+  // Back substitution.
+  for (std::size_t i = n - 1; i-- > 0;) {
+    rhs[i] -= c_star_[i] * rhs[i + 1];
   }
 }
 

@@ -20,14 +20,27 @@ struct tridiagonal_matrix {
   std::vector<double> diag;   ///< main diagonal, size n
   std::vector<double> upper;  ///< super-diagonal, size n-1
 
+  /// Creates an empty (0-by-0) matrix; resize() before use.  Exists so
+  /// the matrix can live inside a reusable workspace.
+  tridiagonal_matrix() = default;
+
   /// Creates an n-by-n tridiagonal matrix with all entries zero.
   explicit tridiagonal_matrix(std::size_t n);
+
+  /// Resizes to n-by-n, reusing the diagonal buffers' capacity.  Newly
+  /// added entries are zero; existing entries keep their values.
+  /// Throws std::invalid_argument for n == 0.
+  void resize(std::size_t n);
 
   /// Dimension of the (square) matrix.
   [[nodiscard]] std::size_t size() const noexcept { return diag.size(); }
 
   /// Computes y = A * x.  `x` must have size n.
   [[nodiscard]] std::vector<double> multiply(std::span<const double> x) const;
+
+  /// Computes y = A * x into a caller-provided buffer (no allocation).
+  /// `x` and `y` must both have size n and may not alias.
+  void multiply_into(std::span<const double> x, std::span<double> y) const;
 
   /// True if the matrix is strictly diagonally dominant by rows, a
   /// sufficient condition for the Thomas algorithm to be stable.
@@ -49,5 +62,56 @@ struct tridiagonal_matrix {
 void solve_tridiagonal_in_place(const tridiagonal_matrix& a,
                                 std::vector<double>& rhs,
                                 std::vector<double>& scratch);
+
+/// Cached Thomas forward elimination.
+///
+/// The Crank–Nicolson diffusion matrix of the Strang-split DL scheme is
+/// constant across an entire run, yet solve_tridiagonal re-eliminates it
+/// on every time step.  factor() performs the elimination once — the
+/// pivot chain d'_i = d_i − l_{i−1}·u_{i−1}/d'_{i−1} and the modified
+/// super-diagonal c*_i = u_i/d'_i — so each subsequent solve is just the
+/// rhs forward sweep plus back substitution (one multiply-subtract and
+/// one divide per node, no allocation).
+///
+/// solve_in_place() is arithmetically *identical* to running
+/// solve_tridiagonal_in_place on the factored matrix: the stored pivots
+/// are the same denominators the one-shot path divides by, so results
+/// match bitwise (the DL solver relies on this to keep cached traces and
+/// golden fit values valid).
+class tridiagonal_factorization {
+ public:
+  tridiagonal_factorization() = default;
+
+  /// Factors `a`, reusing the coefficient buffers' capacity across calls.
+  /// Throws std::domain_error on a zero pivot.
+  void factor(const tridiagonal_matrix& a);
+
+  /// Dimension of the factored matrix (0 before the first factor()).
+  [[nodiscard]] std::size_t size() const noexcept { return pivot_.size(); }
+
+  /// Solves A x = rhs, overwriting `rhs` with the solution.
+  /// Throws std::invalid_argument on size mismatch (or if empty).
+  void solve_in_place(std::span<double> rhs) const;
+
+  /// Sub-diagonal of A (the forward-sweep multiplier l_i) — exposed so a
+  /// caller fusing its own rhs computation into the forward sweep (the
+  /// Strang–CN step does this) uses exactly the stored coefficients.
+  [[nodiscard]] const std::vector<double>& lower() const noexcept {
+    return lower_;
+  }
+  /// Eliminated pivots d'_i.
+  [[nodiscard]] const std::vector<double>& pivots() const noexcept {
+    return pivot_;
+  }
+  /// Modified super-diagonal u_i / d'_i (back-substitution coefficients).
+  [[nodiscard]] const std::vector<double>& c_star() const noexcept {
+    return c_star_;
+  }
+
+ private:
+  std::vector<double> lower_;   ///< sub-diagonal of A (forward-sweep factor)
+  std::vector<double> pivot_;   ///< eliminated pivots d'_i
+  std::vector<double> c_star_;  ///< modified super-diagonal u_i / d'_i
+};
 
 }  // namespace dlm::num

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <span>
 
 #include "models/logistic.h"
 
@@ -73,7 +74,7 @@ TEST(DlVariable, ConservativeFluxConservesMassWithVaryingD) {
 
   // The flux-form discretization telescopes: with no-flux boundaries the
   // plain nodal sum is the exactly conserved discrete quantity.
-  const auto sum_of = [](const std::vector<double>& v) {
+  const auto sum_of = [](std::span<const double> v) {
     double acc = 0.0;
     for (double x : v) acc += x;
     return acc;

@@ -80,7 +80,8 @@ TEST(HeatModel, InvalidArgumentsThrow) {
                std::invalid_argument);
   EXPECT_THROW((void)heat_neumann_series(phi, 0.0, 1.0, 0.1, -1.0),
                std::invalid_argument);
-  EXPECT_THROW((void)profile_mean({1.0}), std::invalid_argument);
+  EXPECT_THROW((void)profile_mean(std::vector<double>{1.0}),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -4,11 +4,13 @@
 
 #include <cmath>
 #include <random>
+#include <span>
 
 namespace {
 
 using dlm::num::solve_tridiagonal;
 using dlm::num::solve_tridiagonal_in_place;
+using dlm::num::tridiagonal_factorization;
 using dlm::num::tridiagonal_matrix;
 
 tridiagonal_matrix identity(std::size_t n) {
@@ -113,6 +115,99 @@ TEST(SolveTridiagonal, InPlaceMatchesOutOfPlace) {
   solve_tridiagonal_in_place(a, in_place, scratch);
   for (std::size_t i = 0; i < rhs.size(); ++i)
     EXPECT_NEAR(in_place[i], expected[i], 1e-14);
+}
+
+TEST(TridiagonalMatrix, MultiplyIntoMatchesMultiply) {
+  tridiagonal_matrix a(4);
+  a.diag = {4.0, 5.0, 5.0, 4.0};
+  a.lower = {1.0, 2.0, 1.0};
+  a.upper = {2.0, 1.0, 2.0};
+  const std::vector<double> x{1.0, -1.0, 2.0, 0.5};
+  const std::vector<double> expected = a.multiply(x);
+  std::vector<double> y(4, -99.0);
+  a.multiply_into(x, y);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(y[i], expected[i]);
+  EXPECT_THROW(a.multiply_into(x, std::span<double>(y.data(), 3)),
+               std::invalid_argument);
+}
+
+TEST(TridiagonalMatrix, ResizeKeepsValuesAndRejectsZero) {
+  tridiagonal_matrix a;  // default: empty, resize before use
+  EXPECT_EQ(a.size(), 0u);
+  a.resize(3);
+  a.diag = {2.0, 2.0, 2.0};
+  a.resize(5);
+  EXPECT_EQ(a.size(), 5u);
+  EXPECT_EQ(a.diag[0], 2.0);
+  EXPECT_EQ(a.diag[4], 0.0);  // new entries zero
+  EXPECT_EQ(a.lower.size(), 4u);
+  EXPECT_THROW(a.resize(0), std::invalid_argument);
+}
+
+// The factorization must reproduce solve_tridiagonal *bitwise*: the DL
+// solver factors its Crank–Nicolson matrix once per run and relies on
+// every subsequent solve matching the one-shot path exactly, so cached
+// traces and golden fit values stay valid.
+TEST(TridiagonalFactorization, SolveMatchesOneShotBitwise) {
+  std::mt19937_64 gen(42);
+  std::uniform_real_distribution<double> off(-1.0, 1.0);
+  for (const std::size_t n : {1u, 2u, 3u, 8u, 101u}) {
+    tridiagonal_matrix a(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double lo = (i > 0) ? off(gen) : 0.0;
+      const double hi = (i + 1 < n) ? off(gen) : 0.0;
+      if (i > 0) a.lower[i - 1] = lo;
+      if (i + 1 < n) a.upper[i] = hi;
+      a.diag[i] = std::abs(lo) + std::abs(hi) + 1.0 + std::abs(off(gen));
+    }
+    tridiagonal_factorization f;
+    f.factor(a);
+    EXPECT_EQ(f.size(), n);
+    for (int rep = 0; rep < 3; ++rep) {  // one factorization, many solves
+      std::vector<double> rhs(n);
+      for (double& v : rhs) v = off(gen) * 10.0;
+      const std::vector<double> expected = solve_tridiagonal(a, rhs);
+      std::vector<double> x = rhs;
+      f.solve_in_place(x);
+      for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(x[i], expected[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(TridiagonalFactorization, RefactorReusesBuffers) {
+  tridiagonal_matrix a(3);
+  a.diag = {2.0, 2.0, 2.0};
+  a.lower = {-1.0, -1.0};
+  a.upper = {-1.0, -1.0};
+  tridiagonal_factorization f;
+  f.factor(a);
+  // Refactor a different (smaller) matrix with the same object.
+  tridiagonal_matrix b(2);
+  b.diag = {4.0, 4.0};
+  b.lower = {1.0};
+  b.upper = {1.0};
+  f.factor(b);
+  EXPECT_EQ(f.size(), 2u);
+  std::vector<double> rhs{9.0, 6.0};
+  const std::vector<double> expected = solve_tridiagonal(b, rhs);
+  f.solve_in_place(rhs);
+  EXPECT_EQ(rhs[0], expected[0]);
+  EXPECT_EQ(rhs[1], expected[1]);
+}
+
+TEST(TridiagonalFactorization, ErrorCases) {
+  tridiagonal_factorization f;
+  std::vector<double> rhs{1.0};
+  // Unfactored: any solve is a size mismatch.
+  EXPECT_THROW(f.solve_in_place(rhs), std::invalid_argument);
+  tridiagonal_matrix zero(2);  // diag stays zero → singular
+  EXPECT_THROW(f.factor(zero), std::domain_error);
+  tridiagonal_matrix ok(2);
+  ok.diag = {2.0, 2.0};
+  f.factor(ok);
+  std::vector<double> wrong{1.0, 2.0, 3.0};
+  EXPECT_THROW(f.solve_in_place(wrong), std::invalid_argument);
 }
 
 // Property sweep: random diagonally dominant systems must round-trip
