@@ -1,0 +1,76 @@
+// Heap-allocation counter for the perf benches.
+//
+// Including this header in a (single-TU) bench binary replaces the global
+// allocation functions with counting wrappers, so a benchmark can report
+// allocs/op next to ns/op — the "zero steady-state allocations" claim of
+// the solver hot path is asserted by a counter column, not by eyeballing.
+// The counter is sampled around the timed loop (allocations_now()), so
+// framework setup noise outside the loop is excluded by construction.
+//
+// Include it in exactly one translation unit per binary: it *defines*
+// the replaceable operator new/delete family.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace dlm::bench {
+
+inline std::atomic<std::uint64_t> g_allocations{0};
+
+/// Total heap allocations (operator new family) since process start.
+inline std::uint64_t allocations_now() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+inline void* counted_alloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+inline void* counted_aligned_alloc(std::size_t size, std::size_t alignment) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, alignment, size != 0 ? size : alignment) != 0)
+    throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace dlm::bench
+
+void* operator new(std::size_t size) { return dlm::bench::counted_alloc(size); }
+void* operator new[](std::size_t size) {
+  return dlm::bench::counted_alloc(size);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  dlm::bench::g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size != 0 ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  dlm::bench::g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size != 0 ? size : 1);
+}
+void* operator new(std::size_t size, std::align_val_t al) {
+  return dlm::bench::counted_aligned_alloc(size,
+                                           static_cast<std::size_t>(al));
+}
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return dlm::bench::counted_aligned_alloc(size,
+                                           static_cast<std::size_t>(al));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

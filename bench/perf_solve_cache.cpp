@@ -10,6 +10,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "alloc_counter.h"
 #include "core/dl_model.h"
 #include "engine/scenario_runner.h"
 #include "engine/solve_cache.h"
@@ -17,6 +18,24 @@
 namespace {
 
 using namespace dlm;
+
+/// Attaches the heap-allocation count of the timed loop as an
+/// allocs-per-sweep counter (see bench/alloc_counter.h); the workflow's
+/// --benchmark_out JSON picks it up as a column.
+class alloc_scope {
+ public:
+  explicit alloc_scope(benchmark::State& state)
+      : state_(state), before_(bench::allocations_now()) {}
+  ~alloc_scope() {
+    state_.counters["allocs_per_sweep"] = benchmark::Counter(
+        static_cast<double>(bench::allocations_now() - before_),
+        benchmark::Counter::kAvgIterations);
+  }
+
+ private:
+  benchmark::State& state_;
+  std::uint64_t before_;
+};
 
 engine::scenario_context make_context() {
   core::dl_parameters truth = core::dl_parameters::paper_hops(6.0);
@@ -47,6 +66,7 @@ engine::sweep_spec make_spec() {
 void BM_calibration_sweep_cold(benchmark::State& state) {
   const engine::scenario_context ctx = make_context();
   const engine::sweep_spec spec = make_spec();
+  const alloc_scope allocs(state);
   for (auto _ : state) {
     engine::solve_cache cache;  // fresh: every solve runs
     engine::runner_options options;
@@ -63,6 +83,7 @@ void BM_calibration_sweep_warm(benchmark::State& state) {
   engine::runner_options options;
   options.cache = &cache;
   (void)engine::run_sweep(ctx, spec, options);  // warm it up once
+  const alloc_scope allocs(state);
   for (auto _ : state)
     benchmark::DoNotOptimize(engine::run_sweep(ctx, spec, options));
 }
@@ -83,6 +104,7 @@ engine::sweep_spec make_spatial_spec() {
 void BM_spatial_sweep_cold(benchmark::State& state) {
   const engine::scenario_context ctx = make_context();
   const engine::sweep_spec spec = make_spatial_spec();
+  const alloc_scope allocs(state);
   for (auto _ : state) {
     engine::solve_cache cache;  // fresh: every solve runs
     engine::runner_options options;
@@ -99,6 +121,7 @@ void BM_spatial_sweep_warm(benchmark::State& state) {
   engine::runner_options options;
   options.cache = &cache;
   (void)engine::run_sweep(ctx, spec, options);  // warm it up once
+  const alloc_scope allocs(state);
   for (auto _ : state)
     benchmark::DoNotOptimize(engine::run_sweep(ctx, spec, options));
 }
@@ -109,6 +132,7 @@ void BM_calibration_sweep_uncached(benchmark::State& state) {
   // plain path.
   const engine::scenario_context ctx = make_context();
   const engine::sweep_spec spec = make_spec();
+  const alloc_scope allocs(state);
   for (auto _ : state)
     benchmark::DoNotOptimize(engine::run_sweep(ctx, spec, {}));
 }

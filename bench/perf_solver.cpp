@@ -1,12 +1,31 @@
 // Performance micro-benchmarks: DL solver schemes, spline construction,
 // and the tridiagonal kernel.
+//
+// Every solver benchmark reports two counters next to ns/op:
+//
+//  * allocs_per_solve — heap allocations per whole solve (counting
+//    allocator, bench/alloc_counter.h).  With a reused dl_workspace this
+//    is the handful of unavoidable per-solve allocations: sampling φ,
+//    the times/trace buffers that leave with the dl_solution, and the
+//    solution object itself.
+//  * allocs_per_step — the marginal allocations of adding a time step,
+//    measured by differencing two warm solves that differ only in step
+//    count.  The hot-path contract is that this is exactly 0 for every
+//    scheme (steady-state stepping never touches the heap).
+//
+// The bench CI workflow runs this binary with --benchmark_out to emit
+// BENCH_solver.json; the counters land in each benchmark's JSON record,
+// seeding the perf trajectory (op/grid/scheme are encoded in the names,
+// e.g. "bm_strang/20" = strang-cn at 20 points per unit).
 
 #include <benchmark/benchmark.h>
 
 #include <cmath>
 
+#include "alloc_counter.h"
 #include "core/dl_model.h"
 #include "core/dl_solver.h"
+#include "core/dl_workspace.h"
 #include "numerics/cubic_spline.h"
 #include "numerics/tridiagonal.h"
 
@@ -16,17 +35,54 @@ using namespace dlm;
 
 const std::vector<double> observed{1.9, 0.8, 1.1, 0.6, 0.4, 0.3};
 
+core::dl_solver_options options_for(core::dl_scheme scheme,
+                                    std::size_t points_per_unit) {
+  core::dl_solver_options opts;
+  opts.scheme = scheme;
+  opts.points_per_unit = points_per_unit;
+  opts.dt = scheme == core::dl_scheme::ftcs ? 0.005 : 0.02;
+  return opts;
+}
+
+/// Marginal allocations per extra time step: two warm solves over the
+/// same window and recording grid, one with half the step size.  Any
+/// per-step allocation would show up multiplied by the extra steps.
+double allocs_per_step(const core::dl_parameters& params,
+                       const core::initial_condition& phi,
+                       core::dl_solver_options opts) {
+  core::dl_workspace ws;
+  (void)solve_dl(params, phi, 1.0, 6.0, opts, ws);  // warm the workspace
+  const std::uint64_t before = bench::allocations_now();
+  (void)solve_dl(params, phi, 1.0, 6.0, opts, ws);
+  const std::uint64_t base = bench::allocations_now() - before;
+  const double steps_base = std::ceil(5.0 / opts.dt);
+  opts.dt *= 0.5;  // same window + records, twice the steps
+  (void)solve_dl(params, phi, 1.0, 6.0, opts, ws);
+  const std::uint64_t before_fine = bench::allocations_now();
+  (void)solve_dl(params, phi, 1.0, 6.0, opts, ws);
+  const std::uint64_t fine = bench::allocations_now() - before_fine;
+  // Signed: a stray one-off allocation (libc lazy init, arena growth)
+  // during either measurement must not wrap the counter.
+  return static_cast<double>(static_cast<std::int64_t>(fine) -
+                             static_cast<std::int64_t>(base)) /
+         steps_base;
+}
+
 void bm_solve_scheme(benchmark::State& state, core::dl_scheme scheme) {
   const core::dl_parameters params = core::dl_parameters::paper_hops(6.0);
   const core::initial_condition phi(observed);
-  core::dl_solver_options opts;
-  opts.scheme = scheme;
-  opts.points_per_unit = static_cast<std::size_t>(state.range(0));
-  opts.dt = scheme == core::dl_scheme::ftcs ? 0.005 : 0.02;
+  const core::dl_solver_options opts =
+      options_for(scheme, static_cast<std::size_t>(state.range(0)));
+  const double per_step = allocs_per_step(params, phi, opts);
+  const std::uint64_t before = bench::allocations_now();
   for (auto _ : state) {
     const core::dl_solution sol = solve_dl(params, phi, 1.0, 6.0, opts);
     benchmark::DoNotOptimize(sol.states().back().data());
   }
+  state.counters["allocs_per_solve"] = benchmark::Counter(
+      static_cast<double>(bench::allocations_now() - before),
+      benchmark::Counter::kAvgIterations);
+  state.counters["allocs_per_step"] = per_step;
 }
 
 void bm_ftcs(benchmark::State& s) { bm_solve_scheme(s, core::dl_scheme::ftcs); }
@@ -59,14 +115,19 @@ void bm_spline_build(benchmark::State& state) {
 }
 BENCHMARK(bm_spline_build)->Arg(8)->Arg(64)->Arg(512);
 
-void bm_tridiagonal_solve(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
+num::tridiagonal_matrix laplacian_like(std::size_t n) {
   num::tridiagonal_matrix a(n);
   for (std::size_t i = 0; i < n; ++i) {
     a.diag[i] = 4.0;
     if (i + 1 < n) a.upper[i] = -1.0;
     if (i > 0) a.lower[i - 1] = -1.0;
   }
+  return a;
+}
+
+void bm_tridiagonal_solve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const num::tridiagonal_matrix a = laplacian_like(n);
   std::vector<double> rhs(n, 1.0), scratch;
   for (auto _ : state) {
     std::vector<double> x = rhs;
@@ -77,5 +138,24 @@ void bm_tridiagonal_solve(benchmark::State& state) {
                           static_cast<int64_t>(n));
 }
 BENCHMARK(bm_tridiagonal_solve)->Arg(101)->Arg(1001)->Arg(10001);
+
+// The cached-elimination solve the Strang–CN scheme runs every step:
+// the coefficient sweep is amortized into factor(), so each solve is
+// the rhs forward sweep + back substitution only.
+void bm_tridiagonal_factored_solve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const num::tridiagonal_matrix a = laplacian_like(n);
+  num::tridiagonal_factorization f;
+  f.factor(a);
+  std::vector<double> rhs(n, 1.0), x(n);
+  for (auto _ : state) {
+    x = rhs;  // capacity reused: the copy stays off the heap
+    f.solve_in_place(x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(bm_tridiagonal_factored_solve)->Arg(101)->Arg(1001)->Arg(10001);
 
 }  // namespace
