@@ -23,6 +23,7 @@
 #include <cmath>
 
 #include "alloc_counter.h"
+#include "core/dl_batch_workspace.h"
 #include "core/dl_model.h"
 #include "core/dl_solver.h"
 #include "core/dl_workspace.h"
@@ -51,15 +52,17 @@ double allocs_per_step(const core::dl_parameters& params,
                        const core::initial_condition& phi,
                        core::dl_solver_options opts) {
   core::dl_workspace ws;
-  (void)solve_dl(params, phi, 1.0, 6.0, opts, ws);  // warm the workspace
+  core::solve_request request{
+      .params = &params, .phi = &phi, .options = opts, .workspace = &ws};
+  (void)solve_dl(request);  // warm the workspace
   const std::uint64_t before = bench::allocations_now();
-  (void)solve_dl(params, phi, 1.0, 6.0, opts, ws);
+  (void)solve_dl(request);
   const std::uint64_t base = bench::allocations_now() - before;
   const double steps_base = std::ceil(5.0 / opts.dt);
-  opts.dt *= 0.5;  // same window + records, twice the steps
-  (void)solve_dl(params, phi, 1.0, 6.0, opts, ws);
+  request.options.dt *= 0.5;  // same window + records, twice the steps
+  (void)solve_dl(request);
   const std::uint64_t before_fine = bench::allocations_now();
-  (void)solve_dl(params, phi, 1.0, 6.0, opts, ws);
+  (void)solve_dl(request);
   const std::uint64_t fine = bench::allocations_now() - before_fine;
   // Signed: a stray one-off allocation (libc lazy init, arena growth)
   // during either measurement must not wrap the counter.
@@ -74,9 +77,11 @@ void bm_solve_scheme(benchmark::State& state, core::dl_scheme scheme) {
   const core::dl_solver_options opts =
       options_for(scheme, static_cast<std::size_t>(state.range(0)));
   const double per_step = allocs_per_step(params, phi, opts);
+  const core::solve_request request{
+      .params = &params, .phi = &phi, .options = opts};
   const std::uint64_t before = bench::allocations_now();
   for (auto _ : state) {
-    const core::dl_solution sol = solve_dl(params, phi, 1.0, 6.0, opts);
+    const core::dl_solution sol = solve_dl(request);
     benchmark::DoNotOptimize(sol.states().back().data());
   }
   state.counters["allocs_per_solve"] = benchmark::Counter(
@@ -100,6 +105,37 @@ BENCHMARK(bm_ftcs)->Arg(20)->Arg(80);
 BENCHMARK(bm_strang)->Arg(20)->Arg(80)->Arg(320);
 BENCHMARK(bm_newton)->Arg(20)->Arg(80);
 BENCHMARK(bm_rk4)->Arg(20)->Arg(80);
+
+// Batched lockstep Strang–CN: Arg(width) independent scenarios (same
+// grid/dt, per-lane d) advanced over one SoA batch workspace.
+// items_processed counts scenarios, so the report's items/sec column is
+// scenarios/sec directly — width 1 is the scalar baseline (a group of
+// one takes the scalar path inside solve_dl), and the batched-throughput
+// claim is items/sec at width >= 4 vs width 1.
+void bm_batched_strang_cn(benchmark::State& state) {
+  const auto width = static_cast<std::size_t>(state.range(0));
+  const core::dl_solver_options opts =
+      options_for(core::dl_scheme::strang_cn, 20);
+  std::vector<core::dl_parameters> params;
+  params.reserve(width);
+  for (std::size_t l = 0; l < width; ++l) {
+    params.push_back(core::dl_parameters::paper_hops(6.0));
+    params.back().d *= 1.0 + 0.15 * static_cast<double>(l);
+  }
+  const core::initial_condition phi(observed);
+  std::vector<core::solve_request> requests;
+  requests.reserve(width);
+  for (std::size_t l = 0; l < width; ++l)
+    requests.push_back({.params = &params[l], .phi = &phi, .options = opts});
+  core::dl_batch_workspace ws;
+  for (auto _ : state) {
+    const std::vector<core::dl_solution> sols = core::solve_dl(requests, ws);
+    benchmark::DoNotOptimize(sols.back().states().back().data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(width));
+}
+BENCHMARK(bm_batched_strang_cn)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void bm_spline_build(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -1,0 +1,540 @@
+// Batched DL solver: advances a span of solve_requests in lockstep.
+//
+// Compatible requests — same scheme, grid, dt, record cadence and time
+// window — form a group whose W lanes share one time loop over the
+// structure-of-arrays dl_batch_workspace (u[node*W + lane]).  The per-node
+// inner loops then run over W contiguous lanes: the Strang–CN forward
+// elimination and back substitution interleave W independent Thomas
+// chains (the serial division chain of lane A overlaps the multiplies of
+// lanes B..), and the logistic reaction substeps vectorize across lanes.
+//
+// Bitwise identity with the scalar path is the load-bearing contract
+// (engine::solve_cache keys, golden fits and CSV output must not depend
+// on how requests are grouped).  It holds because every per-lane
+// expression below is the scalar solver's expression with `u[i]` spelled
+// `u[i*W + l]`: the shared helpers in dl_solver_internal.h supply the
+// propagator and matrix entries, each lane's Crank–Nicolson coefficients
+// come from the same num::tridiagonal_factorization the scalar path
+// solves with, and the accumulation order inside every loop is kept
+// verbatim.  Reordering lanes, changing W, or re-running with a reused
+// workspace cannot change a single bit of any lane (solver_batch_test).
+//
+// Not batched (solved per-request on the scalar path instead): the
+// implicit_newton scheme (data-dependent Newton iteration counts defeat
+// lockstep), requests carrying their own dl_workspace (the caller asked
+// for exactly those buffers), and groups of one.
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/dl_batch_workspace.h"
+#include "core/dl_solver.h"
+#include "core/dl_solver_internal.h"
+#include "core/dl_workspace.h"
+#include "core/rate_field.h"
+#include "numerics/grid.h"
+
+namespace dlm::core {
+namespace {
+
+/// Everything that must match for two requests to share a lockstep time
+/// loop.  The diffusion coefficient d is deliberately absent: lanes with
+/// different d share the loop and get per-lane Crank–Nicolson
+/// factorizations from the workspace cache.
+struct group_key {
+  dl_scheme scheme = dl_scheme::strang_cn;
+  std::size_t n = 0;  ///< grid node count
+  double x_min = 0.0;
+  double x_max = 0.0;
+  double dt = 0.0;
+  double record_dt = 0.0;  ///< effective (inf for final_state output)
+  double t0 = 0.0;
+  double t_end = 0.0;
+
+  bool operator==(const group_key&) const = default;
+};
+
+group_key key_of(const solve_request& request) {
+  request.params->validate();
+  const dl_solver_options options = detail::effective_options(request);
+  return {options.scheme,
+          detail::node_count(*request.params, options),
+          request.params->x_min,
+          request.params->x_max,
+          options.dt,
+          options.record_dt,
+          request.t0,
+          request.t_end};
+}
+
+/// Mirrors the scalar path's workspace_guard for the batch workspace.
+class batch_guard {
+ public:
+  explicit batch_guard(dl_batch_workspace& ws) : ws_(ws) { ws_.in_use = true; }
+  ~batch_guard() { ws_.in_use = false; }
+  batch_guard(const batch_guard&) = delete;
+  batch_guard& operator=(const batch_guard&) = delete;
+
+ private:
+  dl_batch_workspace& ws_;
+};
+
+/// Advances one group of W ≥ 2 compatible requests in lockstep and fills
+/// their slots in `solved`.  `members` lists request indices in original
+/// request order (grouping is index-stable).
+///
+/// WC is the lane count when it is one of the specialized widths (the
+/// default batch width and its halves) and 0 for the runtime-width
+/// fallback: with W a compile-time constant the per-node lane loops fully
+/// unroll into straight vector code instead of tiny runtime-trip-count
+/// loops whose setup dominates at W = 2..8.  The arithmetic is identical
+/// in every instantiation, so specialization cannot change bits.
+template <std::size_t WC>
+void solve_group(std::span<const solve_request> requests,
+                 const group_key& key, std::span<const std::size_t> members,
+                 dl_batch_workspace& bws,
+                 std::vector<std::optional<dl_solution>>& solved) {
+  const std::size_t W = WC == 0 ? members.size() : WC;
+  const std::size_t n = key.n;
+  const num::uniform_grid grid(key.x_min, key.x_max, n);
+  const double dx = grid.spacing();
+  bws.prepare(n, W, key.scheme);
+  for (std::size_t i = 0; i < n; ++i) bws.node_x[i] = grid.x(i);
+
+  // Per-lane setup: the scalar path's validation (same exceptions),
+  // initial data scattered node-major × lane-minor, rate classification.
+  std::vector<double> samples;
+  for (std::size_t l = 0; l < W; ++l) {
+    const solve_request& request = requests[members[l]];
+    const dl_parameters& params = *request.params;
+    const dl_solver_options options = detail::effective_options(request);
+    if (!(request.t_end > request.t0))
+      throw std::invalid_argument("solve_dl: t_end must exceed t0");
+    if (!(options.dt > 0.0))
+      throw std::invalid_argument("solve_dl: dt must be positive");
+    if (key.scheme == dl_scheme::ftcs && params.d > 0.0) {
+      const double dt_max = dx * dx / (2.0 * params.d);
+      if (options.dt > dt_max)
+        throw std::invalid_argument(
+            "solve_dl: FTCS unstable for dt > dx^2/(2d) = " +
+            std::to_string(dt_max));
+    }
+    if (request.phi != nullptr) {
+      samples = request.phi->sample(params.x_min, params.x_max, n);
+      // Same clip as the scalar initial-condition overload: densities are
+      // non-negative, cubic interpolants may undershoot between knots.
+      for (double& v : samples) v = std::max(v, 0.0);
+    } else {
+      if (request.phi_samples.empty())
+        throw std::invalid_argument(
+            "solve_dl: request needs phi or phi_samples");
+      if (request.phi_samples.size() != n)
+        throw std::invalid_argument(
+            "solve_dl_profile: profile size mismatch");
+      samples.assign(request.phi_samples.begin(), request.phi_samples.end());
+    }
+    for (std::size_t i = 0; i < n; ++i) bws.u[i * W + l] = samples[i];
+
+    bws.lane_d[l] = params.d;
+    bws.lane_k[l] = params.k;
+    const rate_field& rate = params.r;
+    bws.lane_factored[l] = rate.separable_form() ? 1 : 0;
+    bws.lane_uniform[l] = rate.spatial() ? 0 : 1;
+    if (bws.lane_factored[l])
+      for (std::size_t i = 0; i < n; ++i)
+        bws.mod_rows[l * n + i] = rate.modulation(bws.node_x[i]);
+  }
+
+  // Lane-major rate rows: rate_field::profile writes one contiguous span
+  // per lane, and separable-form lanes hoist the spatial profile exactly
+  // like the scalar path (one base evaluation + n multiplies).
+  const auto lane_row = [&](std::vector<double>& rows, std::size_t l) {
+    return std::span<double>(rows.data() + l * n, n);
+  };
+  const auto rates_lane = [&](std::size_t l, double t, std::span<double> out) {
+    const rate_field& rate = requests[members[l]].params->r;
+    if (bws.lane_factored[l]) {
+      const double base = rate.base()(t);
+      const double* mod = bws.mod_rows.data() + l * n;
+      for (std::size_t i = 0; i < n; ++i) out[i] = mod[i] * base;
+    } else {
+      rate.profile(t, bws.node_x, out, bws.rate_scratch);
+    }
+  };
+  const auto integrals_lane = [&](std::size_t l, double from, double to,
+                                  std::span<double> out) {
+    const rate_field& rate = requests[members[l]].params->r;
+    if (bws.lane_uniform[l]) {
+      // x-uniform lanes read only node 0's integrated rate (the Strang
+      // substep hoists one exp from it); filling the other n−1 identical
+      // entries would be pure waste.  Node 0's value is the factored
+      // expression verbatim, so the bits the kernel sees are unchanged.
+      out[0] = bws.mod_rows[l * n] * rate.base().integral(from, to);
+    } else if (bws.lane_factored[l]) {
+      const double base = rate.base().integral(from, to);
+      const double* mod = bws.mod_rows.data() + l * n;
+      for (std::size_t i = 0; i < n; ++i) out[i] = mod[i] * base;
+    } else {
+      rate.integral_profile(from, to, bws.node_x, out, bws.rate_scratch);
+    }
+  };
+
+  // Per-lane Crank–Nicolson coefficients: one elimination per distinct
+  // λ = d·h/dx² (lanes probing the same d share it), scattered into the
+  // SoA arrays the interleaved Thomas sweep reads lane-contiguously.
+  const auto build_cn = [&](double h) {
+    std::size_t used = 0;
+    auto& cache = bws.cn_cache;
+    for (std::size_t l = 0; l < W; ++l) {
+      const double lambda = bws.lane_d[l] * h / (dx * dx);
+      std::size_t e = used;
+      for (std::size_t j = 0; j < used; ++j) {
+        if (cache[j].lambda == lambda) {
+          e = j;
+          break;
+        }
+      }
+      if (e == used) {
+        if (used == cache.size()) cache.emplace_back();
+        dl_batch_workspace::cn_entry& entry = cache[used];
+        entry.lambda = lambda;
+        entry.rhs_m.resize(n);
+        bws.cn_lhs.resize(n);
+        detail::build_cn_matrices(n, lambda, bws.cn_lhs, entry.rhs_m);
+        entry.factor.factor(bws.cn_lhs);
+        ++used;
+      }
+      const dl_batch_workspace::cn_entry& entry = cache[e];
+      for (std::size_t i = 0; i < n; ++i) {
+        bws.cn_dm[i * W + l] = entry.rhs_m.diag[i];
+        bws.cn_fp[i * W + l] = entry.factor.pivots()[i];
+      }
+      for (std::size_t i = 0; i + 1 < n; ++i) {
+        bws.cn_lm[i * W + l] = entry.rhs_m.lower[i];
+        bws.cn_um[i * W + l] = entry.rhs_m.upper[i];
+        bws.cn_fl[i * W + l] = entry.factor.lower()[i];
+        bws.cn_fc[i * W + l] = entry.factor.c_star()[i];
+      }
+    }
+  };
+  if (key.scheme == dl_scheme::strang_cn) build_cn(key.dt);
+
+  // SoA mirror-ghost Laplacian: neumann_laplacian's expressions per lane.
+  // (__restrict on the hot-path pointers: the SoA buffers never alias, and
+  // telling the compiler so is what lets the W-lane inner loops vectorize.)
+  const auto soa_laplacian = [&](const double* __restrict y,
+                                 double* __restrict out) {
+    const double inv = 1.0 / (dx * dx);
+    for (std::size_t l = 0; l < W; ++l)
+      out[l] = 2.0 * (y[W + l] - y[l]) * inv;
+    for (std::size_t i = 1; i + 1 < n; ++i)
+      for (std::size_t l = 0; l < W; ++l)
+        out[i * W + l] =
+            (y[(i - 1) * W + l] - 2.0 * y[i * W + l] + y[(i + 1) * W + l]) *
+            inv;
+    for (std::size_t l = 0; l < W; ++l)
+      out[(n - 1) * W + l] =
+          2.0 * (y[(n - 2) * W + l] - y[(n - 1) * W + l]) * inv;
+  };
+
+  const auto step_ftcs = [&](double t, double h) {
+    double* __restrict u = bws.u.data();
+    double* __restrict lap = bws.lap.data();
+    soa_laplacian(u, lap);
+    for (std::size_t l = 0; l < W; ++l)
+      rates_lane(l, t, lane_row(bws.rt_rows, l));
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t l = 0; l < W; ++l) {
+        const double ui = u[i * W + l];
+        u[i * W + l] =
+            ui + h * (bws.lane_d[l] * lap[i * W + l] +
+                      bws.rt_rows[l * n + i] * ui * (1.0 - ui / bws.lane_k[l]));
+      }
+  };
+
+  const auto step_strang = [&](double t, double h) {
+    for (std::size_t l = 0; l < W; ++l) {
+      integrals_lane(l, t, t + 0.5 * h, lane_row(bws.rint_rows, l));
+      integrals_lane(l, t + 0.5 * h, t + h, lane_row(bws.rt_rows, l));
+    }
+    // Coefficients were scattered for key.dt; rebuild for a short
+    // trailing step (the scalar path does the same).
+    if (h != key.dt) build_cn(h);
+
+    double* __restrict u = bws.u.data();
+    double* __restrict rhs = bws.rhs.data();
+    double* __restrict w = bws.w.data();
+    double* __restrict vp = bws.v_prev.data();
+    double* __restrict vc = bws.v_cur.data();
+    double* __restrict vn = bws.v_next.data();
+    const double* __restrict dm = bws.cn_dm.data();
+    const double* __restrict lm = bws.cn_lm.data();
+    const double* __restrict um = bws.cn_um.data();
+    const double* __restrict fl = bws.cn_fl.data();
+    const double* __restrict fp = bws.cn_fp.data();
+    const double* __restrict fc = bws.cn_fc.data();
+
+    // The scalar fused Strang step with every register widened to a
+    // W-lane row: reaction values roll through three rows (pointer
+    // rotation), the elimination carry is a row, and each lane's
+    // accumulation order — dm·v_cur, += lm·v_prev, += um·v_next, the
+    // divide, the back substitution — is the scalar sequence verbatim.
+    const auto fused = [&](auto&& react1, auto&& react2) {
+      for (std::size_t l = 0; l < W; ++l)
+        vc[l] = react1(u[l], std::size_t{0}, l);
+      for (std::size_t l = 0; l < W; ++l)
+        vn[l] = react1(u[W + l], std::size_t{1}, l);
+      for (std::size_t l = 0; l < W; ++l) {
+        double acc = dm[l] * vc[l];
+        acc += um[l] * vn[l];
+        w[l] = acc / fp[l];
+        rhs[l] = w[l];
+      }
+      for (std::size_t i = 1; i + 1 < n; ++i) {
+        std::swap(vp, vc);
+        std::swap(vc, vn);
+        for (std::size_t l = 0; l < W; ++l)
+          vn[l] = react1(u[(i + 1) * W + l], i + 1, l);
+        for (std::size_t l = 0; l < W; ++l) {
+          double acc = dm[i * W + l] * vc[l];
+          acc += lm[(i - 1) * W + l] * vp[l];
+          acc += um[i * W + l] * vn[l];
+          w[l] = (acc - fl[(i - 1) * W + l] * w[l]) / fp[i * W + l];
+          rhs[i * W + l] = w[l];
+        }
+      }
+      {
+        std::swap(vp, vc);
+        std::swap(vc, vn);
+        for (std::size_t l = 0; l < W; ++l) {
+          double acc = dm[(n - 1) * W + l] * vc[l];
+          acc += lm[(n - 2) * W + l] * vp[l];
+          w[l] = (acc - fl[(n - 2) * W + l] * w[l]) / fp[(n - 1) * W + l];
+        }
+      }
+      // Backward pass: back substitution + second reaction half-step.
+      for (std::size_t l = 0; l < W; ++l)
+        u[(n - 1) * W + l] = react2(w[l], n - 1, l);
+      for (std::size_t i = n - 1; i-- > 0;) {
+        for (std::size_t l = 0; l < W; ++l) {
+          w[l] = rhs[i * W + l] - fc[i * W + l] * w[l];
+          u[i * W + l] = react2(w[l], i, l);
+        }
+      }
+    };
+
+    bool all_uniform = true;
+    for (std::size_t l = 0; l < W; ++l)
+      if (!bws.lane_uniform[l]) all_uniform = false;
+    double* g1 = bws.growth1.data();
+    double* g2 = bws.growth2.data();
+    const double* kk = bws.lane_k.data();
+    for (std::size_t l = 0; l < W; ++l) {
+      // One exp per x-uniform lane per substep, exactly the scalar hoist
+      // (node 0's integrated rate is every node's integrated rate).
+      if (bws.lane_uniform[l]) {
+        g1[l] = std::exp(bws.rint_rows[l * n]);
+        g2[l] = std::exp(bws.rt_rows[l * n]);
+      }
+    }
+    if (all_uniform) {
+      // Branch-free lane loops for the common all-temporal-rate group.
+      fused(
+          [&](double v, std::size_t, std::size_t l) {
+            return detail::logistic_exact_with_growth(v, g1[l], kk[l]);
+          },
+          [&](double v, std::size_t, std::size_t l) {
+            return detail::logistic_exact_with_growth(v, g2[l], kk[l]);
+          });
+    } else {
+      fused(
+          [&](double v, std::size_t i, std::size_t l) {
+            return bws.lane_uniform[l]
+                       ? detail::logistic_exact_with_growth(v, g1[l], kk[l])
+                       : detail::logistic_exact(v, bws.rint_rows[l * n + i],
+                                                kk[l]);
+          },
+          [&](double v, std::size_t i, std::size_t l) {
+            return bws.lane_uniform[l]
+                       ? detail::logistic_exact_with_growth(v, g2[l], kk[l])
+                       : detail::logistic_exact(v, bws.rt_rows[l * n + i],
+                                                kk[l]);
+          });
+    }
+  };
+
+  // Method of lines: num::rk4_step's stage expressions element-wise over
+  // the SoA state, with the scalar reaction term per lane.
+  const auto reaction = [&](double ts, const double* __restrict y,
+                            double* __restrict dydt) {
+    soa_laplacian(y, dydt);
+    for (std::size_t l = 0; l < W; ++l)
+      rates_lane(l, ts, lane_row(bws.rt_rows, l));
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t l = 0; l < W; ++l)
+        dydt[i * W + l] =
+            bws.lane_d[l] * dydt[i * W + l] +
+            bws.rt_rows[l * n + i] * y[i * W + l] *
+                (1.0 - y[i * W + l] / bws.lane_k[l]);
+  };
+  const auto step_rk4 = [&](double t, double h) {
+    const std::size_t m = n * W;
+    double* __restrict u = bws.u.data();
+    double* __restrict u_next = bws.u_next.data();
+    double* __restrict k1 = bws.k1.data();
+    double* __restrict k2 = bws.k2.data();
+    double* __restrict k3 = bws.k3.data();
+    double* __restrict k4 = bws.k4.data();
+    double* __restrict tmp = bws.tmp.data();
+    reaction(t, u, k1);
+    for (std::size_t j = 0; j < m; ++j) tmp[j] = u[j] + 0.5 * h * k1[j];
+    reaction(t + 0.5 * h, tmp, k2);
+    for (std::size_t j = 0; j < m; ++j) tmp[j] = u[j] + 0.5 * h * k2[j];
+    reaction(t + 0.5 * h, tmp, k3);
+    for (std::size_t j = 0; j < m; ++j) tmp[j] = u[j] + h * k3[j];
+    reaction(t + h, tmp, k4);
+    for (std::size_t j = 0; j < m; ++j)
+      u_next[j] = u[j] + h / 6.0 * (k1[j] + 2.0 * k2[j] + 2.0 * k3[j] + k4[j]);
+    bws.u.swap(bws.u_next);
+  };
+
+  // Shared record bookkeeping — the scalar path's, once for all lanes.
+  const std::size_t total_steps = static_cast<std::size_t>(
+      std::ceil((key.t_end - key.t0) / key.dt - 1e-12));
+  std::size_t max_records = total_steps;
+  if (key.record_dt > 0.0) {
+    const double est = (key.t_end - key.t0) / key.record_dt;
+    if (est < static_cast<double>(total_steps))
+      max_records = static_cast<std::size_t>(est) + 1;
+  }
+  std::vector<double> times;
+  times.reserve(max_records + 2);
+  std::vector<trace_storage> traces;
+  traces.reserve(W);
+  for (std::size_t l = 0; l < W; ++l) {
+    traces.emplace_back(n);
+    traces.back().reserve(max_records + 2);
+  }
+  const auto record = [&]() {
+    for (std::size_t l = 0; l < W; ++l) {
+      for (std::size_t i = 0; i < n; ++i) bws.row[i] = bws.u[i * W + l];
+      traces[l].append_row(bws.row);
+    }
+  };
+  times.push_back(key.t0);
+  record();
+  double next_record = key.t0 + key.record_dt;
+
+  for (std::size_t step = 0; step < total_steps; ++step) {
+    const double t = key.t0 + static_cast<double>(step) * key.dt;
+    const double h = std::min(key.dt, key.t_end - t);
+    if (h <= 0.0) break;
+    switch (key.scheme) {
+      case dl_scheme::ftcs:
+        step_ftcs(t, h);
+        break;
+      case dl_scheme::strang_cn:
+        step_strang(t, h);
+        break;
+      case dl_scheme::mol_rk4:
+        step_rk4(t, h);
+        break;
+      case dl_scheme::implicit_newton:
+        break;  // never batched; routed to the scalar path by the caller
+    }
+    const double t_new = t + h;
+    if (t_new + 1e-12 >= next_record || step + 1 == total_steps) {
+      times.push_back(t_new);
+      record();
+      while (next_record <= t_new + 1e-12) next_record += key.record_dt;
+    }
+  }
+
+  for (std::size_t l = 0; l < W; ++l)
+    solved[members[l]] = dl_solution(grid, times, std::move(traces[l]));
+}
+
+}  // namespace
+
+std::vector<dl_solution> solve_dl(std::span<const solve_request> requests,
+                                  dl_batch_workspace& workspace) {
+  const batch_guard guard(workspace);
+  std::vector<std::optional<dl_solution>> solved(requests.size());
+
+  // Index-stable grouping: groups form in first-occurrence order and
+  // list members in request order, so results (and any exception) never
+  // depend on how the caller interleaved compatible requests.
+  struct group {
+    group_key key;
+    std::vector<std::size_t> members;
+  };
+  std::vector<group> groups;
+  std::vector<std::size_t> scalar_lanes;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const solve_request& request = requests[i];
+    if (request.params == nullptr)
+      throw std::invalid_argument("solve_dl: request has no parameters");
+    if (request.workspace != nullptr ||
+        request.options.scheme == dl_scheme::implicit_newton) {
+      scalar_lanes.push_back(i);
+      continue;
+    }
+    const group_key key = key_of(request);
+    const auto it = std::find_if(
+        groups.begin(), groups.end(),
+        [&](const group& g) { return g.key == key; });
+    if (it == groups.end())
+      groups.push_back({key, {i}});
+    else
+      it->members.push_back(i);
+  }
+
+  for (const group& g : groups) {
+    switch (g.members.size()) {
+      case 1:
+        solved[g.members.front()] = detail::solve_request_scalar(
+            requests[g.members.front()], workspace.scalar);
+        break;
+      case 2:
+        solve_group<2>(requests, g.key, g.members, workspace, solved);
+        break;
+      case 4:
+        solve_group<4>(requests, g.key, g.members, workspace, solved);
+        break;
+      case 8:
+        solve_group<8>(requests, g.key, g.members, workspace, solved);
+        break;
+      default:
+        solve_group<0>(requests, g.key, g.members, workspace, solved);
+        break;
+    }
+  }
+  for (const std::size_t i : scalar_lanes) {
+    const solve_request& request = requests[i];
+    solved[i] = detail::solve_request_scalar(
+        request,
+        request.workspace != nullptr ? *request.workspace : workspace.scalar);
+  }
+
+  std::vector<dl_solution> out;
+  out.reserve(requests.size());
+  for (std::optional<dl_solution>& s : solved) out.push_back(std::move(*s));
+  return out;
+}
+
+std::vector<dl_solution> solve_dl(std::span<const solve_request> requests) {
+  dl_batch_workspace& shared = thread_batch_workspace();
+  if (shared.in_use) {
+    // Reentrant batched solve (e.g. a custom rate field that itself runs
+    // the solver): don't clobber the outer batch's live lanes.
+    dl_batch_workspace local;
+    return solve_dl(requests, local);
+  }
+  return solve_dl(requests, shared);
+}
+
+}  // namespace dlm::core

@@ -1,0 +1,54 @@
+#include "core/dl_batch_workspace.h"
+
+namespace dlm::core {
+
+void dl_batch_workspace::prepare(std::size_t n, std::size_t width,
+                                 dl_scheme scheme) {
+  const std::size_t soa = n * width;
+  u.resize(soa);
+  lap.resize(soa);
+  rhs.resize(soa);
+
+  lane_d.resize(width);
+  lane_k.resize(width);
+  v_prev.resize(width);
+  v_cur.resize(width);
+  v_next.resize(width);
+  w.resize(width);
+  lane_factored.resize(width);
+  lane_uniform.resize(width);
+
+  mod_rows.resize(soa);
+  rt_rows.resize(soa);
+  rint_rows.resize(soa);
+
+  node_x.resize(n);
+  row.resize(n);
+
+  if (scheme == dl_scheme::strang_cn) {
+    const std::size_t off = (n - 1) * width;
+    cn_dm.resize(soa);
+    cn_fp.resize(soa);
+    cn_lm.resize(off);
+    cn_um.resize(off);
+    cn_fl.resize(off);
+    cn_fc.resize(off);
+    growth1.resize(width);
+    growth2.resize(width);
+  }
+  if (scheme == dl_scheme::mol_rk4) {
+    u_next.resize(soa);
+    k1.resize(soa);
+    k2.resize(soa);
+    k3.resize(soa);
+    k4.resize(soa);
+    tmp.resize(soa);
+  }
+}
+
+dl_batch_workspace& thread_batch_workspace() {
+  thread_local dl_batch_workspace workspace;
+  return workspace;
+}
+
+}  // namespace dlm::core

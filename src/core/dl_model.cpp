@@ -4,10 +4,9 @@
 #include <stdexcept>
 
 namespace dlm::core {
-namespace {
 
-initial_condition build_phi(const dl_parameters& params,
-                            std::span<const double> observed) {
+initial_condition dl_model::build_initial(const dl_parameters& params,
+                                          std::span<const double> observed) {
   params.validate();
   const auto expected = static_cast<std::size_t>(
       std::lround(params.x_max - params.x_min)) + 1;
@@ -21,14 +20,16 @@ initial_condition build_phi(const dl_parameters& params,
   return initial_condition(xs, observed);
 }
 
-}  // namespace
-
 dl_model::dl_model(dl_parameters params,
                    std::span<const double> observed_initial, double t0,
                    double t_max, dl_solver_options options)
     : params_(std::move(params)), t0_(t0), t_max_(t_max),
-      phi_(build_phi(params_, observed_initial)),
-      solution_(solve_dl(params_, phi_, t0, t_max, options)) {}
+      phi_(build_initial(params_, observed_initial)),
+      solution_(solve_dl({.params = &params_,
+                          .phi = &phi_,
+                          .t0 = t0,
+                          .t_end = t_max,
+                          .options = options})) {}
 
 double dl_model::predict(int x, double t) const {
   return solution_.at(static_cast<double>(x), t);

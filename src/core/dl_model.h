@@ -28,6 +28,14 @@ class dl_model {
            double t0 = 1.0, double t_max = 50.0,
            dl_solver_options options = {});
 
+  /// The φ a dl_model builds from integer-distance observations: clamped
+  /// cubic spline through (x_min + i, observed_initial[i]).  Exposed so
+  /// batch callers (the sweep adapter) can build the same initial
+  /// condition once and hand it to many solve_requests.  Throws when the
+  /// observation count does not cover [x_min, x_max].
+  [[nodiscard]] static initial_condition build_initial(
+      const dl_parameters& params, std::span<const double> observed_initial);
+
   /// Predicted density at integer distance x (x_min ≤ x ≤ x_max), time t.
   [[nodiscard]] double predict(int x, double t) const;
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
+#include "core/dl_solver_internal.h"
 #include "core/dl_workspace.h"
 #include "numerics/integrate.h"
 #include "numerics/tridiagonal.h"
@@ -11,53 +13,13 @@
 namespace dlm::core {
 namespace {
 
-/// Exact logistic propagator: N ← K·N·e^R / (K + N·(e^R − 1)) where R is
-/// the integrated rate over the step.  Maps [0, K] into [0, K] for R ≥ 0.
-double logistic_exact(double n, double integrated_rate, double k) {
-  if (n <= 0.0) return n;
-  const double growth = std::exp(integrated_rate);
-  return k * n * growth / (k + n * (growth - 1.0));
-}
-
-/// Same propagator with e^R precomputed — for fields constant in x, every
-/// node shares one integrated rate, so the exp is hoisted out of the node
-/// loop (bitwise identical: exp of the same value is the same value).
-double logistic_exact_with_growth(double n, double growth, double k) {
-  if (n <= 0.0) return n;
-  return k * n * growth / (k + n * (growth - 1.0));
-}
-
-std::size_t node_count(const dl_parameters& params,
-                       const dl_solver_options& options) {
-  const double units = params.x_max - params.x_min;
-  const auto intervals = static_cast<std::size_t>(
-      std::lround(units * static_cast<double>(options.points_per_unit)));
-  if (intervals == 0)
-    throw std::invalid_argument("dl_solver: domain shorter than one cell");
-  return intervals + 1;
-}
-
-/// CN diffusion matrices: lhs = I − (λ/2)A, rhs-matrix = I + (λ/2)A with
-/// the mirror-ghost Neumann Laplacian A (dx² folded into λ).
-void build_cn_matrices(std::size_t n, double lambda,
-                       num::tridiagonal_matrix& lhs,
-                       num::tridiagonal_matrix& rhs) {
-  for (std::size_t i = 0; i < n; ++i) {
-    double off_l = 1.0, off_r = 1.0;
-    if (i == 0) off_r = 2.0;
-    if (i + 1 == n) off_l = 2.0;
-    lhs.diag[i] = 1.0 + lambda;
-    rhs.diag[i] = 1.0 - lambda;
-    if (i + 1 < n) {
-      lhs.upper[i] = -0.5 * lambda * off_r;
-      rhs.upper[i] = 0.5 * lambda * off_r;
-    }
-    if (i > 0) {
-      lhs.lower[i - 1] = -0.5 * lambda * off_l;
-      rhs.lower[i - 1] = 0.5 * lambda * off_l;
-    }
-  }
-}
+// The per-node arithmetic (logistic propagator, CN matrix entries, node
+// count) lives in dl_solver_internal.h, shared verbatim with the batched
+// SoA solver so both paths are the same IEEE operation sequence.
+using detail::build_cn_matrices;
+using detail::logistic_exact;
+using detail::logistic_exact_with_growth;
+using detail::node_count;
 
 /// Marks a workspace busy for the duration of a solve, so the
 /// thread-local wrapper can detect reentrancy and fall back to a private
@@ -502,6 +464,41 @@ dl_solution solve_dl(const dl_parameters& params, const initial_condition& phi,
     return solve_dl(params, phi, t0, t_end, options, local);
   }
   return solve_dl(params, phi, t0, t_end, options, shared);
+}
+
+dl_solver_options detail::effective_options(const solve_request& request) {
+  dl_solver_options options = request.options;
+  // final_state is snapshots with an unreachable record cadence: only the
+  // initial and final rows are recorded, and those rows are bitwise
+  // identical to the matching snapshot-mode rows.
+  if (request.output == dl_output_mode::final_state)
+    options.record_dt = std::numeric_limits<double>::infinity();
+  return options;
+}
+
+dl_solution detail::solve_request_scalar(const solve_request& request,
+                                         dl_workspace& ws) {
+  const dl_solver_options options = detail::effective_options(request);
+  if (request.phi != nullptr)
+    return solve_dl(*request.params, *request.phi, request.t0, request.t_end,
+                    options, ws);
+  if (request.phi_samples.empty())
+    throw std::invalid_argument("solve_dl: request needs phi or phi_samples");
+  return solve_dl_profile(*request.params, request.phi_samples, request.t0,
+                          request.t_end, options, ws);
+}
+
+dl_solution solve_dl(const solve_request& request) {
+  if (request.params == nullptr)
+    throw std::invalid_argument("solve_dl: request has no parameters");
+  if (request.workspace != nullptr)
+    return detail::solve_request_scalar(request, *request.workspace);
+  dl_workspace& shared = thread_workspace();
+  if (shared.in_use) {
+    dl_workspace local;
+    return detail::solve_request_scalar(request, local);
+  }
+  return detail::solve_request_scalar(request, shared);
 }
 
 }  // namespace dlm::core

@@ -31,6 +31,17 @@
 // matrix is Thomas-factored once per run, and recorded snapshots land in
 // one contiguous trace_storage buffer reserved up front.  A steady-state
 // time step performs zero heap allocations.
+//
+// Entry point: build a core::solve_request (params + initial data + window
+// + options) and call solve_dl(request) — or hand a whole span of requests
+// to solve_dl(span<const solve_request>), which advances compatible
+// requests (same scheme/grid/dt/window) in lockstep over a
+// structure-of-arrays dl_batch_workspace, one Strang–CN pass interleaving
+// every lane's Thomas sweep.  Batched lanes are bitwise identical to the
+// scalar path (solver_batch_test), so caches, golden fits and CSV output
+// are unaffected by how requests are grouped.  The legacy four-overload
+// surface at the bottom of this header is kept as thin shims for one
+// release; see docs/solver_api.md for the migration mapping.
 #pragma once
 
 #include <cstddef>
@@ -45,6 +56,7 @@
 namespace dlm::core {
 
 struct dl_workspace;
+struct dl_batch_workspace;
 
 /// Time-stepping scheme selector.
 enum class dl_scheme { ftcs, strang_cn, implicit_newton, mol_rk4 };
@@ -121,30 +133,95 @@ class dl_solution {
   trace_storage states_;
 };
 
-/// Solves the DL equation from φ over [t0, t_end].
-/// φ is sampled on the grid implied by params.x_min/x_max and
-/// options.points_per_unit.  Scratch buffers are borrowed from this
-/// thread's shared workspace (see core/dl_workspace.h).
+/// What a solved request records.
+enum class dl_output_mode {
+  /// Snapshots every options.record_dt (plus the initial and final
+  /// profiles) — the historical behaviour.
+  snapshots,
+  /// Only the initial and final profiles: a fit objective that reads one
+  /// time never pays for intermediate rows.  Equivalent to snapshots with
+  /// an infinite record_dt, which is exactly how it is implemented, so
+  /// the recorded rows are bitwise identical to the matching snapshots.
+  final_state,
+};
+
+/// One DL solve, fully described: the unified entry point of this module.
+///
+/// Exactly one of `phi` / `phi_samples` supplies the initial data:
+///  * phi         — sampled on the implied grid, then clipped at zero
+///                  (densities are non-negative; a cubic interpolant may
+///                  undershoot between sparse knots);
+///  * phi_samples — a raw profile already on the solver grid (size must
+///                  equal the implied node count), used verbatim.
+///
+/// `params` and `phi` are captured by pointer, not copied: a request is a
+/// cheap view meant to be built per call (calibration builds thousands),
+/// so the pointees must outlive the solve_dl call consuming the request.
+struct solve_request {
+  const dl_parameters* params = nullptr;       ///< required
+  const initial_condition* phi = nullptr;      ///< initial data, sampled
+  std::span<const double> phi_samples{};       ///< or: pre-sampled profile
+  double t0 = 1.0;                             ///< window start (hours)
+  double t_end = 6.0;                          ///< window end
+  dl_solver_options options{};                 ///< scheme / grid / dt
+  dl_output_mode output = dl_output_mode::snapshots;
+  /// Optional caller-owned scratch.  When set, this request always runs
+  /// on the scalar path with exactly these buffers (deterministic memory
+  /// accounting); when null, solve_dl borrows a thread-local workspace.
+  dl_workspace* workspace = nullptr;
+};
+
+/// Solves one request.  Scratch is the request's workspace when set, else
+/// this thread's shared one (see core/dl_workspace.h).
+[[nodiscard]] dl_solution solve_dl(const solve_request& request);
+
+/// Solves a span of requests, returning one solution per request in
+/// request order.  Requests sharing a scheme, grid, dt, record cadence
+/// and time window are grouped (index-stably, by first occurrence) and
+/// advanced in lockstep over a structure-of-arrays batch workspace — the
+/// ftcs / strang_cn / mol_rk4 schemes vectorize across lanes, and each
+/// distinct diffusion coefficient's Crank–Nicolson factorization is
+/// shared within the group.  Everything else (implicit_newton, explicit
+/// per-request workspaces, groups of one) falls back to the scalar path.
+/// Per-request results are bitwise identical either way.
+///
+/// Any invalid request throws the same exception its scalar solve would;
+/// the span overload gives no partial results.
+[[nodiscard]] std::vector<dl_solution> solve_dl(
+    std::span<const solve_request> requests);
+
+/// Explicit batch-workspace variant (deterministic memory accounting,
+/// custom threading layers).
+[[nodiscard]] std::vector<dl_solution> solve_dl(
+    std::span<const solve_request> requests, dl_batch_workspace& workspace);
+
+// ---------------------------------------------------------------------------
+// Legacy surface — thin shims over solve_request, kept for one release.
+// Deprecated: new code should build a solve_request (docs/solver_api.md
+// has the 1:1 mapping).  Not marked [[deprecated]] so the tree stays
+// -Werror clean while in-tree callers migrate.
+// ---------------------------------------------------------------------------
+
+/// Deprecated shim for solve_dl({.params=&p, .phi=&phi, ...}).
 [[nodiscard]] dl_solution solve_dl(const dl_parameters& params,
                                    const initial_condition& phi, double t0,
                                    double t_end,
                                    const dl_solver_options& options = {});
 
-/// Variant taking a raw initial profile already sampled on the solver grid
-/// (size must equal the implied node count).
+/// Deprecated shim for solve_dl({.params=&p, .phi_samples=samples, ...}).
 [[nodiscard]] dl_solution solve_dl_profile(const dl_parameters& params,
                                            std::span<const double> phi_samples,
                                            double t0, double t_end,
                                            const dl_solver_options& options = {});
 
-/// Explicit-workspace overloads: identical results, but the caller owns
-/// the scratch buffers (deterministic memory accounting, custom threading).
+/// Deprecated shim for a solve_request with .workspace set.
 [[nodiscard]] dl_solution solve_dl(const dl_parameters& params,
                                    const initial_condition& phi, double t0,
                                    double t_end,
                                    const dl_solver_options& options,
                                    dl_workspace& workspace);
 
+/// Deprecated shim for a solve_request with .workspace set.
 [[nodiscard]] dl_solution solve_dl_profile(const dl_parameters& params,
                                            std::span<const double> phi_samples,
                                            double t0, double t_end,

@@ -1,0 +1,92 @@
+// Shared internals of the scalar and batched DL solvers.
+//
+// The batched SoA solver (dl_batch_solver.cpp) must be *bitwise identical*
+// per lane to the scalar path (dl_solver.cpp): every per-node expression —
+// the exact logistic propagator, the Crank–Nicolson matrix entries, the
+// node-count rounding — has to be the same IEEE operation sequence in both
+// translation units.  Keeping them as shared inline helpers makes that a
+// structural property instead of a copy-paste invariant.
+//
+// Not part of the public API: include only from src/core solver sources
+// (and white-box tests).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+
+#include "core/dl_parameters.h"
+#include "core/dl_solver.h"
+#include "numerics/tridiagonal.h"
+
+namespace dlm::core {
+
+struct dl_workspace;
+
+namespace detail {
+
+/// Request options with the output mode folded in (final_state becomes an
+/// infinite record_dt).  Defined in dl_solver.cpp.
+[[nodiscard]] dl_solver_options effective_options(const solve_request& request);
+
+/// Solves one request on the scalar path with the given workspace —
+/// exactly what solve_dl(request) does after choosing scratch, and what
+/// the batched solver uses for its non-batchable lanes.
+[[nodiscard]] dl_solution solve_request_scalar(const solve_request& request,
+                                               dl_workspace& ws);
+
+/// Exact logistic propagator: N ← K·N·e^R / (K + N·(e^R − 1)) where R is
+/// the integrated rate over the step.  Maps [0, K] into [0, K] for R ≥ 0.
+inline double logistic_exact(double n, double integrated_rate, double k) {
+  if (n <= 0.0) return n;
+  const double growth = std::exp(integrated_rate);
+  return k * n * growth / (k + n * (growth - 1.0));
+}
+
+/// Same propagator with e^R precomputed — for fields constant in x, every
+/// node shares one integrated rate, so the exp is hoisted out of the node
+/// loop (bitwise identical: exp of the same value is the same value).
+/// Spelled as a select rather than an early return so the batched solver's
+/// W-lane loops stay if-convertible (and therefore vectorizable); for
+/// n ≤ 0 the speculative IEEE division is well-defined and discarded, and
+/// the n > 0 expression is the same operation sequence either way.
+inline double logistic_exact_with_growth(double n, double growth, double k) {
+  const double propagated = k * n * growth / (k + n * (growth - 1.0));
+  return n <= 0.0 ? n : propagated;
+}
+
+/// Grid node count implied by the domain and resolution.
+inline std::size_t node_count(const dl_parameters& params,
+                              const dl_solver_options& options) {
+  const double units = params.x_max - params.x_min;
+  const auto intervals = static_cast<std::size_t>(
+      std::lround(units * static_cast<double>(options.points_per_unit)));
+  if (intervals == 0)
+    throw std::invalid_argument("dl_solver: domain shorter than one cell");
+  return intervals + 1;
+}
+
+/// CN diffusion matrices: lhs = I − (λ/2)A, rhs-matrix = I + (λ/2)A with
+/// the mirror-ghost Neumann Laplacian A (dx² folded into λ).
+inline void build_cn_matrices(std::size_t n, double lambda,
+                              num::tridiagonal_matrix& lhs,
+                              num::tridiagonal_matrix& rhs) {
+  for (std::size_t i = 0; i < n; ++i) {
+    double off_l = 1.0, off_r = 1.0;
+    if (i == 0) off_r = 2.0;
+    if (i + 1 == n) off_l = 2.0;
+    lhs.diag[i] = 1.0 + lambda;
+    rhs.diag[i] = 1.0 - lambda;
+    if (i + 1 < n) {
+      lhs.upper[i] = -0.5 * lambda * off_r;
+      rhs.upper[i] = 0.5 * lambda * off_r;
+    }
+    if (i > 0) {
+      lhs.lower[i - 1] = -0.5 * lambda * off_l;
+      rhs.lower[i - 1] = 0.5 * lambda * off_l;
+    }
+  }
+}
+
+}  // namespace detail
+}  // namespace dlm::core

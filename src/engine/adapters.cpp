@@ -16,6 +16,14 @@
 
 namespace dlm::engine {
 
+std::vector<model_trace> diffusion_model::solve_batch(
+    std::span<const scenario> scenarios, const dataset_slice& slice) const {
+  std::vector<model_trace> traces;
+  traces.reserve(scenarios.size());
+  for (const scenario& sc : scenarios) traces.push_back(solve(sc, slice));
+  return traces;
+}
+
 std::vector<double> diffusion_model::evaluation_times(
     const scenario& sc, const dataset_slice& slice) {
   const int first = static_cast<int>(std::floor(sc.t0)) + 1;
@@ -44,38 +52,72 @@ model_trace make_trace(const scenario& sc, const dataset_slice& slice) {
 
 model_trace dl_adapter::solve(const scenario& sc,
                               const dataset_slice& slice) const {
-  model_trace trace = make_trace(sc, slice);
+  return std::move(solve_batch({&sc, 1}, slice).front());
+}
 
-  core::dl_parameters params = slice.base_params;
-  params.r = make_rate(sc.rate, slice.metric);
-  if (!std::isnan(sc.d_override)) params.d = sc.d_override;
-  if (!std::isnan(sc.k_override)) params.k = sc.k_override;
+std::vector<model_trace> dl_adapter::solve_batch(
+    std::span<const scenario> scenarios, const dataset_slice& slice) const {
+  const std::size_t count = scenarios.size();
+  std::vector<model_trace> traces;
+  traces.reserve(count);
+  // Requests hold pointers into these, so both are sized exactly up front.
+  std::vector<core::dl_parameters> params;
+  params.reserve(count);
+  std::vector<core::initial_condition> phis;
+  phis.reserve(count);
+  std::vector<core::solve_request> requests;
+  requests.reserve(count);
 
-  core::dl_solver_options options;
-  options.scheme = sc.scheme;
-  options.points_per_unit = sc.points_per_unit;
-  options.dt = sc.dt;
-  if (sc.scheme == core::dl_scheme::ftcs && params.d > 0.0) {
-    // FTCS is conditionally stable (dt <= dx²/(2d)); clamp so fine-grid
-    // sweep points stay finite instead of blowing up.
-    const double dx = 1.0 / static_cast<double>(sc.points_per_unit);
-    options.dt = std::min(options.dt, 0.9 * dx * dx / (2.0 * params.d));
+  for (const scenario& sc : scenarios) {
+    traces.push_back(make_trace(sc, slice));
+    model_trace& trace = traces.back();
+
+    params.push_back(slice.base_params);
+    core::dl_parameters& p = params.back();
+    p.r = make_rate(sc.rate, slice.metric);
+    if (!std::isnan(sc.d_override)) p.d = sc.d_override;
+    if (!std::isnan(sc.k_override)) p.k = sc.k_override;
+
+    core::dl_solver_options options;
+    options.scheme = sc.scheme;
+    options.points_per_unit = sc.points_per_unit;
+    options.dt = sc.dt;
+    if (sc.scheme == core::dl_scheme::ftcs && p.d > 0.0) {
+      // FTCS is conditionally stable (dt <= dx²/(2d)); clamp so fine-grid
+      // sweep points stay finite instead of blowing up.
+      const double dx = 1.0 / static_cast<double>(sc.points_per_unit);
+      options.dt = std::min(options.dt, 0.9 * dx * dx / (2.0 * p.d));
+    }
+    trace.effective_dt = options.dt;
+
+    phis.push_back(core::dl_model::build_initial(
+        p, slice.profile_at(static_cast<int>(sc.t0))));
+    requests.push_back({.params = &p,
+                        .phi = &phis.back(),
+                        .t0 = sc.t0,
+                        .t_end = trace.times.back(),
+                        .options = options});
   }
 
-  trace.effective_dt = options.dt;
+  // One call advances every compatible scenario in lockstep (batch
+  // workspaces are thread-local, so each pool worker reuses its own SoA
+  // buffers across chunks); incompatible or singleton requests take the
+  // scalar path inside.  Either way each trace is bitwise identical to a
+  // per-scenario solve.
+  const std::vector<core::dl_solution> solutions = core::solve_dl(requests);
 
-  // The solve inside dl_model borrows this pool worker's thread-local
-  // dl_workspace, so the hundreds of solves a calibration sweep pushes
-  // through each worker share one set of scratch buffers.
-  const core::dl_model model(params, slice.profile_at(static_cast<int>(sc.t0)),
-                             sc.t0, trace.times.back(), options);
-  std::vector<double> profile(trace.distances.size());
-  for (std::size_t j = 0; j < trace.times.size(); ++j) {
-    model.predict_profile_into(trace.times[j], profile);
-    for (std::size_t i = 0; i < trace.distances.size(); ++i)
-      trace.predicted[i][j] = profile[i];
+  for (std::size_t s = 0; s < count; ++s) {
+    model_trace& trace = traces[s];
+    const int lo = static_cast<int>(std::lround(params[s].x_min));
+    const int hi = static_cast<int>(std::lround(params[s].x_max));
+    std::vector<double> profile(trace.distances.size());
+    for (std::size_t j = 0; j < trace.times.size(); ++j) {
+      solutions[s].at_integer_distances(trace.times[j], lo, hi, profile);
+      for (std::size_t i = 0; i < trace.distances.size(); ++i)
+        trace.predicted[i][j] = profile[i];
+    }
   }
-  return trace;
+  return traces;
 }
 
 model_trace heat_adapter::solve(const scenario& sc,

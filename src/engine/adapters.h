@@ -24,8 +24,16 @@ class dl_adapter final : public diffusion_model {
   [[nodiscard]] bool uses_rate() const override { return true; }
   [[nodiscard]] bool supports_calibration() const override { return true; }
   [[nodiscard]] bool supports_spatial_rate() const override { return true; }
+  [[nodiscard]] bool supports_batch() const override { return true; }
   [[nodiscard]] model_trace solve(const scenario& sc,
                                   const dataset_slice& slice) const override;
+  /// Lockstep SoA solve of compatible scenarios via
+  /// core::solve_dl(span<const solve_request>); traces are bitwise
+  /// identical to per-scenario solve() calls.  solve() itself is a
+  /// batch of one.
+  [[nodiscard]] std::vector<model_trace> solve_batch(
+      std::span<const scenario> scenarios,
+      const dataset_slice& slice) const override;
 };
 
 /// Diffusion-only ablation (r = 0): closed-form Neumann cosine series of

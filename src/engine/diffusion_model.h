@@ -8,6 +8,7 @@
 // density trace scored uniformly by the runner.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -60,6 +61,20 @@ class diffusion_model {
   /// floor(t0)+1 .. min(floor(t_end), slice.horizon_hours).
   [[nodiscard]] virtual model_trace solve(const scenario& sc,
                                           const dataset_slice& slice) const = 0;
+
+  /// Whether solve_batch advances multiple scenarios in one pass (the DL
+  /// adapter's lockstep SoA solve).  The runner only groups scenarios of
+  /// models that return true; for everything else batching would just
+  /// serialize independent solves onto one worker.
+  [[nodiscard]] virtual bool supports_batch() const { return false; }
+
+  /// Solves several scenarios of this model against one slice, returning
+  /// traces in scenario order.  Every trace is bitwise identical to the
+  /// corresponding solve() — batch-capable models dispatch to a lockstep
+  /// solver with that exact contract; the default implementation simply
+  /// loops solve().  All scenarios must reference the given slice.
+  [[nodiscard]] virtual std::vector<model_trace> solve_batch(
+      std::span<const scenario> scenarios, const dataset_slice& slice) const;
 
   /// The evaluation hours shared by every adapter (see `solve`).
   [[nodiscard]] static std::vector<double> evaluation_times(

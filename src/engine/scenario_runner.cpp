@@ -55,7 +55,98 @@ model_trace solve_with_cache(const diffusion_model& model, const scenario& sc,
   return trace;
 }
 
+/// Everything that must match for two scenarios to share a lockstep
+/// chunk.  The rate spec may differ (lanes share grid/dt, not rates) and
+/// d/K overrides may differ (per-lane CN factorizations); seeds are
+/// ignored because batch-capable models are deterministic PDE solves.
+struct batch_key {
+  std::string model;
+  std::size_t slice = 0;
+  core::dl_scheme scheme = core::dl_scheme::strang_cn;
+  std::size_t points_per_unit = 0;
+  double dt = 0.0;
+  double t0 = 0.0;
+  double t_end = 0.0;
+
+  bool operator==(const batch_key&) const = default;
+};
+
 }  // namespace
+
+std::vector<std::vector<std::size_t>> batch_sweep(
+    std::span<const scenario> scenarios, const model_registry& registry,
+    std::size_t batch_width) {
+  const std::size_t width =
+      batch_width == 0 ? kDefaultBatchWidth : batch_width;
+
+  std::vector<std::vector<std::size_t>> chunks;
+  if (width <= 1) {
+    // Batching off: one chunk per scenario, already index-ordered.
+    for (std::size_t i = 0; i < scenarios.size(); ++i) chunks.push_back({i});
+    return chunks;
+  }
+
+  // First pass: index-stable grouping.  Groups form in first-occurrence
+  // order and accumulate members in ascending index order, so nothing
+  // downstream depends on how the sweep interleaved compatible
+  // scenarios.  Non-batchable scenarios become chunks of one directly.
+  struct group {
+    batch_key key;
+    std::vector<std::size_t> members;
+  };
+  std::vector<group> groups;
+  std::vector<std::pair<std::string, bool>> capability_memo;
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const scenario& sc = scenarios[i];
+    bool batchable = false;
+    const auto memo = std::find_if(
+        capability_memo.begin(), capability_memo.end(),
+        [&](const auto& entry) { return entry.first == sc.model; });
+    if (memo != capability_memo.end()) {
+      batchable = memo->second;
+    } else {
+      try {
+        batchable = registry.make(sc.model)->supports_batch();
+      } catch (...) {
+        // Unknown model: leave it a chunk of one so run_sweep reports the
+        // failure with the scenario's identity, as the scalar path does.
+        batchable = false;
+      }
+      capability_memo.emplace_back(sc.model, batchable);
+    }
+    // Calibrate specs fit per scenario before solving; keep them scalar.
+    if (batchable && is_calibrate_spec(sc.rate)) batchable = false;
+    if (!batchable) {
+      chunks.push_back({i});
+      continue;
+    }
+    const batch_key key{sc.model, sc.slice, sc.scheme, sc.points_per_unit,
+                        sc.dt,    sc.t0,    sc.t_end};
+    const auto it = std::find_if(
+        groups.begin(), groups.end(),
+        [&](const group& g) { return g.key == key; });
+    if (it == groups.end())
+      groups.push_back({key, {i}});
+    else
+      it->members.push_back(i);
+  }
+
+  // Second pass: split each group into width-sized chunks, then order
+  // all chunks by first member so the work queue itself is index-stable.
+  for (const group& g : groups) {
+    for (std::size_t from = 0; from < g.members.size(); from += width) {
+      const std::size_t to = std::min(from + width, g.members.size());
+      chunks.emplace_back(g.members.begin() + static_cast<std::ptrdiff_t>(from),
+                          g.members.begin() + static_cast<std::ptrdiff_t>(to));
+    }
+  }
+  std::sort(chunks.begin(), chunks.end(),
+            [](const std::vector<std::size_t>& a,
+               const std::vector<std::size_t>& b) {
+              return a.front() < b.front();
+            });
+  return chunks;
+}
 
 std::vector<scenario> expand_sweep(const sweep_spec& spec,
                                    const scenario_context& context,
@@ -147,92 +238,168 @@ sweep_result run_sweep(const scenario_context& context,
   std::exception_ptr first_error;
   std::size_t first_error_index = 0;
 
+  // The explicit grouping step: every chunk runs as one pool task, so
+  // compatible scenarios of batch-capable models advance in lockstep on
+  // one worker while everything else stays a chunk of one.
+  const std::vector<std::vector<std::size_t>> chunks =
+      batch_sweep(scenarios, registry, options.batch_width);
+
   {
     thread_pool pool(options.threads);
-    for (std::size_t i = 0; i < scenarios.size(); ++i) {
-      pool.submit([&, i] {
-        try {
-          const scenario& sc = scenarios[i];
-          const dataset_slice& slice = context.slice(sc.slice);
-          const std::unique_ptr<diffusion_model> model =
-              registry.make(sc.model);
 
-          const clock::time_point start = clock::now();
-          result_row& row = rows[i];
+    const auto record_error = [&](std::size_t i) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      // Keep the failure of the lowest scenario index so the error —
+      // like the rows — is deterministic across thread schedules.
+      if (!first_error || i < first_error_index) {
+        first_error = std::current_exception();
+        first_error_index = i;
+      }
+    };
 
-          // Calibrate rate specs: fit first, then solve the rewritten
-          // scenario (resolved rate + fitted d/K overrides).  The coarse
-          // lattice fans back out over this same pool — run_batch has
-          // the submitting worker participate, so a nested batch cannot
-          // deadlock even with every worker busy calibrating.
-          scenario solved = sc;
-          const bool calibrated =
-              model->uses_rate() && is_calibrate_spec(sc.rate);
-          if (calibrated) {
-            if (!model->supports_calibration())
-              throw std::invalid_argument(
-                  "run_sweep: model '" + sc.model +
-                  "' does not support calibrate rate specs");
-            if (sc.rate.starts_with("calibrate-spatial") &&
-                !model->supports_spatial_rate())
-              throw std::invalid_argument(
-                  "run_sweep: model '" + sc.model +
-                  "' does not support spatial rate specs");
-            const scenario_calibration cal = calibrate_scenario(
-                sc, slice, options.calibration, options.cache, &pool);
-            solved.rate = cal.resolved_rate;
-            solved.d_override = cal.fit.params.d;
-            solved.k_override = cal.fit.params.k;
-            row.fit_d = cal.fit.params.d;
-            row.fit_k = cal.fit.params.k;
-            row.fit_a = cal.fit_a;
-            row.fit_b = cal.fit_b;
-            row.fit_c = cal.fit_c;
-            row.fit_m = cal.multipliers;
-            row.fit_sse = cal.fit.sse;
-            row.fit_evals = cal.fit.evaluations;
-            row.fit_solves = cal.fit.pde_solves;
-            row.fit_hits = cal.fit.cache_hits;
+    // Row fields shared by both paths; the fit_* columns are written by
+    // the scalar path only (calibrate specs never batch).
+    const auto fill_row = [&](std::size_t i, const scenario& sc,
+                              const scenario& solved, bool calibrated,
+                              const diffusion_model& model,
+                              const dataset_slice& slice, model_trace& trace,
+                              double wall) {
+      const auto [accuracy, cells] = score_trace(trace, slice);
+      result_row& row = rows[i];
+      row.index = i;
+      row.model = sc.model;
+      row.slice = slice.name;
+      row.story = slice.story;
+      row.metric = social::to_string(slice.metric);
+      row.scheme = model.uses_scheme() ? core::to_string(sc.scheme) : "-";
+      row.points_per_unit = model.uses_grid() ? sc.points_per_unit : 0;
+      // The dt actually used, so rows stay truthful when a scheme
+      // clamps for stability (FTCS on fine grids).
+      row.dt = model.uses_scheme() ? trace.effective_dt : 0.0;
+      row.rate = model.uses_rate() ? sc.rate : "-";
+      row.resolved_rate =
+          model.uses_rate()
+              ? (calibrated ? solved.rate
+                            : resolve_rate_spec(sc.rate, slice.metric))
+              : "-";
+      row.t0 = sc.t0;
+      row.t_end = sc.t_end;
+      row.cells = cells;
+      row.accuracy = accuracy;
+      row.wall_ms = wall;
+      if (options.keep_traces) result.traces[i] = std::move(trace);
+    };
+
+    const auto solve_one = [&](std::size_t i) {
+      const scenario& sc = scenarios[i];
+      const dataset_slice& slice = context.slice(sc.slice);
+      const std::unique_ptr<diffusion_model> model = registry.make(sc.model);
+
+      const clock::time_point start = clock::now();
+      result_row& row = rows[i];
+
+      // Calibrate rate specs: fit first, then solve the rewritten
+      // scenario (resolved rate + fitted d/K overrides).  The coarse
+      // lattice fans back out over this same pool — run_batch has
+      // the submitting worker participate, so a nested batch cannot
+      // deadlock even with every worker busy calibrating.
+      scenario solved = sc;
+      const bool calibrated = model->uses_rate() && is_calibrate_spec(sc.rate);
+      if (calibrated) {
+        if (!model->supports_calibration())
+          throw std::invalid_argument("run_sweep: model '" + sc.model +
+                                      "' does not support calibrate rate "
+                                      "specs");
+        if (sc.rate.starts_with("calibrate-spatial") &&
+            !model->supports_spatial_rate())
+          throw std::invalid_argument("run_sweep: model '" + sc.model +
+                                      "' does not support spatial rate specs");
+        const scenario_calibration cal = calibrate_scenario(
+            sc, slice, options.calibration, options.cache, &pool);
+        solved.rate = cal.resolved_rate;
+        solved.d_override = cal.fit.params.d;
+        solved.k_override = cal.fit.params.k;
+        row.fit_d = cal.fit.params.d;
+        row.fit_k = cal.fit.params.k;
+        row.fit_a = cal.fit_a;
+        row.fit_b = cal.fit_b;
+        row.fit_c = cal.fit_c;
+        row.fit_m = cal.multipliers;
+        row.fit_sse = cal.fit.sse;
+        row.fit_evals = cal.fit.evaluations;
+        row.fit_solves = cal.fit.pde_solves;
+        row.fit_hits = cal.fit.cache_hits;
+      }
+
+      model_trace trace =
+          solve_with_cache(*model, solved, slice, options.cache);
+      fill_row(i, sc, solved, calibrated, *model, slice, trace,
+               elapsed_ms(start));
+    };
+
+    const auto run_scalar = [&](std::size_t i) {
+      try {
+        solve_one(i);
+      } catch (...) {
+        record_error(i);
+      }
+    };
+
+    // A multi-lane chunk: resolve cached traces per member, hand the
+    // misses to the model's lockstep solve_batch in one call, and charge
+    // every lane an equal share of the chunk's wall time.  Any failure
+    // falls back to per-member scalar solves so the error is attributed
+    // to the exact scenario and healthy lanes still produce rows.
+    const auto run_chunk = [&](const std::vector<std::size_t>& chunk) {
+      if (chunk.size() == 1) {
+        run_scalar(chunk.front());
+        return;
+      }
+      try {
+        const scenario& first = scenarios[chunk.front()];
+        const dataset_slice& slice = context.slice(first.slice);
+        const std::unique_ptr<diffusion_model> model =
+            registry.make(first.model);
+        const clock::time_point start = clock::now();
+
+        std::vector<std::shared_ptr<const model_trace>> cached(chunk.size());
+        std::vector<std::string> keys(chunk.size());
+        std::vector<scenario> misses;
+        std::vector<std::size_t> miss_pos;
+        for (std::size_t m = 0; m < chunk.size(); ++m) {
+          const scenario& sc = scenarios[chunk[m]];
+          if (options.cache != nullptr) {
+            keys[m] = scenario_cache_key(sc, slice, *model);
+            cached[m] = options.cache->find_trace(keys[m]);
           }
-
-          model_trace trace =
-              solve_with_cache(*model, solved, slice, options.cache);
-          const auto [accuracy, cells] = score_trace(trace, slice);
-
-          row.index = i;
-          row.model = sc.model;
-          row.slice = slice.name;
-          row.story = slice.story;
-          row.metric = social::to_string(slice.metric);
-          row.scheme =
-              model->uses_scheme() ? core::to_string(sc.scheme) : "-";
-          row.points_per_unit = model->uses_grid() ? sc.points_per_unit : 0;
-          // The dt actually used, so rows stay truthful when a scheme
-          // clamps for stability (FTCS on fine grids).
-          row.dt = model->uses_scheme() ? trace.effective_dt : 0.0;
-          row.rate = model->uses_rate() ? sc.rate : "-";
-          row.resolved_rate =
-              model->uses_rate()
-                  ? (calibrated ? solved.rate
-                                : resolve_rate_spec(sc.rate, slice.metric))
-                  : "-";
-          row.t0 = sc.t0;
-          row.t_end = sc.t_end;
-          row.cells = cells;
-          row.accuracy = accuracy;
-          row.wall_ms = elapsed_ms(start);
-          if (options.keep_traces) result.traces[i] = std::move(trace);
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(error_mutex);
-          // Keep the failure of the lowest scenario index so the error —
-          // like the rows — is deterministic across thread schedules.
-          if (!first_error || i < first_error_index) {
-            first_error = std::current_exception();
-            first_error_index = i;
+          if (cached[m] == nullptr) {
+            misses.push_back(sc);
+            miss_pos.push_back(m);
           }
         }
-      });
-    }
+
+        std::vector<model_trace> fresh;
+        if (!misses.empty()) fresh = model->solve_batch(misses, slice);
+        if (options.cache != nullptr)
+          for (std::size_t t = 0; t < miss_pos.size(); ++t)
+            options.cache->store_trace(keys[miss_pos[t]], fresh[t]);
+
+        const double wall =
+            elapsed_ms(start) / static_cast<double>(chunk.size());
+        std::size_t next = 0;
+        for (std::size_t m = 0; m < chunk.size(); ++m) {
+          const scenario& sc = scenarios[chunk[m]];
+          model_trace trace =
+              cached[m] != nullptr ? *cached[m] : std::move(fresh[next++]);
+          fill_row(chunk[m], sc, sc, false, *model, slice, trace, wall);
+        }
+      } catch (...) {
+        for (const std::size_t i : chunk) run_scalar(i);
+      }
+    };
+
+    for (std::size_t c = 0; c < chunks.size(); ++c)
+      pool.submit([&, c] { run_chunk(chunks[c]); });
     pool.wait();
   }
   if (first_error) {

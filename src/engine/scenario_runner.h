@@ -21,6 +21,11 @@
 
 namespace dlm::engine {
 
+/// Lanes per batch chunk when runner_options::batch_width is 0 (auto).
+/// Eight covers one or two SIMD vectors of lanes with enough slack to
+/// amortize the per-chunk setup, without starving a small pool of chunks.
+inline constexpr std::size_t kDefaultBatchWidth = 8;
+
 struct runner_options {
   /// Worker threads; 0 → std::thread::hardware_concurrency.
   std::size_t threads = 0;
@@ -40,6 +45,14 @@ struct runner_options {
   /// rate specs.  The solver options and fit_rate flag inside are
   /// ignored — they come from each scenario and its spec.
   fit::calibration_options calibration{};
+  /// Scenario batching (every batching knob lives here, not in extra
+  /// run_sweep parameters): compatible scenarios of a batch-capable
+  /// model — same model, slice, scheme, grid, dt and window, and not a
+  /// "calibrate" spec — are grouped into chunks of this many lanes, each
+  /// advanced in lockstep by one pool worker (see batch_sweep).
+  /// 0 → auto (kDefaultBatchWidth); 1 → batching off (pure scalar path);
+  /// N → fixed width N.  Results are bitwise identical at any width.
+  std::size_t batch_width = 0;
 };
 
 struct sweep_result {
@@ -62,7 +75,28 @@ struct sweep_result {
     const sweep_spec& spec, const scenario_context& context,
     const model_registry& registry = default_registry());
 
-/// Executes the scenarios on a worker pool.  Scenarios whose rate spec
+/// The explicit index-stable grouping step between expand_sweep and
+/// run_sweep: partitions scenario indices into the chunks run_sweep
+/// hands to pool workers.  Invariants (these are what keep the result
+/// table — and its CSV — byte-identical to the scalar path regardless of
+/// how a sweep interleaved compatible scenarios):
+///  * the chunks partition 0..scenarios.size()−1 exactly;
+///  * every chunk lists its members in ascending index order;
+///  * chunks are ordered by their first member.
+/// Scenarios group only when they share model, slice, scheme, grid
+/// resolution, dt and time window, the model supports_batch(), and the
+/// rate spec is not a "calibrate" form (calibration fits per scenario
+/// before solving, so those stay scalar); everything else becomes a
+/// chunk of one.  `batch_width` as in runner_options (0 → auto).
+[[nodiscard]] std::vector<std::vector<std::size_t>> batch_sweep(
+    std::span<const scenario> scenarios,
+    const model_registry& registry = default_registry(),
+    std::size_t batch_width = 0);
+
+/// Executes the scenarios on a worker pool.  Compatible scenarios of
+/// batch-capable models are advanced in lockstep per worker (see
+/// batch_sweep and runner_options::batch_width); per-scenario rows,
+/// traces and cache entries are bitwise identical either way.  Scenarios whose rate spec
 /// is a "calibrate" form are fitted first (see engine/calibration.h) —
 /// the fitted parameters land in the row's fit_* columns and the solved
 /// scenario records the resolved rate.  The failure of lowest scenario

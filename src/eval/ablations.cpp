@@ -279,15 +279,24 @@ std::vector<resolution_row> run_resolution_ablation() {
   const int horizon = 6;
 
   // Finest level as reference — its surface doubles as the engine slice.
+  // Solved through the unified request API (one request, scalar path).
   core::dl_solver_options fine;
   fine.points_per_unit = 160;
   fine.dt = 0.0025;
-  const core::dl_model reference(params, initial, 1.0, horizon, fine);
+  const core::initial_condition phi =
+      core::dl_model::build_initial(params, initial);
+  const core::dl_solution reference =
+      core::solve_dl({.params = &params,
+                      .phi = &phi,
+                      .t0 = 1.0,
+                      .t_end = static_cast<double>(horizon),
+                      .options = fine});
   std::vector<std::vector<double>> surface(initial.size());
   for (std::size_t i = 0; i < initial.size(); ++i) {
     surface[i].push_back(initial[i]);
     for (int t = 2; t <= horizon; ++t)
-      surface[i].push_back(reference.predict(static_cast<int>(i) + 1, t));
+      surface[i].push_back(reference.at(static_cast<double>(i) + 1.0,
+                                        static_cast<double>(t)));
   }
   const engine::scenario_context context = engine::scenario_context::
       from_surface("resolution-ablation",

@@ -34,15 +34,26 @@ double dl_sse(const core::dl_parameters& params,
   window.validate();
   try {
     params.validate();
-    const core::dl_model model(params, window.initial, window.t0,
-                               window.times.back(), solver);
+    // Straight through the unified request API: build φ once, solve, read
+    // back — no dl_model instance, so the objective's hot loop carries no
+    // parameter/φ copies.
+    const core::initial_condition phi =
+        core::dl_model::build_initial(params, window.initial);
+    const core::dl_solution solution =
+        core::solve_dl({.params = &params,
+                        .phi = &phi,
+                        .t0 = window.t0,
+                        .t_end = window.times.back(),
+                        .options = solver});
+    const int lo = static_cast<int>(std::lround(params.x_min));
+    const int hi = static_cast<int>(std::lround(params.x_max));
     double acc = 0.0;
     // One profile buffer reused across the observed hours — calibration
     // evaluates this objective hundreds of times per fit, so the solver's
     // allocation-free read path matters here.
     std::vector<double> profile(window.initial.size());
     for (std::size_t j = 0; j < window.times.size(); ++j) {
-      model.predict_profile_into(window.times[j], profile);
+      solution.at_integer_distances(window.times[j], lo, hi, profile);
       for (std::size_t i = 0; i < window.initial.size(); ++i) {
         const double e = profile[i] - window.observed[i][j];
         acc += e * e;

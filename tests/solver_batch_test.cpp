@@ -1,0 +1,406 @@
+// Batched SoA solver: the load-bearing contract is bitwise identity with
+// the scalar path — for every scheme, rate family, batch width and lane
+// order, solve_dl(span<const solve_request>) must produce exactly the
+// trace solve_dl(request) produces, so cache keys, golden fits and CSV
+// output cannot depend on how scenarios were grouped.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "core/dl_batch_workspace.h"
+#include "core/dl_solver.h"
+#include "core/dl_workspace.h"
+#include "engine/calibration.h"
+#include "engine/scenario_runner.h"
+#include "engine/thread_pool.h"
+
+namespace {
+
+using namespace dlm::core;
+
+const std::vector<double> observed{1.9, 0.8, 1.1, 0.6, 0.4, 0.3};
+
+dl_solver_options options_for(dl_scheme scheme) {
+  dl_solver_options opts;
+  opts.scheme = scheme;
+  opts.points_per_unit = 20;
+  opts.dt = scheme == dl_scheme::ftcs ? 0.01 : 0.02;
+  return opts;
+}
+
+rate_field rate_for(int family) {
+  switch (family) {
+    case 0:  // temporal: constant in x
+      return growth_rate::paper_hops();
+    case 1:  // separable m(x)·base(t)
+      return rate_field::separable(growth_rate::paper_hops(),
+                                   {1.0, 0.9, 0.8, 0.7, 0.5, 0.4});
+    case 2:  // one rate per distance group
+      return rate_field::per_group(
+          {growth_rate::paper_hops(), growth_rate::constant(0.4),
+           growth_rate::exponential_decay(1.0, 1.2, 0.2),
+           growth_rate::constant(0.3), growth_rate::paper_interest(),
+           growth_rate::constant(0.25)});
+    default:  // arbitrary r(x, t), Simpson-integrated
+      return rate_field::custom([](double x, double t) {
+        return 0.2 + 0.05 * std::sin(x) + 0.3 / t;
+      });
+  }
+}
+
+/// Lane parameters varied so lanes are genuinely independent: distinct
+/// diffusion coefficients (distinct CN factorizations) and capacities.
+dl_parameters params_for(int family, std::size_t lane) {
+  dl_parameters params = dl_parameters::paper_hops(6.0);
+  params.d = 0.01 * (1.0 + 0.15 * static_cast<double>(lane));
+  params.k = 25.0 - static_cast<double>(lane);
+  params.r = rate_for(family);
+  return params;
+}
+
+void expect_bitwise_equal(const dl_solution& a, const dl_solution& b,
+                          const std::string& what) {
+  ASSERT_EQ(a.times().size(), b.times().size()) << what;
+  ASSERT_EQ(std::memcmp(a.times().data(), b.times().data(),
+                        a.times().size() * sizeof(double)),
+            0)
+      << what << ": times differ";
+  const std::vector<double>& da = a.states().data();
+  const std::vector<double>& db = b.states().data();
+  ASSERT_EQ(da.size(), db.size()) << what;
+  ASSERT_EQ(std::memcmp(da.data(), db.data(), da.size() * sizeof(double)), 0)
+      << what << ": states differ";
+}
+
+TEST(SolverBatch, BitwiseEqualAcrossSchemesFamiliesAndWidths) {
+  const initial_condition phi(observed);
+  // Widths bracketing the SIMD width: singleton, ragged, exact, one over.
+  for (std::size_t width : {std::size_t{1}, std::size_t{3}, std::size_t{4},
+                            std::size_t{5}}) {
+    for (dl_scheme scheme : {dl_scheme::ftcs, dl_scheme::strang_cn,
+                             dl_scheme::implicit_newton, dl_scheme::mol_rk4}) {
+      for (int family = 0; family < 4; ++family) {
+        std::vector<dl_parameters> params;
+        params.reserve(width);
+        for (std::size_t l = 0; l < width; ++l)
+          params.push_back(params_for(family, l));
+        std::vector<solve_request> requests;
+        requests.reserve(width);
+        for (std::size_t l = 0; l < width; ++l)
+          requests.push_back({.params = &params[l],
+                              .phi = &phi,
+                              .t0 = 1.0,
+                              .t_end = 6.0,
+                              .options = options_for(scheme)});
+
+        const std::vector<dl_solution> batched = solve_dl(requests);
+        ASSERT_EQ(batched.size(), width);
+        for (std::size_t l = 0; l < width; ++l) {
+          const dl_solution scalar = solve_dl(requests[l]);
+          expect_bitwise_equal(
+              batched[l], scalar,
+              to_string(scheme) + " family=" + std::to_string(family) +
+                  " width=" + std::to_string(width) +
+                  " lane=" + std::to_string(l));
+        }
+      }
+    }
+  }
+}
+
+TEST(SolverBatch, LegacyOverloadsAreExactShims) {
+  const dl_parameters params = dl_parameters::paper_hops(6.0);
+  const initial_condition phi(observed);
+  const dl_solver_options opts = options_for(dl_scheme::strang_cn);
+  const dl_solution via_request = solve_dl(
+      {.params = &params, .phi = &phi, .t0 = 1.0, .t_end = 6.0, .options = opts});
+  const dl_solution via_legacy = solve_dl(params, phi, 1.0, 6.0, opts);
+  expect_bitwise_equal(via_request, via_legacy, "legacy solve_dl shim");
+
+  const std::vector<double> samples =
+      phi.sample(params.x_min, params.x_max, 101);
+  const dl_solution via_profile_request = solve_dl({.params = &params,
+                                                    .phi_samples = samples,
+                                                    .t0 = 1.0,
+                                                    .t_end = 6.0,
+                                                    .options = opts});
+  const dl_solution via_profile_legacy =
+      solve_dl_profile(params, samples, 1.0, 6.0, opts);
+  expect_bitwise_equal(via_profile_request, via_profile_legacy,
+                       "legacy solve_dl_profile shim");
+}
+
+TEST(SolverBatch, MixedSpanSplitsIntoCompatibleGroupsIndexStably) {
+  const initial_condition phi(observed);
+  // An interleaved span: two dt groups, a newton lane and a lane pinned
+  // to its own workspace — every lane must come back in request order,
+  // bitwise equal to its scalar solve.
+  std::vector<dl_parameters> params;
+  for (std::size_t l = 0; l < 7; ++l) params.push_back(params_for(0, l));
+  dl_solver_options coarse = options_for(dl_scheme::strang_cn);
+  dl_solver_options fine = coarse;
+  fine.dt = 0.01;
+  dl_solver_options newton = options_for(dl_scheme::implicit_newton);
+  dl_workspace pinned;
+
+  std::vector<solve_request> requests;
+  const auto add = [&](std::size_t l, const dl_solver_options& opts,
+                       dl_workspace* ws = nullptr) {
+    requests.push_back({.params = &params[l],
+                        .phi = &phi,
+                        .t0 = 1.0,
+                        .t_end = 6.0,
+                        .options = opts,
+                        .workspace = ws});
+  };
+  add(0, coarse);
+  add(1, fine);
+  add(2, coarse);
+  add(3, newton);
+  add(4, fine);
+  add(5, coarse, &pinned);
+  add(6, coarse);
+
+  const std::vector<dl_solution> batched = solve_dl(requests);
+  ASSERT_EQ(batched.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const dl_solution scalar = solve_dl(requests[i]);
+    expect_bitwise_equal(batched[i], scalar,
+                         "mixed span lane " + std::to_string(i));
+  }
+}
+
+TEST(SolverBatch, FinalStateOutputRecordsOnlyEndpointsBitwiseEqual) {
+  const initial_condition phi(observed);
+  std::vector<dl_parameters> params;
+  for (std::size_t l = 0; l < 3; ++l) params.push_back(params_for(0, l));
+  std::vector<solve_request> requests;
+  for (std::size_t l = 0; l < 3; ++l)
+    requests.push_back({.params = &params[l],
+                        .phi = &phi,
+                        .t0 = 1.0,
+                        .t_end = 6.0,
+                        .options = options_for(dl_scheme::strang_cn),
+                        .output = dl_output_mode::final_state});
+
+  const std::vector<dl_solution> batched = solve_dl(requests);
+  for (std::size_t l = 0; l < 3; ++l) {
+    ASSERT_EQ(batched[l].times().size(), 2u);
+    EXPECT_EQ(batched[l].times().front(), 1.0);
+    EXPECT_EQ(batched[l].times().back(), 6.0);
+    // Endpoint rows are bitwise the snapshot-mode rows: the stepping is
+    // identical, final_state only skips intermediate records.
+    solve_request snap = requests[l];
+    snap.output = dl_output_mode::snapshots;
+    const dl_solution full = solve_dl(snap);
+    const std::span<const double> got = batched[l].states().back();
+    const std::span<const double> want = full.states().back();
+    ASSERT_EQ(got.size(), want.size());
+    ASSERT_EQ(std::memcmp(got.data(), want.data(),
+                          got.size() * sizeof(double)),
+              0)
+        << "final_state lane " << l;
+  }
+}
+
+TEST(SolverBatch, ExplicitAndThreadLocalWorkspaceReuseIsDeterministic) {
+  const initial_condition phi(observed);
+  std::vector<dl_parameters> params;
+  for (std::size_t l = 0; l < 5; ++l) params.push_back(params_for(1, l));
+  std::vector<solve_request> requests;
+  for (std::size_t l = 0; l < 5; ++l)
+    requests.push_back({.params = &params[l],
+                        .phi = &phi,
+                        .t0 = 1.0,
+                        .t_end = 6.0,
+                        .options = options_for(dl_scheme::strang_cn)});
+
+  const std::vector<dl_solution> reference = solve_dl(requests);
+
+  // Reusing one explicit batch workspace across repeated solves — and
+  // across a differently-shaped group in between — never changes bits.
+  dl_batch_workspace ws;
+  const std::vector<dl_solution> first = solve_dl(requests, ws);
+  std::vector<solve_request> narrow(requests.begin(), requests.begin() + 2);
+  (void)solve_dl(narrow, ws);
+  const std::vector<dl_solution> reused = solve_dl(requests, ws);
+  for (std::size_t l = 0; l < 5; ++l) {
+    expect_bitwise_equal(first[l], reference[l],
+                         "explicit ws lane " + std::to_string(l));
+    expect_bitwise_equal(reused[l], reference[l],
+                         "reused ws lane " + std::to_string(l));
+  }
+
+  // Thread-local batch workspaces under the pool: every worker reuses its
+  // own workspace across repeated batched solves, all bitwise equal.
+  dlm::engine::thread_pool pool(4);
+  std::vector<std::vector<dl_solution>> results(16);
+  for (std::size_t r = 0; r < results.size(); ++r)
+    pool.submit([&, r] { results[r] = solve_dl(requests); });
+  pool.wait();
+  for (std::size_t r = 0; r < results.size(); ++r) {
+    ASSERT_EQ(results[r].size(), 5u);
+    for (std::size_t l = 0; l < 5; ++l)
+      expect_bitwise_equal(results[r][l], reference[l],
+                           "pool run " + std::to_string(r) + " lane " +
+                               std::to_string(l));
+  }
+}
+
+TEST(SolverBatch, InvalidRequestsThrowLikeTheScalarPath) {
+  const initial_condition phi(observed);
+  dl_parameters good = dl_parameters::paper_hops(6.0);
+  dl_parameters bad = good;
+  bad.d = -1.0;
+  std::vector<solve_request> requests;
+  requests.push_back({.params = &good, .phi = &phi});
+  requests.push_back({.params = &bad, .phi = &phi});
+  EXPECT_THROW((void)solve_dl(requests), std::invalid_argument);
+
+  std::vector<solve_request> missing_params(1);
+  EXPECT_THROW((void)solve_dl(missing_params), std::invalid_argument);
+
+  // No initial data at all.
+  std::vector<solve_request> no_phi;
+  no_phi.push_back({.params = &good});
+  EXPECT_THROW((void)solve_dl(no_phi), std::invalid_argument);
+}
+
+// ---- Engine-level batching ------------------------------------------------
+
+/// Same synthetic surface the runner tests use: per-distance logistic
+/// growth, faster near the source.
+dlm::engine::scenario_context engine_context() {
+  const int max_d = 5;
+  const int horizon = 8;
+  std::vector<std::vector<double>> actual(max_d);
+  for (int x = 1; x <= max_d; ++x) {
+    for (int t = 1; t <= horizon; ++t) {
+      const double k = 25.0;
+      const double n0 = 2.0 / x;
+      const double grown =
+          k / (1.0 + (k - n0) / n0 * std::exp(-0.8 * (t - 1.0)));
+      actual[static_cast<std::size_t>(x - 1)].push_back(grown);
+    }
+  }
+  return dlm::engine::scenario_context::from_surface(
+      "synthetic", dlm::social::distance_metric::friendship_hops,
+      std::move(actual), dl_parameters::paper_hops(max_d));
+}
+
+/// A sweep mixing batchable work (dl across schemes/grids) with models
+/// the runner must keep scalar (heat, logistic, per_distance_logistic).
+dlm::engine::sweep_spec engine_sweep() {
+  dlm::engine::sweep_spec spec;
+  spec.models = {"dl", "heat", "logistic", "per_distance_logistic"};
+  spec.schemes = {dl_scheme::ftcs, dl_scheme::strang_cn,
+                  dl_scheme::implicit_newton, dl_scheme::mol_rk4};
+  spec.grid = {10, 20};
+  spec.rates = {"preset", "constant:0.8"};
+  spec.t_end = 8.0;
+  return spec;
+}
+
+TEST(SolverBatch, BatchSweepIsAnIndexStablePartition) {
+  using dlm::engine::scenario;
+  const dlm::engine::scenario_context ctx = engine_context();
+  std::vector<scenario> scenarios =
+      dlm::engine::expand_sweep(engine_sweep(), ctx);
+  // A calibrate-spec dl scenario: batch-capable model, but it must stay a
+  // chunk of one (calibration fits per scenario before solving).
+  scenario cal = scenarios.front();
+  cal.rate = "calibrate";
+  scenarios.push_back(cal);
+
+  for (std::size_t width : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                            std::size_t{8}}) {
+    const std::vector<std::vector<std::size_t>> chunks =
+        dlm::engine::batch_sweep(scenarios, dlm::engine::default_registry(),
+                                 width);
+    // Exact partition of 0..N-1, members ascending, chunks ordered by
+    // their first member.
+    std::vector<bool> seen(scenarios.size(), false);
+    std::size_t previous_front = 0;
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      ASSERT_FALSE(chunks[c].empty());
+      if (c > 0) EXPECT_GT(chunks[c].front(), previous_front);
+      previous_front = chunks[c].front();
+      for (std::size_t m = 0; m < chunks[c].size(); ++m) {
+        if (m > 0) EXPECT_GT(chunks[c][m], chunks[c][m - 1]);
+        ASSERT_LT(chunks[c][m], scenarios.size());
+        EXPECT_FALSE(seen[chunks[c][m]]) << "duplicate index";
+        seen[chunks[c][m]] = true;
+      }
+      if (width == 1) EXPECT_EQ(chunks[c].size(), 1u);
+      if (width != 0) EXPECT_LE(chunks[c].size(), std::max<std::size_t>(width, 1));
+      // Chunk members agree on everything the lockstep solver requires.
+      const scenario& first = scenarios[chunks[c].front()];
+      for (const std::size_t i : chunks[c]) {
+        EXPECT_EQ(scenarios[i].model, first.model);
+        EXPECT_EQ(scenarios[i].slice, first.slice);
+        EXPECT_EQ(scenarios[i].scheme, first.scheme);
+        EXPECT_EQ(scenarios[i].points_per_unit, first.points_per_unit);
+        EXPECT_EQ(scenarios[i].dt, first.dt);
+      }
+      // Non-batch models and calibrate specs never share a chunk.
+      if (chunks[c].size() > 1) {
+        EXPECT_EQ(first.model, "dl");
+        for (const std::size_t i : chunks[c])
+          EXPECT_FALSE(dlm::engine::is_calibrate_spec(scenarios[i].rate));
+      }
+    }
+    EXPECT_TRUE(std::all_of(seen.begin(), seen.end(),
+                            [](bool b) { return b; }));
+  }
+}
+
+TEST(SolverBatch, ShuffledSweepEmitsByteIdenticalCsvAtAnyWidth) {
+  using dlm::engine::scenario;
+  const dlm::engine::scenario_context ctx = engine_context();
+  std::vector<scenario> scenarios =
+      dlm::engine::expand_sweep(engine_sweep(), ctx);
+  // The regression: a sweep whose batchable scenarios arrive interleaved
+  // with incompatible ones must still emit rows in request order.  A fixed
+  // seed keeps the shuffled order reproducible.
+  std::mt19937 gen(20090601);
+  std::shuffle(scenarios.begin(), scenarios.end(), gen);
+
+  dlm::engine::runner_options scalar;
+  scalar.batch_width = 1;  // batching off: the pure scalar path
+  scalar.threads = 2;
+  scalar.keep_traces = true;
+  const dlm::engine::sweep_result reference =
+      dlm::engine::run_sweep(ctx, scenarios, scalar);
+  const std::string want = reference.table.to_csv();
+
+  for (std::size_t width : {std::size_t{0}, std::size_t{3}, std::size_t{8}}) {
+    dlm::engine::runner_options batched;
+    batched.batch_width = width;
+    batched.threads = 4;
+    batched.keep_traces = true;
+    const dlm::engine::sweep_result result =
+        dlm::engine::run_sweep(ctx, scenarios, batched);
+    EXPECT_EQ(result.table.to_csv(), want)
+        << "CSV changed at batch_width=" << width;
+    ASSERT_EQ(result.traces.size(), scenarios.size());
+    // Traces are bitwise the scalar ones, too (the CSV only sees scores).
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      const dlm::engine::model_trace& got = result.traces[i];
+      const dlm::engine::model_trace& ref = reference.traces[i];
+      ASSERT_EQ(got.predicted.size(), ref.predicted.size()) << i;
+      for (std::size_t x = 0; x < got.predicted.size(); ++x) {
+        ASSERT_EQ(got.predicted[x].size(), ref.predicted[x].size()) << i;
+        ASSERT_EQ(std::memcmp(got.predicted[x].data(), ref.predicted[x].data(),
+                              got.predicted[x].size() * sizeof(double)),
+                  0)
+            << "trace differs: scenario " << i << " distance row " << x;
+      }
+    }
+  }
+}
+
+}  // namespace
