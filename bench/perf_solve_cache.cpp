@@ -6,12 +6,22 @@
 // the identical sweep must serve everything from the cache.  The spread
 // between the two is the headline number of the caching PR.  The spatial
 // pair repeats the measurement on the r(x, t) axis (a concrete separable
-// field + the "calibrate-spatial" per-hop-multiplier fit).
+// field + the "calibrate-spatial" per-hop-multiplier fit).  The
+// warm-from-disk bench extends the pair across a process boundary: load
+// the saved cache file into a fresh cache, re-run, zero solves — with
+// the file size (cache_file_bytes) and the bare save/load costs
+// reported alongside.
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <string>
+
+#include <unistd.h>
+
 #include "alloc_counter.h"
 #include "core/dl_model.h"
+#include "engine/cache_io.h"
 #include "engine/scenario_runner.h"
 #include "engine/solve_cache.h"
 
@@ -126,6 +136,80 @@ void BM_spatial_sweep_warm(benchmark::State& state) {
     benchmark::DoNotOptimize(engine::run_sweep(ctx, spec, options));
 }
 BENCHMARK(BM_spatial_sweep_warm)->Unit(benchmark::kMillisecond);
+
+void BM_calibration_sweep_warm_from_disk(benchmark::State& state) {
+  // The persistence PR's headline: the same warm sweep, but the warmth
+  // crossed a process boundary.  Each iteration loads the saved cache
+  // file into a fresh cache — exactly what a second process pays — and
+  // re-runs the sweep, which must be pure lookups.  The file size rides
+  // along as a counter, so BENCH_solve_cache.json tracks format bloat.
+  const engine::scenario_context ctx = make_context();
+  const engine::sweep_spec spec = make_spec();
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() /
+      ("dlm_perf_cache_" + std::to_string(::getpid()) + ".bin");
+  {
+    engine::solve_cache cache;
+    engine::runner_options options;
+    options.cache = &cache;
+    (void)engine::run_sweep(ctx, spec, options);  // one cold run, saved
+    engine::save_cache(cache, path);
+  }
+  state.counters["cache_file_bytes"] = benchmark::Counter(
+      static_cast<double>(std::filesystem::file_size(path)));
+  const alloc_scope allocs(state);
+  for (auto _ : state) {
+    engine::solve_cache cache;  // fresh, as in a new process
+    if (!engine::load_cache(cache, path).loaded)
+      state.SkipWithError("cache file failed to load");
+    engine::runner_options options;
+    options.cache = &cache;
+    benchmark::DoNotOptimize(engine::run_sweep(ctx, spec, options));
+    if (cache.stats().misses != 0)
+      state.SkipWithError("warm-from-disk sweep performed a solve");
+  }
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_calibration_sweep_warm_from_disk)->Unit(benchmark::kMillisecond);
+
+void BM_cache_save(benchmark::State& state) {
+  // Serialization cost alone (the shutdown flush of dl_serve).
+  const engine::scenario_context ctx = make_context();
+  engine::solve_cache cache;
+  engine::runner_options options;
+  options.cache = &cache;
+  (void)engine::run_sweep(ctx, make_spec(), options);
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() /
+      ("dlm_perf_cache_save_" + std::to_string(::getpid()) + ".bin");
+  const alloc_scope allocs(state);
+  for (auto _ : state) engine::save_cache(cache, path);
+  state.counters["cache_file_bytes"] = benchmark::Counter(
+      static_cast<double>(std::filesystem::file_size(path)));
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_cache_save)->Unit(benchmark::kMillisecond);
+
+void BM_cache_load(benchmark::State& state) {
+  // Deserialization + checksum cost alone (the startup load).
+  const engine::scenario_context ctx = make_context();
+  std::string bytes;
+  {
+    engine::solve_cache cache;
+    engine::runner_options options;
+    options.cache = &cache;
+    (void)engine::run_sweep(ctx, make_spec(), options);
+    bytes = engine::serialize_cache(cache);
+  }
+  const alloc_scope allocs(state);
+  for (auto _ : state) {
+    engine::solve_cache cache;
+    if (!engine::deserialize_cache(cache, bytes).loaded)
+      state.SkipWithError("cache bytes failed to load");
+    benchmark::DoNotOptimize(cache);
+  }
+}
+BENCHMARK(BM_cache_load)->Unit(benchmark::kMillisecond);
 
 void BM_calibration_sweep_uncached(benchmark::State& state) {
   // Baseline without any cache, for the no-regression comparison on the

@@ -16,20 +16,38 @@
 // replays the whole sweep warm: zero additional PDE solves, byte-identical
 // CSV.
 //
-// Build & run:  ./build/examples/model_comparison
+// With --cache-file the solve cache persists across runs (load on start,
+// save on exit — see engine/cache_io.h): the second invocation's "cold"
+// pass is served from the previous process's solves.
+//
+// Build & run:  ./build/examples/model_comparison [--cache-file dlm.cache]
 
 #include <cstdio>
+#include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "digg/simulator.h"
+#include "engine/cache_io.h"
 #include "engine/model_registry.h"
 #include "engine/scenario_runner.h"
 #include "engine/solve_cache.h"
 #include "graph/generators.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dlm;
+
+  std::string cache_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--cache-file" && i + 1 < argc) {
+      cache_file = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--cache-file <path>]\n", argv[0]);
+      return 2;
+    }
+  }
 
   num::rng rand(777);
   graph::digg_graph_params gp;
@@ -106,8 +124,27 @@ int main() {
   // Same sweep again through a shared solve cache: the cold pass fills
   // it, the warm pass must hit for every trace and every calibration
   // probe — zero additional PDE solves — and still reproduce the CSV
-  // byte for byte.
-  engine::solve_cache cache;
+  // byte for byte.  With --cache-file the cache outlives the process:
+  // loaded here, saved when `persist` goes out of scope, so a rerun's
+  // cold pass hits instead of solving.
+  std::optional<engine::persistent_cache> persist;
+  engine::solve_cache local_cache;
+  engine::solve_cache* cache_ptr = &local_cache;
+  if (!cache_file.empty()) {
+    persist.emplace(cache_file);
+    cache_ptr = &persist->cache();
+    const engine::cache_load_result& load = persist->startup_load();
+    if (load.loaded)
+      std::printf("\ncache file: loaded %zu traces + %zu values from %s\n",
+                  load.traces, load.values, cache_file.c_str());
+    else if (load.file_missing)
+      std::printf("\ncache file: %s missing, starting cold\n",
+                  cache_file.c_str());
+    else
+      std::printf("\ncache file: rejected %s (%s), starting cold\n",
+                  cache_file.c_str(), load.error.c_str());
+  }
+  engine::solve_cache& cache = *cache_ptr;
   engine::runner_options cached = parallel;
   cached.cache = &cache;
   const engine::sweep_result cold = engine::run_sweep(ctx, scenarios, cached);
@@ -121,5 +158,8 @@ int main() {
               after_warm.hits - after_cold.hits);
   std::printf("warm CSV identical to cold: %s\n",
               warm.table.to_csv() == cold.table.to_csv() ? "yes" : "NO");
-  return 0;
+  if (persist)
+    std::printf("saving %zu cache entries to %s\n", cache.size(),
+                cache_file.c_str());
+  return 0;  // persist's destructor flushes the cache file
 }

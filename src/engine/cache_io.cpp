@@ -1,0 +1,356 @@
+#include "engine/cache_io.h"
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+namespace dlm::engine {
+namespace {
+
+constexpr std::uint32_t kTraceSectionTag = 1;
+constexpr std::uint32_t kValueSectionTag = 2;
+constexpr std::uint32_t kSectionCount = 2;
+
+// ----------------------------------------------------------- LE writing
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8)
+    out.push_back(static_cast<char>((v >> shift) & 0xFF));
+}
+
+void put_f64(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_i32(std::string& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_string(std::string& out, std::string_view s) {
+  if (s.size() > std::numeric_limits<std::uint32_t>::max())
+    throw std::runtime_error("cache_io: key too long to serialize");
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+// ------------------------------------------------------------ LE reader
+//
+// Every read is bounds checked against the remaining bytes; the first
+// failed read latches ok() false and all further reads return zeros, so
+// parsing code can stay linear and check ok() at section boundaries.
+
+class reader {
+ public:
+  explicit reader(std::string_view bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - pos_;
+  }
+  [[nodiscard]] bool at_end() const noexcept { return pos_ == bytes_.size(); }
+
+  std::uint32_t get_u32() {
+    if (!need(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(bytes_[pos_ + i]))
+           << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t get_u64() {
+    if (!need(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(bytes_[pos_ + i]))
+           << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+
+  double get_f64() { return std::bit_cast<double>(get_u64()); }
+
+  std::int32_t get_i32() { return static_cast<std::int32_t>(get_u32()); }
+
+  std::string_view get_bytes(std::size_t n) {
+    if (!need(n)) return {};
+    const std::string_view v = bytes_.substr(pos_, n);
+    pos_ += n;
+    return v;
+  }
+
+ private:
+  bool need(std::size_t n) {
+    if (!ok_ || remaining() < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Parsed-but-not-yet-committed file content: nothing touches the cache
+/// until every section verified and parsed cleanly.
+struct parsed_file {
+  std::vector<std::pair<std::string, model_trace>> traces;
+  std::vector<std::pair<std::string, double>> values;
+};
+
+/// Parses the trace section payload.  Returns an error message or empty.
+std::string parse_trace_section(std::string_view payload, parsed_file& out) {
+  reader r(payload);
+  const std::uint64_t count = r.get_u64();
+  // A trace entry occupies at least key length + distance count + time
+  // count + effective_dt = 20 bytes; a declared count the remaining
+  // bytes cannot possibly hold is rejected before any allocation.
+  if (count > r.remaining() / 20)
+    return "trace count " + std::to_string(count) +
+           " exceeds section capacity";
+  out.traces.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint32_t key_len = r.get_u32();
+    if (key_len > r.remaining()) return "trace key overruns section";
+    std::string key(r.get_bytes(key_len));
+    model_trace trace;
+    const std::uint32_t n_dist = r.get_u32();
+    if (!r.ok() || n_dist > r.remaining() / 4)
+      return "trace distance count overruns section";
+    trace.distances.reserve(n_dist);
+    for (std::uint32_t d = 0; d < n_dist; ++d)
+      trace.distances.push_back(r.get_i32());
+    const std::uint32_t n_times = r.get_u32();
+    if (!r.ok() || n_times > r.remaining() / 8)
+      return "trace time count overruns section";
+    trace.times.reserve(n_times);
+    for (std::uint32_t t = 0; t < n_times; ++t)
+      trace.times.push_back(r.get_f64());
+    trace.effective_dt = r.get_f64();
+    const std::uint64_t cells =
+        static_cast<std::uint64_t>(n_dist) * static_cast<std::uint64_t>(n_times);
+    if (!r.ok() || cells > r.remaining() / 8)
+      return "trace blob overruns section";
+    trace.predicted.resize(n_dist);
+    for (std::uint32_t d = 0; d < n_dist; ++d) {
+      trace.predicted[d].reserve(n_times);
+      for (std::uint32_t t = 0; t < n_times; ++t)
+        trace.predicted[d].push_back(r.get_f64());
+    }
+    if (!r.ok()) return "truncated trace entry";
+    out.traces.emplace_back(std::move(key), std::move(trace));
+  }
+  if (!r.at_end()) return "trailing bytes in trace section";
+  return {};
+}
+
+std::string parse_value_section(std::string_view payload, parsed_file& out) {
+  reader r(payload);
+  const std::uint64_t count = r.get_u64();
+  // Minimum value entry: key length + value = 12 bytes.
+  if (count > r.remaining() / 12)
+    return "value count " + std::to_string(count) +
+           " exceeds section capacity";
+  out.values.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint32_t key_len = r.get_u32();
+    if (key_len > r.remaining()) return "value key overruns section";
+    std::string key(r.get_bytes(key_len));
+    const double value = r.get_f64();
+    if (!r.ok()) return "truncated value entry";
+    out.values.emplace_back(std::move(key), value);
+  }
+  if (!r.at_end()) return "trailing bytes in value section";
+  return {};
+}
+
+cache_load_result reject(solve_cache& cache, std::string error) {
+  cache.count_load_rejected();
+  cache_load_result result;
+  result.error = std::move(error);
+  return result;
+}
+
+}  // namespace
+
+std::uint64_t cache_checksum(std::string_view bytes) {
+  std::uint64_t hash = 1469598103934665603ULL;  // FNV-1a 64 offset basis
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;  // FNV-1a 64 prime
+  }
+  return hash;
+}
+
+std::string serialize_cache(const solve_cache& cache) {
+  std::string traces;
+  const std::vector<solve_cache::trace_export> trace_entries =
+      cache.export_traces();
+  put_u64(traces, trace_entries.size());
+  for (const solve_cache::trace_export& entry : trace_entries) {
+    const model_trace& trace = *entry.trace;
+    if (trace.predicted.size() != trace.distances.size())
+      throw std::runtime_error("cache_io: trace '" + entry.key +
+                               "' has a ragged predicted surface");
+    put_string(traces, entry.key);
+    put_u32(traces, static_cast<std::uint32_t>(trace.distances.size()));
+    for (const int d : trace.distances) put_i32(traces, d);
+    put_u32(traces, static_cast<std::uint32_t>(trace.times.size()));
+    for (const double t : trace.times) put_f64(traces, t);
+    put_f64(traces, trace.effective_dt);
+    for (const std::vector<double>& row : trace.predicted) {
+      if (row.size() != trace.times.size())
+        throw std::runtime_error("cache_io: trace '" + entry.key +
+                                 "' has a ragged predicted surface");
+      for (const double v : row) put_f64(traces, v);
+    }
+  }
+
+  std::string values;
+  const std::vector<solve_cache::value_export> value_entries =
+      cache.export_values();
+  put_u64(values, value_entries.size());
+  for (const solve_cache::value_export& entry : value_entries) {
+    put_string(values, entry.key);
+    put_f64(values, entry.value);
+  }
+
+  std::string out;
+  out.reserve(24 + 40 + traces.size() + values.size());
+  out.append(kCacheMagic);
+  put_u32(out, kCacheFormatVersion);
+  put_u32(out, kSectionCount);
+  const auto append_section = [&out](std::uint32_t tag,
+                                     const std::string& payload) {
+    put_u32(out, tag);
+    put_u64(out, payload.size());
+    put_u64(out, cache_checksum(payload));
+    out.append(payload);
+  };
+  append_section(kTraceSectionTag, traces);
+  append_section(kValueSectionTag, values);
+  return out;
+}
+
+cache_load_result deserialize_cache(solve_cache& cache,
+                                    std::string_view bytes) {
+  reader r(bytes);
+  const std::string_view magic = r.get_bytes(kCacheMagic.size());
+  if (!r.ok()) return reject(cache, "file shorter than the header");
+  if (magic != kCacheMagic) return reject(cache, "bad magic");
+  const std::uint32_t version = r.get_u32();
+  const std::uint32_t sections = r.get_u32();
+  if (!r.ok()) return reject(cache, "file shorter than the header");
+  if (version != kCacheFormatVersion)
+    return reject(cache, "unsupported format version " +
+                             std::to_string(version) + " (expected " +
+                             std::to_string(kCacheFormatVersion) + ")");
+  if (sections != kSectionCount)
+    return reject(cache,
+                  "unexpected section count " + std::to_string(sections));
+
+  parsed_file parsed;
+  for (const std::uint32_t expected_tag :
+       {kTraceSectionTag, kValueSectionTag}) {
+    const std::uint32_t tag = r.get_u32();
+    const std::uint64_t payload_bytes = r.get_u64();
+    const std::uint64_t checksum = r.get_u64();
+    if (!r.ok()) return reject(cache, "truncated section header");
+    if (tag != expected_tag)
+      return reject(cache, "unexpected section tag " + std::to_string(tag));
+    if (payload_bytes > r.remaining())
+      return reject(cache, "section payload overruns file");
+    const std::string_view payload =
+        r.get_bytes(static_cast<std::size_t>(payload_bytes));
+    if (cache_checksum(payload) != checksum)
+      return reject(cache, "section checksum mismatch");
+    const std::string error = tag == kTraceSectionTag
+                                  ? parse_trace_section(payload, parsed)
+                                  : parse_value_section(payload, parsed);
+    if (!error.empty()) return reject(cache, error);
+  }
+  if (!r.at_end()) return reject(cache, "trailing bytes after last section");
+
+  // Whole file verified: commit.  Everything before this line must not
+  // have touched the cache.
+  cache_load_result result;
+  result.loaded = true;
+  result.traces = parsed.traces.size();
+  result.values = parsed.values.size();
+  for (auto& [key, trace] : parsed.traces)
+    cache.import_trace(key,
+                       std::make_shared<const model_trace>(std::move(trace)));
+  for (const auto& [key, value] : parsed.values)
+    cache.import_value(key, value);
+  return result;
+}
+
+void save_cache(const solve_cache& cache, const std::filesystem::path& path) {
+  const std::string bytes = serialize_cache(cache);
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw std::runtime_error("cache_io: cannot open '" + tmp.string() +
+                               "' for writing");
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out)
+      throw std::runtime_error("cache_io: write to '" + tmp.string() +
+                               "' failed");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw std::runtime_error("cache_io: cannot move cache into place at '" +
+                             path.string() + "'");
+  }
+}
+
+cache_load_result load_cache(solve_cache& cache,
+                             const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    // A missing file is a normal cold start, not a corrupt cache.
+    cache_load_result result;
+    result.file_missing = true;
+    return result;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof())
+    return reject(cache, "read of '" + path.string() + "' failed");
+  return deserialize_cache(cache, bytes);
+}
+
+persistent_cache::~persistent_cache() {
+  try {
+    flush();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "persistent_cache: save to '%s' failed: %s\n",
+                 path_.string().c_str(), e.what());
+  }
+}
+
+}  // namespace dlm::engine

@@ -1,0 +1,126 @@
+// On-disk persistence for engine::solve_cache.
+//
+// The cache dies with the process, so every CLI run and CI job re-pays
+// every cold solve.  This module gives it a compact versioned binary
+// format — magic + format version + a canonical-key index with each
+// trace stored as one contiguous row-major blob + per-section checksums
+// — so a second process's warm sweep performs zero PDE solves.  Every
+// double round-trips through its raw IEEE-754 bits: a trace loaded from
+// disk is bitwise identical to the one the writing process solved, so
+// cache identity still equals CSV identity across processes.
+//
+// File layout (all integers little-endian, doubles as little-endian
+// IEEE-754 bit patterns; see docs/solve_cache.md for the full diagram):
+//
+//   header   : magic "DLMCACHE" (8) · format version u32 · section count
+//              u32 (always 2)
+//   section  : tag u32 (1 = traces, 2 = values) · payload bytes u64 ·
+//              FNV-1a-64 checksum of the payload u64 · payload
+//   traces   : entry count u64, then per entry: key (u32 length +
+//              bytes) · distances (u32 count + i32 each) · times (u32
+//              count + f64 each) · effective_dt f64 · predicted blob
+//              (count(distances) × count(times) f64, row-major)
+//   values   : entry count u64, then per entry: key (u32 length +
+//              bytes) · value f64
+//
+// The loader is adversarial by construction: every read is bounds
+// checked, declared counts are validated against the bytes that are
+// actually present before anything is allocated, checksums are verified
+// before a section is parsed, and nothing is imported into the cache
+// until the whole file has parsed cleanly — a corrupt file degrades to
+// a clean cold cache with cache_stats::load_rejected counted, never to
+// a crash or a partial load.  Keys are exported sorted, so identical
+// cache content serializes to identical bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+#include "engine/solve_cache.h"
+
+namespace dlm::engine {
+
+/// Format version written by serialize_cache.  The loader accepts
+/// exactly this version: older or newer files are rejected (a format
+/// bump is cheap — the cache is a cache — and silent cross-version
+/// reinterpretation is how caches corrupt).
+inline constexpr std::uint32_t kCacheFormatVersion = 1;
+
+/// 8-byte file magic.
+inline constexpr std::string_view kCacheMagic = "DLMCACHE";
+
+/// FNV-1a 64-bit checksum used for the per-section checksums — exposed
+/// so tests can re-seal deliberately corrupted payloads.
+[[nodiscard]] std::uint64_t cache_checksum(std::string_view bytes);
+
+/// Outcome of a load attempt.
+struct cache_load_result {
+  /// True iff the file parsed cleanly and every entry was imported.
+  bool loaded = false;
+  /// True when the file simply does not exist — a normal cold start,
+  /// not a rejection (load_rejected is not counted).
+  bool file_missing = false;
+  std::size_t traces = 0;  ///< trace entries imported
+  std::size_t values = 0;  ///< value entries imported
+  /// Why the file was rejected; empty on success or a missing file.
+  std::string error;
+};
+
+/// Serializes the cache content (key-sorted) to the format above.
+[[nodiscard]] std::string serialize_cache(const solve_cache& cache);
+
+/// Parses `bytes` and imports every entry into `cache` (first insert
+/// wins, the LRU cap applies).  All-or-nothing: on any defect the cache
+/// is left exactly as it was, load_rejected is counted, and the result
+/// names the defect.
+cache_load_result deserialize_cache(solve_cache& cache,
+                                    std::string_view bytes);
+
+/// Writes the cache to `path` atomically (temp file + rename), so a
+/// reader never observes a half-written cache.  Throws
+/// std::runtime_error on I/O failure.
+void save_cache(const solve_cache& cache, const std::filesystem::path& path);
+
+/// Reads `path` and imports it into `cache` (see deserialize_cache).  A
+/// missing file reports file_missing without counting a rejection.
+cache_load_result load_cache(solve_cache& cache,
+                             const std::filesystem::path& path);
+
+/// Load-on-construction / save-on-destruction wrapper: the wiring the
+/// sweep runner examples and tools use for `--cache-file`.  The
+/// destructor swallows save failures (a best-effort flush must not
+/// throw out of scope exit) — call flush() directly when the caller
+/// wants the error.
+class persistent_cache {
+ public:
+  explicit persistent_cache(std::filesystem::path path,
+                            std::size_t max_entries = 0)
+      : path_(std::move(path)), cache_(max_entries) {
+    load_ = load_cache(cache_, path_);
+  }
+  ~persistent_cache();
+  persistent_cache(const persistent_cache&) = delete;
+  persistent_cache& operator=(const persistent_cache&) = delete;
+
+  [[nodiscard]] solve_cache& cache() noexcept { return cache_; }
+  [[nodiscard]] const std::filesystem::path& path() const noexcept {
+    return path_;
+  }
+  /// What the constructor's load saw.
+  [[nodiscard]] const cache_load_result& startup_load() const noexcept {
+    return load_;
+  }
+
+  /// Saves now.  Throws std::runtime_error on I/O failure.
+  void flush() { save_cache(cache_, path_); }
+
+ private:
+  std::filesystem::path path_;
+  solve_cache cache_;
+  cache_load_result load_;
+};
+
+}  // namespace dlm::engine

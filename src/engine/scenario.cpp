@@ -52,10 +52,22 @@ std::uint64_t slice_fingerprint(const dataset_slice& slice) {
   mix(slice.base_params.x_max);
   const std::string& label = slice.base_params.r.label();
   hash = fnv1a(hash, label.data(), label.size());
-  // Graph-driven inputs by in-process identity (the SI adapter consumes
-  // them; hashing their content would rehash whole graphs per slice).
-  mix(slice.followers);
-  mix(slice.partition);
+  // Graph-driven inputs by cheap structural invariants, not by address:
+  // the fingerprint is part of every on-disk cache key (engine/cache_io.h),
+  // so it must be identical across processes — a pointer value is not.
+  // Hashing full graph content would rehash whole graphs per slice;
+  // node/edge counts plus the partition's group sizes are O(groups) and
+  // separate any two datasets that differ in shape.
+  mix(slice.followers != nullptr);
+  if (slice.followers != nullptr) {
+    mix(slice.followers->node_count());
+    mix(slice.followers->edge_count());
+  }
+  mix(slice.partition != nullptr);
+  if (slice.partition != nullptr) {
+    mix(static_cast<int>(slice.partition->metric));
+    for (const std::size_t size : slice.partition->sizes) mix(size);
+  }
   mix(slice.initiator);
   return hash;
 }

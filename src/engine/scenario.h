@@ -48,10 +48,12 @@ struct dataset_slice {
   const social::distance_partition* partition = nullptr;
 
   /// Content fingerprint, computed by scenario_context::add_slice: a hash
-  /// of the metric, surface, base parameters and the in-process identity
-  /// of the graph handles.  Folded into solve-cache keys so two contexts
-  /// that reuse a slice *name* for different data never share cache
-  /// entries (it is a process-local identity, not a stable digest).
+  /// of the metric, surface, base parameters and cheap structural
+  /// invariants of the graph handles (node/edge counts, partition group
+  /// sizes).  Folded into solve-cache keys so two contexts that reuse a
+  /// slice *name* for different data never share cache entries.  Stable
+  /// across processes — the persistent cache (engine/cache_io.h) depends
+  /// on a rebuilt context hashing to the same fingerprint.
   std::uint64_t fingerprint = 0;
 
   /// Observed density at group x (1-based), hour t (1-based).

@@ -1,0 +1,566 @@
+#include "engine/service.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "engine/calibration.h"
+#include "engine/format.h"
+
+namespace dlm::engine {
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+/// Reads exactly `n` bytes.  Returns false on EOF (clean or mid-read:
+/// either way the peer is gone); throws on socket errors.
+bool read_exact(int fd, void* buf, std::size_t n) {
+  auto* p = static_cast<unsigned char*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, p + got, n - got, 0);
+    if (r == 0) return false;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("dl_service: recv");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+void write_all(int fd, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(buf);
+  std::size_t sent = 0;
+  while (sent < n) {
+    // MSG_NOSIGNAL: a peer that vanished mid-response must surface as
+    // EPIPE here, not kill the process with SIGPIPE.
+    const ssize_t r = ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("dl_service: send");
+    }
+    sent += static_cast<std::size_t>(r);
+  }
+}
+
+std::vector<std::string> tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+    std::size_t start = i;
+    while (i < text.size() && text[i] != ' ' && text[i] != '\t') ++i;
+    if (i > start) tokens.push_back(text.substr(start, i - start));
+  }
+  return tokens;
+}
+
+bool parse_double(std::string_view text, double& out) {
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool parse_size(std::string_view text, std::size_t& out) {
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool parse_scheme(std::string_view text, core::dl_scheme& out) {
+  for (const core::dl_scheme scheme :
+       {core::dl_scheme::ftcs, core::dl_scheme::strang_cn,
+        core::dl_scheme::implicit_newton, core::dl_scheme::mol_rk4}) {
+    if (text == core::to_string(scheme)) {
+      out = scheme;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Parsed key=value arguments of a solve / predict / calibrate request.
+struct request_args {
+  scenario sc;
+  std::string slice_name;
+  bool have_model = false;
+  bool have_slice = false;
+  int x = 0;
+  double t = 0.0;
+  bool have_x = false;
+  bool have_t = false;
+};
+
+/// Fills `args` from the tokens after the verb.  Returns an "err ..."
+/// string on the first malformed token, empty on success.
+std::string parse_request_args(const std::vector<std::string>& tokens,
+                               request_args& args) {
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0)
+      return "err malformed token '" + token + "' (expected key=value)";
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    const auto bad_value = [&] {
+      return "err cannot parse " + key + "='" + value + "'";
+    };
+    if (key == "model") {
+      args.sc.model = value;
+      args.have_model = true;
+    } else if (key == "slice") {
+      args.slice_name = value;
+      args.have_slice = true;
+    } else if (key == "scheme") {
+      if (!parse_scheme(value, args.sc.scheme))
+        return "err unknown scheme '" + value +
+               "' (ftcs, strang-cn, implicit-newton, mol-rk4)";
+    } else if (key == "grid") {
+      if (!parse_size(value, args.sc.points_per_unit)) return bad_value();
+    } else if (key == "dt") {
+      if (!parse_double(value, args.sc.dt)) return bad_value();
+    } else if (key == "rate") {
+      args.sc.rate = value;
+    } else if (key == "t0") {
+      if (!parse_double(value, args.sc.t0)) return bad_value();
+    } else if (key == "t_end") {
+      if (!parse_double(value, args.sc.t_end)) return bad_value();
+    } else if (key == "seed") {
+      std::size_t seed = 0;
+      if (!parse_size(value, seed)) return bad_value();
+      args.sc.seed = seed;
+    } else if (key == "d") {
+      if (!parse_double(value, args.sc.d_override)) return bad_value();
+    } else if (key == "k") {
+      if (!parse_double(value, args.sc.k_override)) return bad_value();
+    } else if (key == "x") {
+      double x = 0.0;
+      if (!parse_double(value, x) || x != std::floor(x)) return bad_value();
+      args.x = static_cast<int>(x);
+      args.have_x = true;
+    } else if (key == "t") {
+      if (!parse_double(value, args.t)) return bad_value();
+      args.have_t = true;
+    } else {
+      return "err unknown key '" + key + "'";
+    }
+  }
+  return {};
+}
+
+/// Deterministic textual rendering of a trace (the "solve" response
+/// body): every double through format_full_precision, so two identical
+/// requests always read identical bytes.
+std::string format_trace(const model_trace& trace) {
+  std::string out = "ok trace rows=" + std::to_string(trace.distances.size()) +
+                    " cols=" + std::to_string(trace.times.size()) +
+                    " effective_dt=" + format_full_precision(trace.effective_dt);
+  out += "\nx";
+  for (const int d : trace.distances) out += ' ' + std::to_string(d);
+  out += "\nt";
+  for (const double t : trace.times) out += ' ' + format_full_precision(t);
+  for (const std::vector<double>& row : trace.predicted) {
+    out += "\np";
+    for (const double v : row) out += ' ' + format_full_precision(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- frames
+
+frame_status read_frame(int fd, std::string& payload,
+                        std::size_t max_frame_bytes) {
+  unsigned char header[4];
+  if (!read_exact(fd, header, sizeof(header))) return frame_status::closed;
+  const std::uint32_t length =
+      static_cast<std::uint32_t>(header[0]) |
+      (static_cast<std::uint32_t>(header[1]) << 8) |
+      (static_cast<std::uint32_t>(header[2]) << 16) |
+      (static_cast<std::uint32_t>(header[3]) << 24);
+  if (length > max_frame_bytes) {
+    // Drain the declared payload so the next frame starts on a frame
+    // boundary: the oversized request is rejected, the stream survives.
+    char sink[4096];
+    std::uint64_t left = length;
+    while (left > 0) {
+      const std::size_t chunk = static_cast<std::size_t>(
+          std::min<std::uint64_t>(left, sizeof(sink)));
+      if (!read_exact(fd, sink, chunk)) return frame_status::closed;
+      left -= chunk;
+    }
+    return frame_status::oversized;
+  }
+  payload.resize(length);
+  if (length > 0 && !read_exact(fd, payload.data(), length))
+    return frame_status::closed;
+  return frame_status::ok;
+}
+
+void write_frame(int fd, std::string_view payload) {
+  if (payload.size() > std::numeric_limits<std::uint32_t>::max())
+    throw std::runtime_error("dl_service: frame payload exceeds u32 range");
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size());
+  const unsigned char header[4] = {
+      static_cast<unsigned char>(length & 0xFF),
+      static_cast<unsigned char>((length >> 8) & 0xFF),
+      static_cast<unsigned char>((length >> 16) & 0xFF),
+      static_cast<unsigned char>((length >> 24) & 0xFF)};
+  write_all(fd, header, sizeof(header));
+  if (!payload.empty()) write_all(fd, payload.data(), payload.size());
+}
+
+// ----------------------------------------------------------------- client
+
+service_client::service_client(const std::string& socket_path) {
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("service_client: socket");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("service_client: socket path too long: " +
+                             socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno(("service_client: connect to '" + socket_path + "'").c_str());
+  }
+}
+
+service_client::~service_client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string service_client::request(std::string_view payload) {
+  write_frame(fd_, payload);
+  std::string reply;
+  const frame_status status = read_frame(
+      fd_, reply, std::numeric_limits<std::uint32_t>::max());
+  if (status != frame_status::ok)
+    throw std::runtime_error(
+        "service_client: server closed the connection before responding");
+  return reply;
+}
+
+// ---------------------------------------------------------------- service
+
+dl_service::dl_service(scenario_context context, service_options options)
+    : context_(std::move(context)),
+      options_(std::move(options)),
+      cache_(options_.cache_max_entries) {
+  if (options_.socket_path.empty())
+    throw std::invalid_argument("dl_service: socket_path is required");
+  if (!options_.cache_file.empty())
+    startup_load_ = load_cache(cache_, options_.cache_file);
+  pool_ = std::make_unique<thread_pool>(options_.threads);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("dl_service: socket");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(listen_fd_);
+    throw std::runtime_error("dl_service: socket path too long: " +
+                             options_.socket_path);
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+  ::unlink(options_.socket_path.c_str());  // replace a stale socket file
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    errno = saved;
+    throw_errno(("dl_service: bind '" + options_.socket_path + "'").c_str());
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    errno = saved;
+    throw_errno("dl_service: listen");
+  }
+  accept_thread_ = std::thread(&dl_service::accept_loop, this);
+  lifecycle_thread_ = std::thread(&dl_service::lifecycle_loop, this);
+}
+
+dl_service::~dl_service() {
+  stop();
+  if (lifecycle_thread_.joinable()) lifecycle_thread_.join();
+}
+
+void dl_service::accept_loop() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket shut down: the service is stopping
+    }
+    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    if (stop_requested_.load()) {
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_unique<connection>();
+    conn->fd = fd;
+    connection* raw = conn.get();
+    conn->worker = std::thread([this, raw] { serve_connection(raw); });
+    connections_.push_back(std::move(conn));
+  }
+}
+
+void dl_service::serve_connection(connection* conn) {
+  std::string payload;
+  while (true) {
+    frame_status status;
+    try {
+      status = read_frame(conn->fd, payload, options_.max_frame_bytes);
+    } catch (...) {
+      break;  // socket error: drop the connection
+    }
+    if (status == frame_status::closed) break;
+    std::string reply;
+    bool shutdown_after_reply = false;
+    if (status == frame_status::oversized)
+      reply = "err frame exceeds max_frame_bytes=" +
+              std::to_string(options_.max_frame_bytes);
+    else
+      reply = handle_request(payload, shutdown_after_reply);
+    try {
+      write_frame(conn->fd, reply);
+    } catch (...) {
+      break;
+    }
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    // The shutdown verb's reply has flushed out; the lifecycle thread
+    // now shuts this (and every) connection's read side down, so the
+    // next read_frame sees EOF and the loop exits cleanly.
+    if (shutdown_after_reply) request_stop();
+  }
+  const std::lock_guard<std::mutex> lock(conn_mutex_);
+  ::close(conn->fd);
+  conn->fd = -1;
+}
+
+std::string dl_service::handle_request(const std::string& payload,
+                                       bool& shutdown_after_reply) {
+  try {
+    const std::vector<std::string> tokens = tokenize(payload);
+    if (tokens.empty()) return "err empty request";
+    const std::string& verb = tokens[0];
+
+    if (verb == "ping" || verb == "slices" || verb == "stats" ||
+        verb == "flush" || verb == "shutdown") {
+      if (tokens.size() > 1)
+        return "err verb '" + verb + "' takes no arguments";
+      if (verb == "ping") return "ok pong";
+      if (verb == "slices") {
+        std::string reply = "ok slices";
+        for (const std::string& name : context_.slice_names())
+          reply += ' ' + name;
+        return reply;
+      }
+      if (verb == "stats") {
+        const cache_stats stats = cache_.stats();
+        return "ok stats hits=" + std::to_string(stats.hits) +
+               " misses=" + std::to_string(stats.misses) +
+               " evictions=" + std::to_string(stats.evictions) +
+               " load_rejected=" + std::to_string(stats.load_rejected) +
+               " entries=" + std::to_string(cache_.size()) +
+               " requests=" + std::to_string(requests_.load());
+      }
+      if (verb == "flush") {
+        if (options_.cache_file.empty())
+          return "err no cache file configured";
+        const std::lock_guard<std::mutex> lock(flush_mutex_);
+        save_cache(cache_, options_.cache_file);
+        return "ok flushed " + std::to_string(cache_.size()) +
+               " entries to " + options_.cache_file;
+      }
+      shutdown_after_reply = true;
+      return "ok shutting down";
+    }
+
+    if (verb != "solve" && verb != "predict" && verb != "calibrate")
+      return "err unknown verb '" + verb +
+             "' (ping, slices, stats, solve, predict, calibrate, flush, "
+             "shutdown)";
+
+    request_args args;
+    if (std::string error = parse_request_args(tokens, args); !error.empty())
+      return error;
+    if (!args.have_model) return "err missing model=";
+    if (!args.have_slice) return "err missing slice=";
+    if (verb == "predict" && (!args.have_x || !args.have_t))
+      return "err predict requires x= and t=";
+
+    std::size_t slice_index = context_.slice_count();
+    for (std::size_t i = 0; i < context_.slice_count(); ++i) {
+      if (context_.slice(i).name == args.slice_name) {
+        slice_index = i;
+        break;
+      }
+    }
+    if (slice_index == context_.slice_count())
+      return "err unknown slice '" + args.slice_name + "'";
+    args.sc.slice = slice_index;
+    const dataset_slice& slice = context_.slice(slice_index);
+
+    const model_registry& registry =
+        options_.registry != nullptr ? *options_.registry : default_registry();
+    const std::unique_ptr<diffusion_model> model = registry.make(args.sc.model);
+
+    // Calibrate specs resolve exactly as in run_sweep: fit on the early
+    // window (lattice fanned out over the resident pool, every probe
+    // memoized in the resident cache), then solve the rewritten scenario.
+    scenario solved = args.sc;
+    scenario_calibration cal;
+    const bool calibrated =
+        model->uses_rate() && is_calibrate_spec(args.sc.rate);
+    if (verb == "calibrate" && !calibrated)
+      return "err calibrate requires a calibrate rate spec (rate='" +
+             args.sc.rate + "')";
+    if (calibrated) {
+      if (!model->supports_calibration())
+        return "err model '" + args.sc.model +
+               "' does not support calibrate rate specs";
+      if (args.sc.rate.starts_with("calibrate-spatial") &&
+          !model->supports_spatial_rate())
+        return "err model '" + args.sc.model +
+               "' does not support spatial rate specs";
+      cal = calibrate_scenario(args.sc, slice, options_.calibration, &cache_,
+                               pool_.get());
+      solved.rate = cal.resolved_rate;
+      solved.d_override = cal.fit.params.d;
+      solved.k_override = cal.fit.params.k;
+    }
+
+    if (verb == "calibrate")
+      return "ok fit d=" + format_full_precision(cal.fit.params.d) +
+             " k=" + format_full_precision(cal.fit.params.k) +
+             " a=" + format_full_precision(cal.fit_a) +
+             " b=" + format_full_precision(cal.fit_b) +
+             " c=" + format_full_precision(cal.fit_c) + " m=" +
+             (cal.multipliers.empty() ? std::string("-")
+                                      : join_full_precision(cal.multipliers)) +
+             " sse=" + format_full_precision(cal.fit.sse) +
+             " evals=" + std::to_string(cal.fit.evaluations) +
+             " rate=" + cal.resolved_rate;
+
+    // Solve through the resident cache: a repeated request — from this
+    // client or any other — is a pure lookup.
+    const std::string key = scenario_cache_key(solved, slice, *model);
+    std::shared_ptr<const model_trace> trace = cache_.find_trace(key);
+    if (trace == nullptr) {
+      cache_.store_trace(key, model->solve(solved, slice));
+      trace = cache_.find_trace(key);
+    }
+
+    if (verb == "solve") return format_trace(*trace);
+
+    // predict: one cell of the trace.
+    std::size_t row = trace->distances.size();
+    for (std::size_t i = 0; i < trace->distances.size(); ++i)
+      if (trace->distances[i] == args.x) row = i;
+    std::size_t col = trace->times.size();
+    for (std::size_t j = 0; j < trace->times.size(); ++j)
+      if (std::fabs(trace->times[j] - args.t) < 1e-9) col = j;
+    if (row == trace->distances.size() || col == trace->times.size())
+      return "err predict (x=" + std::to_string(args.x) +
+             ", t=" + format_full_precision(args.t) +
+             ") is outside the evaluated trace";
+    return "ok " + format_full_precision(trace->predicted[row][col]);
+  } catch (const std::exception& e) {
+    return std::string("err ") + e.what();
+  }
+}
+
+void dl_service::request_stop() {
+  {
+    const std::lock_guard<std::mutex> lock(stop_mutex_);
+    if (stop_requested_.load()) return;
+    stop_requested_.store(true);
+  }
+  stop_cv_.notify_all();
+}
+
+void dl_service::lifecycle_loop() {
+  {
+    std::unique_lock<std::mutex> lock(stop_mutex_);
+    stop_cv_.wait(lock, [this] { return stop_requested_.load(); });
+  }
+  do_stop();
+  {
+    const std::lock_guard<std::mutex> lock(stop_mutex_);
+    stopped_ = true;
+  }
+  stop_cv_.notify_all();
+}
+
+void dl_service::do_stop() {
+  // Break the accept loop first: no new connections from here on.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+
+  // Shut the read side of every live connection: a blocked read_frame
+  // sees EOF and its loop exits, while a response in flight still
+  // writes out (only reads are shut down) — an in-flight request
+  // finishes and answers before the connection closes.
+  {
+    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (const std::unique_ptr<connection>& conn : connections_)
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RD);
+  }
+  // Safe outside the lock: the accept thread is joined, so nothing
+  // appends to connections_ anymore.
+  for (const std::unique_ptr<connection>& conn : connections_)
+    if (conn->worker.joinable()) conn->worker.join();
+
+  ::unlink(options_.socket_path.c_str());
+
+  // Every request has drained: flush the warm cache to disk.
+  if (!options_.cache_file.empty()) {
+    const std::lock_guard<std::mutex> lock(flush_mutex_);
+    try {
+      save_cache(cache_, options_.cache_file);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "dl_service: cache flush to '%s' failed: %s\n",
+                   options_.cache_file.c_str(), e.what());
+    }
+  }
+}
+
+void dl_service::stop() {
+  request_stop();
+  std::unique_lock<std::mutex> lock(stop_mutex_);
+  stop_cv_.wait(lock, [this] { return stopped_; });
+}
+
+bool dl_service::stopped() const {
+  const std::lock_guard<std::mutex> lock(stop_mutex_);
+  return stopped_;
+}
+
+}  // namespace dlm::engine

@@ -1,0 +1,206 @@
+// Resident sweep service: the long-running server mode of the engine.
+//
+// A production predictor answers most queries from a warm cache; a
+// process that re-pays every cold solve per invocation cannot.
+// dl_service keeps one solve_cache and one calibration thread pool
+// alive across requests: a background accept worker listens on a local
+// (AF_UNIX) stream socket and answers solve / predict / calibrate
+// requests — each connection served on its own thread, all of them
+// sharing the warm cache — until a graceful shutdown flushes the cache
+// to disk.
+//
+// Wire protocol (see docs/solve_cache.md for the full specification):
+// every frame is a u32 little-endian payload length followed by that
+// many payload bytes, both directions.  Requests are single-line text,
+// "<verb> key=value ...":
+//
+//   ping                          → "ok pong"
+//   slices                        → "ok slices <name> ..."
+//   stats                         → "ok stats hits=... misses=... ..."
+//   solve model=dl slice=<name> [scheme= grid= dt= rate= t0= t_end=
+//         seed= d= k=]            → "ok trace rows=R cols=C
+//                                    effective_dt=E\nx ...\nt ...\n
+//                                    p <row 0>\n..." (full %.17g
+//                                    precision: byte-deterministic)
+//   predict <solve args> x=<int> t=<hour>
+//                                 → "ok <density>"
+//   calibrate <solve args>        → "ok fit d=... k=... a=... b=...
+//                                    c=... m=... sse=... evals=...
+//                                    rate=<resolved>"
+//   flush                         → saves the cache file now
+//   shutdown                      → "ok shutting down", then the
+//                                    service drains in-flight requests,
+//                                    flushes the cache and stops
+//
+// Every malformed request — unknown verb, bad key, unparsable value,
+// unknown slice or model — is answered with an "err <reason>" frame and
+// the connection stays usable.  A frame whose declared length exceeds
+// max_frame_bytes is drained and answered with an error frame, so one
+// oversized request cannot desynchronize the stream.  Responses never
+// include timings: a response is a pure function of the request and the
+// slice data, so concurrent clients always read deterministic bytes.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "engine/cache_io.h"
+#include "engine/model_registry.h"
+#include "engine/scenario.h"
+#include "engine/solve_cache.h"
+#include "engine/thread_pool.h"
+#include "fit/calibrate.h"
+
+namespace dlm::engine {
+
+/// Default frame-size cap: far above any request and any trace response
+/// the engine produces, far below a resource-exhaustion payload.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 1 << 20;
+
+struct service_options {
+  /// AF_UNIX socket path to listen on (required; a stale socket file
+  /// from a crashed predecessor is replaced).
+  std::string socket_path;
+  /// Cache persistence: loaded on start, flushed on shutdown and by the
+  /// "flush" verb.  Empty → in-memory only.
+  std::string cache_file;
+  /// Calibration pool width; 0 → hardware concurrency.
+  std::size_t threads = 0;
+  /// Frames with a larger declared payload are rejected with an error
+  /// frame (the connection survives).
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// LRU cap of the resident cache; 0 → unbounded.
+  std::size_t cache_max_entries = 0;
+  /// Box bounds / lattice resolution for "calibrate" requests.
+  fit::calibration_options calibration{};
+  /// Model registry; null → default_registry().
+  const model_registry* registry = nullptr;
+};
+
+// --------------------------------------------------------------- framing
+//
+// Shared by the service, the bundled client and the protocol tests.
+
+enum class frame_status {
+  ok,        ///< payload read completely
+  closed,    ///< clean EOF (or EOF mid-frame: peer went away)
+  oversized  ///< declared length > max_frame_bytes; payload drained
+};
+
+/// Reads one length-prefixed frame from `fd` into `payload`.  Blocks.
+/// Throws std::runtime_error on socket errors (EINTR is retried).
+[[nodiscard]] frame_status read_frame(int fd, std::string& payload,
+                                      std::size_t max_frame_bytes);
+
+/// Writes one length-prefixed frame.  Throws std::runtime_error on
+/// socket errors or a payload above u32 range.
+void write_frame(int fd, std::string_view payload);
+
+/// Blocking convenience client for the protocol above.
+class service_client {
+ public:
+  /// Connects to a dl_service socket.  Throws std::runtime_error when
+  /// the connection fails.
+  explicit service_client(const std::string& socket_path);
+  ~service_client();
+  service_client(const service_client&) = delete;
+  service_client& operator=(const service_client&) = delete;
+
+  /// One framed round-trip.  Throws std::runtime_error when the server
+  /// closes the connection before responding.
+  [[nodiscard]] std::string request(std::string_view payload);
+
+  /// The raw connected socket — protocol tests poke malformed bytes
+  /// through this.
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+// --------------------------------------------------------------- service
+
+class dl_service {
+ public:
+  /// Takes ownership of the slice context, loads the cache file (when
+  /// configured), binds the socket and starts the background accept
+  /// worker.  Throws std::runtime_error when the socket cannot be
+  /// bound; a rejected cache file is *not* an error (the service starts
+  /// cold — see startup_load()).
+  dl_service(scenario_context context, service_options options);
+
+  /// Equivalent to stop().
+  ~dl_service();
+
+  dl_service(const dl_service&) = delete;
+  dl_service& operator=(const dl_service&) = delete;
+
+  /// Graceful shutdown: stop accepting, let every in-flight request
+  /// finish and its response flush out, close the connections, save the
+  /// cache file, remove the socket.  Idempotent and safe to call
+  /// concurrently; returns once the service has fully stopped.
+  void stop();
+
+  [[nodiscard]] bool stopped() const;
+
+  [[nodiscard]] const std::string& socket_path() const noexcept {
+    return options_.socket_path;
+  }
+  /// The resident cache (shared with in-flight requests; the cache is
+  /// internally synchronized).
+  [[nodiscard]] solve_cache& cache() noexcept { return cache_; }
+  [[nodiscard]] cache_stats stats() const { return cache_.stats(); }
+  /// What loading options.cache_file on start saw.
+  [[nodiscard]] const cache_load_result& startup_load() const noexcept {
+    return startup_load_;
+  }
+  /// Frames answered so far (including error frames).
+  [[nodiscard]] std::size_t requests_served() const noexcept {
+    return requests_.load();
+  }
+
+ private:
+  struct connection {
+    int fd = -1;
+    std::thread worker;
+  };
+
+  void accept_loop();
+  void lifecycle_loop();
+  void serve_connection(connection* conn);
+  void request_stop();
+  void do_stop();
+  [[nodiscard]] std::string handle_request(const std::string& payload,
+                                           bool& shutdown_after_reply);
+
+  scenario_context context_;
+  service_options options_;
+  solve_cache cache_;
+  cache_load_result startup_load_;
+  std::unique_ptr<thread_pool> pool_;
+
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::thread lifecycle_thread_;
+
+  mutable std::mutex conn_mutex_;
+  std::vector<std::unique_ptr<connection>> connections_;
+
+  mutable std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  /// Atomic so the accept loop can poll it under conn_mutex_ alone.
+  std::atomic<bool> stop_requested_{false};
+  bool stopped_ = false;
+
+  std::mutex flush_mutex_;  ///< serializes "flush" verb vs shutdown flush
+  std::atomic<std::size_t> requests_{0};
+};
+
+}  // namespace dlm::engine

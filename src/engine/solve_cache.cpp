@@ -1,5 +1,6 @@
 #include "engine/solve_cache.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "engine/format.h"
@@ -34,11 +35,15 @@ std::shared_ptr<const model_trace> solve_cache::find_trace(
 }
 
 void solve_cache::store_trace(const std::string& key, model_trace trace) {
-  auto stored = std::make_shared<const model_trace>(std::move(trace));
+  import_trace(key, std::make_shared<const model_trace>(std::move(trace)));
+}
+
+void solve_cache::import_trace(const std::string& key,
+                               std::shared_ptr<const model_trace> trace) {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (traces_.contains(key)) return;  // first insert wins
   lru_.emplace_front(entry_kind::trace, key);
-  traces_.emplace(key, std::make_pair(std::move(stored), lru_.begin()));
+  traces_.emplace(key, std::make_pair(std::move(trace), lru_.begin()));
   evict_overflow();
 }
 
@@ -55,11 +60,50 @@ std::optional<double> solve_cache::find_value(const std::string& key) {
 }
 
 void solve_cache::store_value(const std::string& key, double value) {
+  import_value(key, value);
+}
+
+void solve_cache::import_value(const std::string& key, double value) {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (values_.contains(key)) return;  // first insert wins
   lru_.emplace_front(entry_kind::value, key);
   values_.emplace(key, std::make_pair(value, lru_.begin()));
   evict_overflow();
+}
+
+std::vector<solve_cache::trace_export> solve_cache::export_traces() const {
+  std::vector<trace_export> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(traces_.size());
+    for (const auto& [key, entry] : traces_)
+      out.push_back({key, entry.first});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const trace_export& a, const trace_export& b) {
+              return a.key < b.key;
+            });
+  return out;
+}
+
+std::vector<solve_cache::value_export> solve_cache::export_values() const {
+  std::vector<value_export> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(values_.size());
+    for (const auto& [key, entry] : values_)
+      out.push_back({key, entry.first});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const value_export& a, const value_export& b) {
+              return a.key < b.key;
+            });
+  return out;
+}
+
+void solve_cache::count_load_rejected() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.load_rejected;
 }
 
 cache_stats solve_cache::stats() const {

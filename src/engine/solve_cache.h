@@ -31,6 +31,7 @@
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "engine/diffusion_model.h"
 #include "engine/scenario.h"
@@ -43,6 +44,10 @@ struct cache_stats {
   std::size_t misses = 0;
   /// Entries dropped by the LRU cap (0 while unbounded).
   std::size_t evictions = 0;
+  /// Rejected on-disk load attempts (bad magic / version / checksum /
+  /// truncation — see engine/cache_io.h).  Every rejection leaves the
+  /// cache exactly as it was: no partial load, just this counter.
+  std::size_t load_rejected = 0;
 };
 
 class solve_cache {
@@ -77,6 +82,35 @@ class solve_cache {
     return max_entries_;
   }
   void clear();
+
+  /// One exported trace entry.  The shared_ptr aliases the live cache
+  /// entry, so snapshotting copies keys but no trace data.
+  struct trace_export {
+    std::string key;
+    std::shared_ptr<const model_trace> trace;
+  };
+  struct value_export {
+    std::string key;
+    double value = 0.0;
+  };
+
+  /// Key-sorted snapshots of the cache content for serialization
+  /// (engine/cache_io.h): sorting makes identical content produce
+  /// identical file bytes regardless of insertion order.
+  [[nodiscard]] std::vector<trace_export> export_traces() const;
+  [[nodiscard]] std::vector<value_export> export_values() const;
+
+  /// Bulk-inserts a loaded entry.  Same semantics as the store_*
+  /// methods (first insert wins, the LRU cap applies) but takes the
+  /// shared trace directly — loading a file is not a hit or a miss, so
+  /// no lookup statistic moves.
+  void import_trace(const std::string& key,
+                    std::shared_ptr<const model_trace> trace);
+  void import_value(const std::string& key, double value);
+
+  /// Counts one rejected load attempt (see cache_stats::load_rejected);
+  /// called by the cache_io loader, never by the cache itself.
+  void count_load_rejected();
 
  private:
   /// Recency list: most recently used at the front.  Each node remembers

@@ -1,0 +1,331 @@
+// Adversarial tests for the on-disk solve-cache format.
+//
+// The durable cache file is new attack surface: a loader that trusts a
+// declared count, skips a checksum or commits entries before the whole
+// file verified will corrupt silently.  The corruption matrix below
+// feeds the loader every malformed shape the format can express —
+// zero-byte file, every possible truncation, bad magic, future/past
+// format versions, checksum mismatches, oversized declared counts,
+// trailing garbage — and requires the same outcome each time: a clean
+// cold cache with load_rejected counted, never a crash or a partial
+// load.  The CI sanitizer job runs this standalone (`ctest -L
+// persistence`).
+
+#include "engine/cache_io.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "engine/solve_cache.h"
+
+namespace {
+
+using namespace dlm;
+using namespace dlm::engine;
+
+model_trace sample_trace(double seed) {
+  model_trace trace;
+  trace.distances = {1, 2, 3};
+  trace.times = {2.0, 3.0, 4.0, 5.0};
+  // Values with busy mantissas, so "bitwise identical" means more than
+  // "short decimals survived".
+  trace.predicted.resize(trace.distances.size());
+  for (std::size_t i = 0; i < trace.predicted.size(); ++i)
+    for (std::size_t j = 0; j < trace.times.size(); ++j)
+      trace.predicted[i].push_back(seed / 3.0 +
+                                   static_cast<double>(i * 7 + j) / 9.7);
+  trace.effective_dt = 0.1 + 0.2;  // famously not 0.3
+  return trace;
+}
+
+void fill_sample_cache(solve_cache& cache) {
+  cache.store_trace("trace/b", sample_trace(1.0));
+  cache.store_trace("trace/a", sample_trace(2.0));
+  cache.store_value("value/y", 1.0 / 3.0);
+  cache.store_value("value/x", 0.1);
+}
+
+std::string sample_bytes() {
+  solve_cache cache;
+  fill_sample_cache(cache);
+  return serialize_cache(cache);
+}
+
+bool traces_bitwise_equal(const model_trace& a, const model_trace& b) {
+  if (a.distances != b.distances) return false;
+  if (a.times.size() != b.times.size()) return false;
+  for (std::size_t j = 0; j < a.times.size(); ++j)
+    if (std::bit_cast<std::uint64_t>(a.times[j]) !=
+        std::bit_cast<std::uint64_t>(b.times[j]))
+      return false;
+  if (std::bit_cast<std::uint64_t>(a.effective_dt) !=
+      std::bit_cast<std::uint64_t>(b.effective_dt))
+    return false;
+  if (a.predicted.size() != b.predicted.size()) return false;
+  for (std::size_t i = 0; i < a.predicted.size(); ++i) {
+    if (a.predicted[i].size() != b.predicted[i].size()) return false;
+    for (std::size_t j = 0; j < a.predicted[i].size(); ++j)
+      if (std::bit_cast<std::uint64_t>(a.predicted[i][j]) !=
+          std::bit_cast<std::uint64_t>(b.predicted[i][j]))
+        return false;
+  }
+  return true;
+}
+
+// Little-endian field patching for the corruption matrix.
+std::uint64_t read_u64_at(const std::string& bytes, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(bytes[at + i]))
+         << (8 * i);
+  return v;
+}
+
+void write_u64_at(std::string& bytes, std::size_t at, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    bytes[at + i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+}
+
+void write_u32_at(std::string& bytes, std::size_t at, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    bytes[at + i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+}
+
+// Fixed offsets of the v1 layout (see cache_io.h).
+constexpr std::size_t kVersionAt = 8;
+constexpr std::size_t kSectionHeaderBytes = 4 + 8 + 8;
+constexpr std::size_t kTraceSectionAt = 16;  // magic + version + count
+constexpr std::size_t kTracePayloadLenAt = kTraceSectionAt + 4;
+constexpr std::size_t kTraceChecksumAt = kTraceSectionAt + 4 + 8;
+constexpr std::size_t kTracePayloadAt = kTraceSectionAt + kSectionHeaderBytes;
+
+/// Recomputes the trace section's checksum after a payload mutation, so
+/// the corruption under test is reached instead of the checksum guard.
+void reseal_trace_section(std::string& bytes) {
+  const std::uint64_t payload_len = read_u64_at(bytes, kTracePayloadLenAt);
+  const std::string_view payload(bytes.data() + kTracePayloadAt,
+                                 static_cast<std::size_t>(payload_len));
+  write_u64_at(bytes, kTraceChecksumAt, cache_checksum(payload));
+}
+
+/// The single assertion of the whole matrix: the corrupt bytes load
+/// nothing, leave the cache exactly as it was, and count one rejection.
+void expect_rejected(const std::string& bytes, const std::string& label) {
+  solve_cache cache;
+  const cache_load_result result = deserialize_cache(cache, bytes);
+  EXPECT_FALSE(result.loaded) << label;
+  EXPECT_FALSE(result.error.empty()) << label;
+  EXPECT_FALSE(result.file_missing) << label;
+  EXPECT_EQ(result.traces, 0u) << label;
+  EXPECT_EQ(result.values, 0u) << label;
+  EXPECT_EQ(cache.size(), 0u) << label << ": partial load";
+  EXPECT_EQ(cache.stats().load_rejected, 1u) << label;
+}
+
+TEST(CacheIo, RoundTripIsBitwiseIdentical) {
+  solve_cache original;
+  fill_sample_cache(original);
+  const std::string bytes = serialize_cache(original);
+
+  solve_cache loaded;
+  const cache_load_result result = deserialize_cache(loaded, bytes);
+  ASSERT_TRUE(result.loaded) << result.error;
+  EXPECT_EQ(result.traces, 2u);
+  EXPECT_EQ(result.values, 2u);
+  EXPECT_EQ(loaded.size(), 4u);
+  EXPECT_EQ(loaded.stats().load_rejected, 0u);
+
+  for (const solve_cache::trace_export& entry : original.export_traces()) {
+    const std::shared_ptr<const model_trace> hit =
+        loaded.find_trace(entry.key);
+    ASSERT_NE(hit, nullptr) << entry.key;
+    EXPECT_TRUE(traces_bitwise_equal(*entry.trace, *hit)) << entry.key;
+  }
+  for (const solve_cache::value_export& entry : original.export_values()) {
+    const std::optional<double> hit = loaded.find_value(entry.key);
+    ASSERT_TRUE(hit.has_value()) << entry.key;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(entry.value),
+              std::bit_cast<std::uint64_t>(*hit))
+        << entry.key;
+  }
+}
+
+TEST(CacheIo, SerializationIsDeterministicAcrossInsertionOrder) {
+  solve_cache forward;
+  forward.store_trace("a", sample_trace(1.0));
+  forward.store_trace("b", sample_trace(2.0));
+  forward.store_value("c", 0.5);
+  forward.store_value("d", 0.25);
+  solve_cache backward;
+  backward.store_value("d", 0.25);
+  backward.store_value("c", 0.5);
+  backward.store_trace("b", sample_trace(2.0));
+  backward.store_trace("a", sample_trace(1.0));
+  EXPECT_EQ(serialize_cache(forward), serialize_cache(backward));
+}
+
+TEST(CacheIo, SaveAndLoadThroughAFile) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() /
+      ("dlm_cache_io_test_" + std::to_string(::getpid()) + ".bin");
+  solve_cache original;
+  fill_sample_cache(original);
+  save_cache(original, path);
+  EXPECT_FALSE(std::filesystem::exists(path.string() + ".tmp"))
+      << "atomic save must not leave its temp file behind";
+
+  solve_cache loaded;
+  const cache_load_result result = load_cache(loaded, path);
+  EXPECT_TRUE(result.loaded) << result.error;
+  EXPECT_EQ(loaded.size(), original.size());
+  std::filesystem::remove(path);
+}
+
+TEST(CacheIo, MissingFileIsACleanColdStartNotARejection) {
+  solve_cache cache;
+  const cache_load_result result =
+      load_cache(cache, "/nonexistent/dlm/cache.bin");
+  EXPECT_FALSE(result.loaded);
+  EXPECT_TRUE(result.file_missing);
+  EXPECT_TRUE(result.error.empty());
+  EXPECT_EQ(cache.stats().load_rejected, 0u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(CacheIo, ZeroByteFileIsRejected) { expect_rejected("", "zero-byte"); }
+
+TEST(CacheIo, EveryTruncationIsRejected) {
+  const std::string bytes = sample_bytes();
+  // Every proper prefix must reject: whatever byte the file is cut at,
+  // no partial state may leak into the cache.
+  for (std::size_t len = 0; len < bytes.size(); ++len)
+    expect_rejected(bytes.substr(0, len),
+                    "truncated at " + std::to_string(len));
+}
+
+TEST(CacheIo, BadMagicIsRejected) {
+  std::string bytes = sample_bytes();
+  bytes[0] = 'X';
+  expect_rejected(bytes, "bad magic");
+}
+
+TEST(CacheIo, FutureAndPastFormatVersionsAreRejected) {
+  std::string future = sample_bytes();
+  write_u32_at(future, kVersionAt, kCacheFormatVersion + 1);
+  expect_rejected(future, "future version");
+
+  std::string past = sample_bytes();
+  write_u32_at(past, kVersionAt, 0);
+  expect_rejected(past, "past version");
+}
+
+TEST(CacheIo, ChecksumMismatchIsRejected) {
+  // Flip one payload byte in each section without resealing.
+  std::string trace_flip = sample_bytes();
+  trace_flip[kTracePayloadAt + 9] ^= 0x01;
+  expect_rejected(trace_flip, "trace checksum");
+
+  std::string value_flip = sample_bytes();
+  value_flip[value_flip.size() - 1] ^= 0x01;
+  expect_rejected(value_flip, "value checksum");
+}
+
+TEST(CacheIo, OversizedDeclaredCountsAreRejected) {
+  // Entry count far beyond what the section's bytes could hold — the
+  // loader must reject before allocating, so the resealed checksum is
+  // required to reach the count guard at all.
+  std::string bytes = sample_bytes();
+  write_u64_at(bytes, kTracePayloadAt, 0xFFFFFFFFFFFFull);
+  reseal_trace_section(bytes);
+  expect_rejected(bytes, "oversized trace count");
+
+  // Oversized inner array count: the first entry's distance count.
+  // Offset: payload + entry count u64 + key length u32 + key bytes.
+  std::string inner = sample_bytes();
+  const std::size_t key_len_at = kTracePayloadAt + 8;
+  std::uint32_t key_len = 0;
+  for (int i = 0; i < 4; ++i)
+    key_len |= static_cast<std::uint32_t>(
+                   static_cast<unsigned char>(inner[key_len_at + i]))
+               << (8 * i);
+  write_u32_at(inner, key_len_at + 4 + key_len, 0xFFFFFFFu);
+  reseal_trace_section(inner);
+  expect_rejected(inner, "oversized distance count");
+}
+
+TEST(CacheIo, TrailingGarbageIsRejected) {
+  std::string bytes = sample_bytes();
+  bytes += "extra";
+  expect_rejected(bytes, "trailing garbage");
+}
+
+TEST(CacheIo, LaterSectionCorruptionImportsNothingFromEarlierSections) {
+  // Valid trace section, corrupt value section: all-or-nothing means
+  // even the verified traces must not appear in the cache.
+  std::string bytes = sample_bytes();
+  bytes[bytes.size() - 1] ^= 0x01;  // inside the value payload
+  solve_cache cache;
+  const cache_load_result result = deserialize_cache(cache, bytes);
+  EXPECT_FALSE(result.loaded);
+  EXPECT_EQ(cache.size(), 0u) << "trace entries leaked from a bad file";
+}
+
+TEST(CacheIo, RejectionLeavesExistingEntriesUntouched) {
+  solve_cache cache;
+  cache.store_trace("keep", sample_trace(3.0));
+  std::string bytes = sample_bytes();
+  bytes[0] = 'X';
+  const cache_load_result result = deserialize_cache(cache, bytes);
+  EXPECT_FALSE(result.loaded);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_NE(cache.find_trace("keep"), nullptr);
+  EXPECT_EQ(cache.stats().load_rejected, 1u);
+}
+
+TEST(CacheIo, RepeatedRejectionsAccumulateTheStat) {
+  solve_cache cache;
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const cache_load_result result = deserialize_cache(cache, "bogus");
+    EXPECT_FALSE(result.loaded);
+    EXPECT_EQ(cache.stats().load_rejected, i);
+  }
+}
+
+TEST(CacheIo, LoadRespectsTheLruCap) {
+  const std::string bytes = sample_bytes();  // 4 entries
+  solve_cache capped(2);
+  const cache_load_result result = deserialize_cache(capped, bytes);
+  EXPECT_TRUE(result.loaded) << result.error;
+  EXPECT_EQ(capped.size(), 2u);
+  EXPECT_EQ(capped.stats().evictions, 2u);
+}
+
+TEST(CacheIo, PersistentCacheLoadsOnConstructionAndSavesOnDestruction) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() /
+      ("dlm_persistent_cache_test_" + std::to_string(::getpid()) + ".bin");
+  std::filesystem::remove(path);
+  {
+    persistent_cache persist(path);
+    EXPECT_TRUE(persist.startup_load().file_missing);
+    persist.cache().store_trace("t", sample_trace(1.0));
+    persist.cache().store_value("v", 2.0);
+  }  // destructor saves
+  {
+    persistent_cache persist(path);
+    EXPECT_TRUE(persist.startup_load().loaded);
+    EXPECT_EQ(persist.startup_load().traces, 1u);
+    EXPECT_EQ(persist.startup_load().values, 1u);
+    EXPECT_NE(persist.cache().find_trace("t"), nullptr);
+  }
+  std::filesystem::remove(path);
+}
+
+}  // namespace
