@@ -137,6 +137,64 @@ void bm_batched_strang_cn(benchmark::State& state) {
 }
 BENCHMARK(bm_batched_strang_cn)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
+// 2-D ADI sheet solve (core::domain::grid): Arg is points_per_unit on
+// the distance axis; the interest axis spans [1, 5] at the same
+// resolution, so Arg(20) steps an 80×121-node sheet.  The per-step
+// contract matches the 1-D schemes: after the workspace warms, a
+// steady-state ADI step (two tridiagonal passes + fused reaction
+// half-steps) allocates nothing.
+void bm_adi_2d_step(benchmark::State& state) {
+  core::dl_parameters params = core::dl_parameters::paper_hops(6.0);
+  params.dom = core::domain::grid(1.0, 5.0);
+  const core::initial_condition phi(observed);
+  core::dl_solver_options opts =
+      options_for(core::dl_scheme::strang_cn,
+                  static_cast<std::size_t>(state.range(0)));
+  const double per_step = allocs_per_step(params, phi, opts);
+  const core::solve_request request{
+      .params = &params, .phi = &phi, .options = opts};
+  const std::uint64_t before = bench::allocations_now();
+  for (auto _ : state) {
+    const core::dl_solution sol = solve_dl(request);
+    benchmark::DoNotOptimize(sol.states().back().data());
+  }
+  state.counters["allocs_per_solve"] = benchmark::Counter(
+      static_cast<double>(bench::allocations_now() - before),
+      benchmark::Counter::kAvgIterations);
+  state.counters["allocs_per_step"] = per_step;
+}
+BENCHMARK(bm_adi_2d_step)->Arg(20)->Arg(40);
+
+// Coupled-community sweep (core::domain::coupled): Arg is the community
+// count K, mixing every pair at a uniform rate.  items_processed counts
+// community-lines stepped, so items/sec reads as 1-D-equivalent solves
+// per second; the counters pin the same zero-allocation step contract.
+void bm_coupled_communities(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  core::dl_parameters params = core::dl_parameters::paper_hops(6.0);
+  params.dom = core::domain::coupled(k, 0.05);
+  for (std::size_t c = 0; c < k; ++c)
+    params.dom.scales.push_back(1.0 / static_cast<double>(c + 1));
+  const core::initial_condition phi(observed);
+  const core::dl_solver_options opts =
+      options_for(core::dl_scheme::strang_cn, 20);
+  const double per_step = allocs_per_step(params, phi, opts);
+  const core::solve_request request{
+      .params = &params, .phi = &phi, .options = opts};
+  const std::uint64_t before = bench::allocations_now();
+  for (auto _ : state) {
+    const core::dl_solution sol = solve_dl(request);
+    benchmark::DoNotOptimize(sol.states().back().data());
+  }
+  state.counters["allocs_per_solve"] = benchmark::Counter(
+      static_cast<double>(bench::allocations_now() - before),
+      benchmark::Counter::kAvgIterations);
+  state.counters["allocs_per_step"] = per_step;
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(k));
+}
+BENCHMARK(bm_coupled_communities)->Arg(2)->Arg(4)->Arg(8);
+
 void bm_spline_build(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   std::vector<double> x(n), y(n);

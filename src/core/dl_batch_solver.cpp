@@ -479,7 +479,10 @@ std::vector<dl_solution> solve_dl(std::span<const solve_request> requests,
     if (request.params == nullptr)
       throw std::invalid_argument("solve_dl: request has no parameters");
     if (request.workspace != nullptr ||
-        request.options.scheme == dl_scheme::implicit_newton) {
+        request.options.scheme == dl_scheme::implicit_newton ||
+        !request.params->dom.is_line()) {
+      // Non-line domains (2-D ADI, coupled communities) have their own
+      // stepping loops; they run scalar rather than in SoA lockstep.
       scalar_lanes.push_back(i);
       continue;
     }

@@ -32,12 +32,15 @@ void dl_parameters::validate() const {
   if (!(k > 0.0)) throw std::invalid_argument("dl_parameters: K must be > 0");
   if (!(x_min < x_max))
     throw std::invalid_argument("dl_parameters: require x_min < x_max");
+  dom.validate();
 }
 
 std::string dl_parameters::describe() const {
   std::ostringstream out;
   out << "DL{d=" << d << ", K=" << k << ", r=" << r.label() << ", x=["
-      << x_min << "," << x_max << "]}";
+      << x_min << "," << x_max << "]";
+  if (!dom.is_line()) out << ", dom=" << dom.label();
+  out << "}";
   return out.str();
 }
 

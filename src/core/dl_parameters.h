@@ -9,10 +9,14 @@
 // r — growth-rate field r(x, t) (core::rate_field; a plain growth_rate
 //     converts implicitly, giving the paper's r(t)-only Eq. 4)
 // [l, L] — distance domain bounds.
+// dom — spatial-domain shape (core::domain): the default 1-D line, a 2-D
+//     distance×interest grid, or K coupled communities.  The x axis above
+//     is always the first axis; non-line shapes stack rows behind it.
 #pragma once
 
 #include <string>
 
+#include "core/domain.h"
 #include "core/rate_field.h"
 
 namespace dlm::core {
@@ -24,6 +28,7 @@ struct dl_parameters {
   rate_field r = growth_rate::paper_hops();     ///< growth-rate field r(x, t)
   double x_min = 1.0;                           ///< l: nearest distance
   double x_max = 5.0;                           ///< L: farthest distance
+  domain dom{};                                 ///< domain shape (default: 1-D line)
 
   /// Paper §III.C values for the friendship-hop experiment on story s1:
   /// d = 0.01, K = 25, r(t) = 1.4·e^{−1.5(t−1)} + 0.25, x ∈ [1, L].
@@ -33,7 +38,8 @@ struct dl_parameters {
   /// d = 0.05, K = 60, r(t) = 1.6·e^{−(t−1)} + 0.1, x ∈ [1, 5].
   [[nodiscard]] static dl_parameters paper_interest(double x_max = 5.0);
 
-  /// Throws std::invalid_argument unless d ≥ 0, K > 0 and x_min < x_max.
+  /// Throws std::invalid_argument unless d ≥ 0, K > 0, x_min < x_max and
+  /// the domain descriptor validates.
   void validate() const;
 
   [[nodiscard]] std::string describe() const;

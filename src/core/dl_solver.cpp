@@ -14,26 +14,13 @@ namespace dlm::core {
 namespace {
 
 // The per-node arithmetic (logistic propagator, CN matrix entries, node
-// count) lives in dl_solver_internal.h, shared verbatim with the batched
-// SoA solver so both paths are the same IEEE operation sequence.
+// count, rate sampling, the fused Strang–CN sweep) lives in
+// dl_solver_internal.h, shared verbatim with the batched SoA solver and
+// the domain solvers so every path is the same IEEE operation sequence.
 using detail::build_cn_matrices;
-using detail::logistic_exact;
-using detail::logistic_exact_with_growth;
 using detail::node_count;
-
-/// Marks a workspace busy for the duration of a solve, so the
-/// thread-local wrapper can detect reentrancy and fall back to a private
-/// workspace instead of clobbering live buffers.
-class workspace_guard {
- public:
-  explicit workspace_guard(dl_workspace& ws) : ws_(ws) { ws_.in_use = true; }
-  ~workspace_guard() { ws_.in_use = false; }
-  workspace_guard(const workspace_guard&) = delete;
-  workspace_guard& operator=(const workspace_guard&) = delete;
-
- private:
-  dl_workspace& ws_;
-};
+using detail::rate_sampler;
+using detail::workspace_guard;
 
 }  // namespace
 
@@ -61,10 +48,15 @@ void neumann_laplacian(std::span<const double> u, double dx,
 }
 
 dl_solution::dl_solution(num::uniform_grid grid, std::vector<double> times,
-                         trace_storage states)
-    : grid_(grid), times_(std::move(times)), states_(std::move(states)) {
+                         trace_storage states, std::size_t blocks)
+    : grid_(grid),
+      times_(std::move(times)),
+      states_(std::move(states)),
+      blocks_(blocks) {
   if (times_.empty() || times_.size() != states_.size())
     throw std::invalid_argument("dl_solution: times/states mismatch");
+  if (blocks_ == 0 || states_.cols() != grid_.points() * blocks_)
+    throw std::invalid_argument("dl_solution: grid/blocks/row-width mismatch");
 }
 
 dl_solution::dl_solution(num::uniform_grid grid, std::vector<double> times,
@@ -105,9 +97,23 @@ double dl_solution::value_at(double x, const time_bracket& b) const {
   const double frac = std::clamp(pos - static_cast<double>(i), 0.0, 1.0);
   const std::span<const double> lo = states_[b.lo];
   const std::span<const double> hi = states_[b.hi];
-  const double in_lo = lo[i] * (1.0 - frac) + lo[j] * frac;
-  const double in_hi = hi[i] * (1.0 - frac) + hi[j] * frac;
-  return (1.0 - b.w) * in_lo + b.w * in_hi;
+  if (blocks_ == 1) {
+    const double in_lo = lo[i] * (1.0 - frac) + lo[j] * frac;
+    const double in_hi = hi[i] * (1.0 - frac) + hi[j] * frac;
+    return (1.0 - b.w) * in_lo + b.w * in_hi;
+  }
+  // Non-line domain: the 1-D consumers see the mean over the stacked
+  // blocks (grid2d y rows / communities) at this x — a deterministic
+  // fixed-order reduction, so cached traces replay byte-identically.
+  const std::size_t nx = grid_.points();
+  double sum = 0.0;
+  for (std::size_t blk = 0; blk < blocks_; ++blk) {
+    const std::size_t base = blk * nx;
+    const double in_lo = lo[base + i] * (1.0 - frac) + lo[base + j] * frac;
+    const double in_hi = hi[base + i] * (1.0 - frac) + hi[base + j] * frac;
+    sum += (1.0 - b.w) * in_lo + b.w * in_hi;
+  }
+  return sum / static_cast<double>(blocks_);
 }
 
 double dl_solution::at(double x, double t) const {
@@ -165,6 +171,18 @@ dl_solution solve_dl_profile(const dl_parameters& params,
     throw std::invalid_argument("solve_dl: t_end must exceed t0");
   if (!(options.dt > 0.0))
     throw std::invalid_argument("solve_dl: dt must be positive");
+  // Non-line domains take their own stepping loops (ADI / per-community
+  // fused steps + mixing); the 1-D line continues below, untouched.
+  switch (params.dom.kind) {
+    case domain_kind::line:
+      break;
+    case domain_kind::grid2d:
+      return detail::solve_dl_grid2d(params, phi_samples, t0, t_end, options,
+                                     ws);
+    case domain_kind::communities:
+      return detail::solve_dl_communities(params, phi_samples, t0, t_end,
+                                          options, ws);
+  }
   const std::size_t n = node_count(params, options);
   if (phi_samples.size() != n)
     throw std::invalid_argument("solve_dl_profile: profile size mismatch");
@@ -180,7 +198,7 @@ dl_solution solve_dl_profile(const dl_parameters& params,
           std::to_string(dt_max));
   }
 
-  const workspace_guard guard(ws);
+  const workspace_guard guard(ws.in_use);
   ws.prepare(n);
   std::vector<double>& u = ws.u;
   std::vector<double>& u_next = ws.u_next;
@@ -190,39 +208,15 @@ dl_solution solve_dl_profile(const dl_parameters& params,
   u.assign(phi_samples.begin(), phi_samples.end());
 
   // Per-node growth rates.  For separable-form fields — every r(t)-only
-  // run and the "spatial:<base>|m,..." family — the spatial profile is
-  // hoisted out of the time loop: one base evaluation (or base integral)
-  // plus n multiplies per step, so the pre-r(x,t) fast path is preserved.
-  const rate_field& rate = params.r;
+  // run and the "spatial:<base>|m,..." family — the rate_sampler hoists
+  // the spatial profile out of the time loop: one base evaluation (or
+  // base integral) plus n multiplies per step, so the pre-r(x,t) fast
+  // path is preserved.
   std::vector<double>& node_x = ws.node_x;
   for (std::size_t i = 0; i < n; ++i) node_x[i] = grid.x(i);
-  const bool factored = rate.separable_form();
-  // Constant in x (the temporal family): every node shares one rate, so
-  // the Strang logistic substep computes a single exp per substep.
-  const bool uniform = !rate.spatial();
-  std::vector<double>& mod = ws.mod;
-  if (factored) {
-    for (std::size_t i = 0; i < n; ++i) mod[i] = rate.modulation(node_x[i]);
-  }
+  const rate_sampler sampler(params.r, node_x, ws.mod, ws.rate_scratch);
   std::vector<double>& rt = ws.rt;
   std::vector<double>& r_int = ws.r_int;
-  const auto rates_at = [&](double t, std::span<double> out) {
-    if (factored) {
-      const double base = rate.base()(t);
-      for (std::size_t i = 0; i < n; ++i) out[i] = mod[i] * base;
-    } else {
-      rate.profile(t, node_x, out, ws.rate_scratch);
-    }
-  };
-  const auto integrals_over = [&](double from, double to,
-                                  std::span<double> out) {
-    if (factored) {
-      const double base = rate.base().integral(from, to);
-      for (std::size_t i = 0; i < n; ++i) out[i] = mod[i] * base;
-    } else {
-      rate.integral_profile(from, to, node_x, out, ws.rate_scratch);
-    }
-  };
 
   // Pre-built CN matrices for the Strang scheme; the LHS is constant for
   // the whole run, so its Thomas elimination is cached once here instead
@@ -259,7 +253,7 @@ dl_solution solve_dl_profile(const dl_parameters& params,
   const num::ode_rhs reaction = [&](double t, std::span<const double> y,
                                     std::span<double> dydt) {
     neumann_laplacian(y, dx, dydt);
-    rates_at(t, rt_react);
+    sampler.rates_at(t, rt_react);
     for (std::size_t i = 0; i < y.size(); ++i)
       dydt[i] =
           params.d * dydt[i] + rt_react[i] * y[i] * (1.0 - y[i] / params.k);
@@ -273,30 +267,20 @@ dl_solution solve_dl_profile(const dl_parameters& params,
     switch (options.scheme) {
       case dl_scheme::ftcs: {
         neumann_laplacian(u, dx, lap);
-        rates_at(t, rt);
+        sampler.rates_at(t, rt);
         for (std::size_t i = 0; i < n; ++i)
           u[i] += h * (params.d * lap[i] +
                        rt[i] * u[i] * (1.0 - u[i] / params.k));
         break;
       }
       case dl_scheme::strang_cn: {
-        // Strang step, fused into two grid passes.  Logically:
-        //   (1) reaction half-step — exact logistic with the per-node
-        //       integrated rate ∫ r(x_i, s) ds (one shared exp when the
-        //       rate is uniform in x);
-        //   (2) Crank–Nicolson diffusion full step — rhs-matrix multiply,
-        //       then the cached Thomas forward sweep + back substitution;
-        //   (3) reaction half-step.
-        // The forward pass computes (1) into rolling registers, forms the
-        // CN rhs row from them and eliminates it in place; the backward
-        // pass back-substitutes and applies (3) to each node as it is
-        // finalized.  Every individual expression — logistic propagator,
-        // rhs-row accumulation order, elimination, substitution — is kept
-        // verbatim from the unfused form, so results are bitwise
-        // identical; fusing only removes the extra sweeps over the grid
-        // between substeps.
-        integrals_over(t, t + 0.5 * h, r_int);
-        integrals_over(t + 0.5 * h, t + h, rt);  // second half, up front
+        // One fused Strang step (detail::strang_cn_step): exact-logistic
+        // reaction half-step with the per-node integrated rate, cached
+        // Crank–Nicolson diffusion solve, second reaction half-step —
+        // fused into a forward elimination + backward substitution pass
+        // pair that is bitwise identical to the unfused substeps.
+        sampler.integrals_over(t, t + 0.5 * h, r_int);
+        sampler.integrals_over(t + 0.5 * h, t + h, rt);  // second half
         // Matrices were built and factored for options.dt; rebuild for a
         // short trailing step.
         if (h != options.dt) {
@@ -304,79 +288,15 @@ dl_solution solve_dl_profile(const dl_parameters& params,
           build_cn_matrices(n, lambda, ws.cn_lhs, cn_rhs_m);
           ws.cn_factor.factor(ws.cn_lhs);
         }
-        const std::vector<double>& dm = cn_rhs_m.diag;
-        const std::vector<double>& lm = cn_rhs_m.lower;
-        const std::vector<double>& um = cn_rhs_m.upper;
-        const std::vector<double>& fl = ws.cn_factor.lower();
-        const std::vector<double>& fp = ws.cn_factor.pivots();
-        const std::vector<double>& fc = ws.cn_factor.c_star();
-        const double kk = params.k;
-        // The recurrence value is carried in a register (`w`) and the
-        // reaction values roll through three registers, so each logistic
-        // is computed exactly once and the serial elimination chain never
-        // waits on a store/reload; the backward pass stores nothing but
-        // the finished state.  Instantiated per reaction flavour so the
-        // node loops stay branch-free.
-        const auto fused_step = [&](auto&& react1, auto&& react2) {
-          double v_prev;
-          double v_cur = react1(u[0], std::size_t{0});
-          double v_next = react1(u[1], std::size_t{1});
-          double w;
-          {
-            double acc = dm[0] * v_cur;
-            acc += um[0] * v_next;
-            w = acc / fp[0];
-            rhs[0] = w;
-          }
-          for (std::size_t i = 1; i + 1 < n; ++i) {
-            v_prev = v_cur;
-            v_cur = v_next;
-            v_next = react1(u[i + 1], i + 1);
-            double acc = dm[i] * v_cur;
-            acc += lm[i - 1] * v_prev;
-            acc += um[i] * v_next;
-            w = (acc - fl[i - 1] * w) / fp[i];
-            rhs[i] = w;
-          }
-          {
-            v_prev = v_cur;
-            v_cur = v_next;
-            double acc = dm[n - 1] * v_cur;
-            acc += lm[n - 2] * v_prev;
-            w = (acc - fl[n - 2] * w) / fp[n - 1];
-          }
-          // Backward pass: back substitution + second reaction half-step.
-          u[n - 1] = react2(w, n - 1);
-          for (std::size_t i = n - 1; i-- > 0;) {
-            w = rhs[i] - fc[i] * w;
-            u[i] = react2(w, i);
-          }
-        };
-        if (uniform) {
-          const double growth1 = std::exp(r_int[0]);
-          const double growth2 = std::exp(rt[0]);
-          fused_step(
-              [&](double v, std::size_t) {
-                return logistic_exact_with_growth(v, growth1, kk);
-              },
-              [&](double v, std::size_t) {
-                return logistic_exact_with_growth(v, growth2, kk);
-              });
-        } else {
-          fused_step(
-              [&](double v, std::size_t i) {
-                return logistic_exact(v, r_int[i], kk);
-              },
-              [&](double v, std::size_t i) {
-                return logistic_exact(v, rt[i], kk);
-              });
-        }
+        detail::strang_cn_step(n, u.data(), rhs.data(), cn_rhs_m,
+                               ws.cn_factor, sampler.uniform(), r_int.data(),
+                               rt.data(), params.k);
         break;
       }
       case dl_scheme::implicit_newton: {
         // Backward Euler: solve u_next - u - h*(d*A u_next + f(u_next)) = 0.
         const double t_next = t + h;
-        rates_at(t_next, rt);
+        sampler.rates_at(t_next, rt);
         u_next = u;  // warm start
         num::tridiagonal_matrix& jac = ws.jac;
         std::vector<double>& g = ws.newton_g;
@@ -452,6 +372,13 @@ dl_solution solve_dl(const dl_parameters& params, const initial_condition& phi,
   // Densities are non-negative (paper §II.D); a cubic interpolant may
   // undershoot slightly between sparse knots, so clip at zero.
   for (double& v : samples) v = std::max(v, 0.0);
+  if (!params.dom.is_line()) {
+    // φ describes the x axis; stack it across the domain's blocks
+    // (replicated per grid2d row, scaled per community).
+    const std::vector<double> full =
+        detail::broadcast_profile(params, samples, options);
+    return solve_dl_profile(params, full, t0, t_end, options, ws);
+  }
   return solve_dl_profile(params, samples, t0, t_end, options, ws);
 }
 

@@ -75,19 +75,28 @@ struct dl_solver_options {
   double newton_tol = 1e-11;
 };
 
-/// A solved trajectory I(x, t).
+/// A solved trajectory I(x, t) — or, on a non-line domain, I(x, ·, t)
+/// with `blocks` rows (grid2d y nodes / communities) stacked behind the x
+/// axis in each snapshot.  The interpolating accessors (at, profile_at,
+/// at_integer_distances) reduce over blocks by averaging, so every 1-D
+/// consumer — accuracy scoring, fit objectives, the service's predict —
+/// reads any domain through the same x-indexed surface; states() exposes
+/// the full per-block rows.
 class dl_solution {
  public:
   /// Snapshots packed row-major in `states` (one row per entry of
-  /// `times`); this is what the solver produces.
+  /// `times`, row width grid.points() × blocks); this is what the solver
+  /// produces.
   dl_solution(num::uniform_grid grid, std::vector<double> times,
-              trace_storage states);
+              trace_storage states, std::size_t blocks = 1);
 
   /// Compatibility overload: per-snapshot vectors, packed on entry.
   dl_solution(num::uniform_grid grid, std::vector<double> times,
               const std::vector<std::vector<double>>& states);
 
   [[nodiscard]] const num::uniform_grid& grid() const noexcept { return grid_; }
+  /// Rows stacked behind the x axis (1 on the line domain).
+  [[nodiscard]] std::size_t blocks() const noexcept { return blocks_; }
   [[nodiscard]] const std::vector<double>& times() const noexcept {
     return times_;
   }
@@ -131,6 +140,7 @@ class dl_solution {
   num::uniform_grid grid_;
   std::vector<double> times_;
   trace_storage states_;
+  std::size_t blocks_ = 1;
 };
 
 /// What a solved request records.

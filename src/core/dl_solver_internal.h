@@ -1,11 +1,14 @@
-// Shared internals of the scalar and batched DL solvers.
+// Shared internals of the scalar, batched and domain DL solvers.
 //
 // The batched SoA solver (dl_batch_solver.cpp) must be *bitwise identical*
-// per lane to the scalar path (dl_solver.cpp): every per-node expression —
-// the exact logistic propagator, the Crank–Nicolson matrix entries, the
-// node-count rounding — has to be the same IEEE operation sequence in both
-// translation units.  Keeping them as shared inline helpers makes that a
-// structural property instead of a copy-paste invariant.
+// per lane to the scalar path (dl_solver.cpp), and the coupled-community
+// domain solver (dl_domain_solver.cpp) must be bitwise identical to the
+// plain 1-D line at K = 1: every per-node expression — the exact logistic
+// propagator, the Crank–Nicolson matrix entries, the fused Strang–CN
+// sweep, the per-node rate evaluation, the node-count rounding — has to
+// be the same IEEE operation sequence in every translation unit.  Keeping
+// them as shared inline helpers makes that a structural property instead
+// of a copy-paste invariant.
 //
 // Not part of the public API: include only from src/core solver sources
 // (and white-box tests).
@@ -13,7 +16,9 @@
 
 #include <cmath>
 #include <cstddef>
+#include <span>
 #include <stdexcept>
+#include <vector>
 
 #include "core/dl_parameters.h"
 #include "core/dl_solver.h"
@@ -87,6 +92,190 @@ inline void build_cn_matrices(std::size_t n, double lambda,
     }
   }
 }
+
+/// Marks a workspace busy for the duration of a solve, so the
+/// thread-local wrapper can detect reentrancy and fall back to a private
+/// workspace instead of clobbering live buffers.
+class workspace_guard {
+ public:
+  explicit workspace_guard(bool& in_use) : in_use_(in_use) { in_use_ = true; }
+  ~workspace_guard() { in_use_ = false; }
+  workspace_guard(const workspace_guard&) = delete;
+  workspace_guard& operator=(const workspace_guard&) = delete;
+
+ private:
+  bool& in_use_;
+};
+
+/// Per-node growth-rate evaluation with the separable-form hoist.  The
+/// scalar solver's time loop and the domain solvers all sample r(x_i, t)
+/// and ∫ r(x_i, s) ds through this one struct, so a K = 1 community run
+/// evaluates exactly the operation sequence of the plain 1-D path.
+class rate_sampler {
+ public:
+  /// `node_x` are the x coordinates to sample at; `mod` is caller scratch
+  /// of the same size (the hoisted spatial profile m(x_i) of a
+  /// separable-form field); `scratch` backs the per-group family's table.
+  rate_sampler(const rate_field& rate, std::span<const double> node_x,
+               std::span<double> mod, std::vector<double>& scratch)
+      : rate_(rate),
+        node_x_(node_x),
+        mod_(mod),
+        scratch_(scratch),
+        factored_(rate.separable_form()),
+        uniform_(!rate.spatial()) {
+    if (factored_) {
+      for (std::size_t i = 0; i < node_x_.size(); ++i)
+        mod_[i] = rate_.modulation(node_x_[i]);
+    }
+  }
+
+  /// True when every node shares one rate (the temporal family), so the
+  /// Strang logistic substep computes a single exp per substep.
+  [[nodiscard]] bool uniform() const noexcept { return uniform_; }
+
+  /// r(x_i, t) for every node into `out`.
+  void rates_at(double t, std::span<double> out) const {
+    if (factored_) {
+      const double base = rate_.base()(t);
+      for (std::size_t i = 0; i < node_x_.size(); ++i) out[i] = mod_[i] * base;
+    } else {
+      rate_.profile(t, node_x_, out, scratch_);
+    }
+  }
+
+  /// ∫ r(x_i, s) ds over [from, to] for every node into `out`.
+  void integrals_over(double from, double to, std::span<double> out) const {
+    if (factored_) {
+      const double base = rate_.base().integral(from, to);
+      for (std::size_t i = 0; i < node_x_.size(); ++i) out[i] = mod_[i] * base;
+    } else {
+      rate_.integral_profile(from, to, node_x_, out, scratch_);
+    }
+  }
+
+ private:
+  const rate_field& rate_;
+  std::span<const double> node_x_;
+  std::span<double> mod_;
+  std::vector<double>& scratch_;
+  bool factored_ = false;
+  bool uniform_ = false;
+};
+
+/// One fused Strang–CN step over an n-node line, in place on `u` with
+/// `rhs` as elimination scratch (size ≥ n).  Logically: reaction
+/// half-step (react1) — Crank–Nicolson diffusion full step against the
+/// rhs matrix and the cached Thomas factorization of the lhs — reaction
+/// half-step (react2).  The forward pass computes react1 into rolling
+/// registers, forms the CN rhs row from them and eliminates it in place;
+/// the backward pass back-substitutes and applies react2 to each node as
+/// it is finalized.  Every individual expression — logistic propagator,
+/// rhs-row accumulation order, elimination, substitution — is the
+/// unfused form's operation sequence, so results are bitwise identical
+/// to stepping the substeps separately; fusing only removes the extra
+/// sweeps over the grid between them.
+template <class React1, class React2>
+inline void strang_cn_fused_step(std::size_t n, double* u, double* rhs,
+                                 const num::tridiagonal_matrix& rhs_m,
+                                 const num::tridiagonal_factorization& factor,
+                                 React1&& react1, React2&& react2) {
+  const std::vector<double>& dm = rhs_m.diag;
+  const std::vector<double>& lm = rhs_m.lower;
+  const std::vector<double>& um = rhs_m.upper;
+  const std::vector<double>& fl = factor.lower();
+  const std::vector<double>& fp = factor.pivots();
+  const std::vector<double>& fc = factor.c_star();
+  // The recurrence value is carried in a register (`w`) and the reaction
+  // values roll through three registers, so each logistic is computed
+  // exactly once and the serial elimination chain never waits on a
+  // store/reload; the backward pass stores nothing but the finished
+  // state.  Instantiated per reaction flavour so the node loops stay
+  // branch-free.
+  double v_prev;
+  double v_cur = react1(u[0], std::size_t{0});
+  double v_next = react1(u[1], std::size_t{1});
+  double w;
+  {
+    double acc = dm[0] * v_cur;
+    acc += um[0] * v_next;
+    w = acc / fp[0];
+    rhs[0] = w;
+  }
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    v_prev = v_cur;
+    v_cur = v_next;
+    v_next = react1(u[i + 1], i + 1);
+    double acc = dm[i] * v_cur;
+    acc += lm[i - 1] * v_prev;
+    acc += um[i] * v_next;
+    w = (acc - fl[i - 1] * w) / fp[i];
+    rhs[i] = w;
+  }
+  {
+    v_prev = v_cur;
+    v_cur = v_next;
+    double acc = dm[n - 1] * v_cur;
+    acc += lm[n - 2] * v_prev;
+    w = (acc - fl[n - 2] * w) / fp[n - 1];
+  }
+  // Backward pass: back substitution + second reaction half-step.
+  u[n - 1] = react2(w, n - 1);
+  for (std::size_t i = n - 1; i-- > 0;) {
+    w = rhs[i] - fc[i] * w;
+    u[i] = react2(w, i);
+  }
+}
+
+/// The fused step with the reaction flavour chosen from the rate shape:
+/// one shared exp per substep when the rate is uniform in x, the per-node
+/// exact logistic otherwise.  `r_int` / `rt` are the integrated rates of
+/// the first / second half-step over the n nodes.
+inline void strang_cn_step(std::size_t n, double* u, double* rhs,
+                           const num::tridiagonal_matrix& rhs_m,
+                           const num::tridiagonal_factorization& factor,
+                           bool uniform, const double* r_int, const double* rt,
+                           double kk) {
+  if (uniform) {
+    const double growth1 = std::exp(r_int[0]);
+    const double growth2 = std::exp(rt[0]);
+    strang_cn_fused_step(
+        n, u, rhs, rhs_m, factor,
+        [&](double v, std::size_t) {
+          return logistic_exact_with_growth(v, growth1, kk);
+        },
+        [&](double v, std::size_t) {
+          return logistic_exact_with_growth(v, growth2, kk);
+        });
+  } else {
+    strang_cn_fused_step(
+        n, u, rhs, rhs_m, factor,
+        [&](double v, std::size_t i) {
+          return logistic_exact(v, r_int[i], kk);
+        },
+        [&](double v, std::size_t i) { return logistic_exact(v, rt[i], kk); });
+  }
+}
+
+/// Non-line domain solvers (dl_domain_solver.cpp): Peaceman–Rachford ADI
+/// on the 2-D grid, fused Strang–CN per community plus the explicit
+/// mixing substep on coupled communities.  Dispatched to by
+/// solve_dl_profile; both accept only dl_scheme::strang_cn.
+[[nodiscard]] dl_solution solve_dl_grid2d(const dl_parameters& params,
+                                          std::span<const double> phi_samples,
+                                          double t0, double t_end,
+                                          const dl_solver_options& options,
+                                          dl_workspace& ws);
+[[nodiscard]] dl_solution solve_dl_communities(
+    const dl_parameters& params, std::span<const double> phi_samples,
+    double t0, double t_end, const dl_solver_options& options,
+    dl_workspace& ws);
+
+/// Broadcasts a sampled x-profile across a non-line domain's blocks:
+/// replicated per grid2d row, scaled per community (clipped at zero).
+[[nodiscard]] std::vector<double> broadcast_profile(
+    const dl_parameters& params, std::span<const double> x_profile,
+    const dl_solver_options& options);
 
 }  // namespace detail
 }  // namespace dlm::core

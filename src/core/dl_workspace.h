@@ -57,6 +57,13 @@ struct dl_workspace {
   num::tridiagonal_matrix cn_rhs;
   num::tridiagonal_factorization cn_factor;
 
+  // Second-axis CN matrices for the 2-D ADI domain solver (the x-axis
+  // pair above is resized to nx there).  Sized by that solver itself —
+  // prepare() leaves them alone so the 1-D path is untouched.
+  num::tridiagonal_matrix cn_lhs_y;
+  num::tridiagonal_matrix cn_rhs_y;
+  num::tridiagonal_factorization cn_factor_y;
+
   // Method-of-lines RK4 stage buffers.
   num::rk4_scratch rk4;
 

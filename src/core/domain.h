@@ -1,0 +1,102 @@
+// Spatial-domain descriptor for the Diffusive Logistic solver.
+//
+// The paper's model lives on a single 1-D distance axis x ∈ [l, L]; the
+// solver, workspace and trace layout historically hardcoded that shape.
+// `core::domain` makes the shape an explicit, validated value so richer
+// structures — the §V-adjacent 2-D distance×interest surface u(x, y, t)
+// and K coupled per-community copies of the 1-D equation — ride the same
+// parameter set, solver entry points, caches and engine plumbing.  Three
+// kinds:
+//
+//  * line        — the paper's 1-D axis (the default; every existing call
+//                  site, cache key and trace is bitwise-unchanged);
+//  * grid2d      — a second uniform axis y ∈ [y_min, y_max] at the same
+//                  resolution, solved by Peaceman–Rachford ADI (two
+//                  tridiagonal passes per step) with the growth rate
+//                  r(x, t) applied along x;
+//  * communities — K coupled 1-D lines with an optional K×K mixing
+//                  matrix (explicit-Euler cross-community exchange) and
+//                  optional per-community initial-profile scales.
+//
+// Node layout is row-major with the x axis innermost: node (i, j) of a
+// grid2d domain is j·nx + i, community c's node i is c·nx + i.  A domain
+// carries a canonical full-precision `label()` that feeds solve-cache
+// keys, CSV columns and the dl_serve wire protocol.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dlm::core {
+
+/// Domain shape selector.
+enum class domain_kind { line, grid2d, communities };
+
+[[nodiscard]] std::string to_string(domain_kind kind);
+
+/// A validated domain descriptor.  The x axis (extent and resolution)
+/// stays where it always lived — dl_parameters / dl_solver_options — so a
+/// default-constructed domain is exactly the historical 1-D line.
+struct domain {
+  domain_kind kind = domain_kind::line;
+
+  /// grid2d: the second (interest) axis bounds.  The y resolution reuses
+  /// the solver's points_per_unit, so integer interest distances land on
+  /// nodes exactly like integer hop distances do on x.
+  double y_min = 1.0;
+  double y_max = 5.0;
+
+  /// communities: the number K of coupled per-community lines.
+  std::size_t community_count = 1;
+  /// K×K row-major mixing matrix: `mixing[c*K + c2]` is the exchange rate
+  /// from community c2 into community c (diagonal entries are ignored).
+  /// Empty means no coupling — K independent lines.
+  std::vector<double> mixing;
+  /// Per-community scale factors applied when an x-profile initial
+  /// condition is broadcast across communities.  Empty means all 1.
+  std::vector<double> scales;
+
+  [[nodiscard]] bool is_line() const noexcept {
+    return kind == domain_kind::line;
+  }
+
+  /// Rows stacked behind the x axis: 1 (line), the y node count (grid2d)
+  /// or K (communities).
+  [[nodiscard]] std::size_t blocks(std::size_t points_per_unit) const;
+
+  /// Total solver node count for `x_nodes` nodes on the x axis.
+  [[nodiscard]] std::size_t node_count(std::size_t x_nodes,
+                                       std::size_t points_per_unit) const {
+    return x_nodes * blocks(points_per_unit);
+  }
+
+  /// True when the mixing matrix couples at least one community pair.
+  [[nodiscard]] bool has_mixing() const noexcept;
+
+  /// Canonical full-precision label: "line", "grid2d:<y_min>,<y_max>",
+  /// "comm:<K>[|mix=...][|scale=...]" (a uniform mixing matrix collapses
+  /// to the single off-diagonal rate).  Feeds cache keys, the result
+  /// table's domain column and the service wire protocol, so equal labels
+  /// mean interchangeable solves.
+  [[nodiscard]] std::string label() const;
+
+  /// Throws std::invalid_argument on non-finite/ill-ordered grid2d bounds,
+  /// K == 0, a mixing matrix that is not K×K or has a negative /
+  /// non-finite off-diagonal entry, or a scales list that is not size K
+  /// or has a negative / non-finite entry.
+  void validate() const;
+
+  [[nodiscard]] static domain line() noexcept { return {}; }
+  /// 2-D distance×interest domain with y ∈ [y_min, y_max].
+  [[nodiscard]] static domain grid(double y_min, double y_max);
+  /// K communities mixed uniformly at `mix_rate` (0 = independent).
+  [[nodiscard]] static domain coupled(std::size_t k, double mix_rate = 0.0);
+  /// K communities with an explicit K×K mixing matrix and optional
+  /// per-community initial-profile scales.
+  [[nodiscard]] static domain coupled(std::size_t k,
+                                      std::vector<double> mixing,
+                                      std::vector<double> scales);
+};
+
+}  // namespace dlm::core

@@ -75,6 +75,8 @@ std::vector<model_trace> dl_adapter::solve_batch(
     params.push_back(slice.base_params);
     core::dl_parameters& p = params.back();
     p.r = make_rate(sc.rate, slice.metric);
+    p.dom = make_domain(sc.domain);
+    trace.domain = p.dom.label();
     if (!std::isnan(sc.d_override)) p.d = sc.d_override;
     if (!std::isnan(sc.k_override)) p.k = sc.k_override;
 

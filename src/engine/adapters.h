@@ -24,6 +24,7 @@ class dl_adapter final : public diffusion_model {
   [[nodiscard]] bool uses_rate() const override { return true; }
   [[nodiscard]] bool supports_calibration() const override { return true; }
   [[nodiscard]] bool supports_spatial_rate() const override { return true; }
+  [[nodiscard]] bool supports_domain() const override { return true; }
   [[nodiscard]] bool supports_batch() const override { return true; }
   [[nodiscard]] model_trace solve(const scenario& sc,
                                   const dataset_slice& slice) const override;

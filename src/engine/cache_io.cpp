@@ -122,10 +122,11 @@ struct parsed_file {
 std::string parse_trace_section(std::string_view payload, parsed_file& out) {
   reader r(payload);
   const std::uint64_t count = r.get_u64();
-  // A trace entry occupies at least key length + distance count + time
-  // count + effective_dt = 20 bytes; a declared count the remaining
-  // bytes cannot possibly hold is rejected before any allocation.
-  if (count > r.remaining() / 20)
+  // A trace entry occupies at least key length + domain length + distance
+  // count + time count + effective_dt = 24 bytes; a declared count the
+  // remaining bytes cannot possibly hold is rejected before any
+  // allocation.
+  if (count > r.remaining() / 24)
     return "trace count " + std::to_string(count) +
            " exceeds section capacity";
   out.traces.reserve(static_cast<std::size_t>(count));
@@ -134,6 +135,10 @@ std::string parse_trace_section(std::string_view payload, parsed_file& out) {
     if (key_len > r.remaining()) return "trace key overruns section";
     std::string key(r.get_bytes(key_len));
     model_trace trace;
+    const std::uint32_t domain_len = r.get_u32();
+    if (!r.ok() || domain_len > r.remaining())
+      return "trace domain overruns section";
+    trace.domain = std::string(r.get_bytes(domain_len));
     const std::uint32_t n_dist = r.get_u32();
     if (!r.ok() || n_dist > r.remaining() / 4)
       return "trace distance count overruns section";
@@ -213,6 +218,7 @@ std::string serialize_cache(const solve_cache& cache) {
       throw std::runtime_error("cache_io: trace '" + entry.key +
                                "' has a ragged predicted surface");
     put_string(traces, entry.key);
+    put_string(traces, trace.domain);
     put_u32(traces, static_cast<std::uint32_t>(trace.distances.size()));
     for (const int d : trace.distances) put_i32(traces, d);
     put_u32(traces, static_cast<std::uint32_t>(trace.times.size()));

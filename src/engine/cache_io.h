@@ -47,7 +47,9 @@ namespace dlm::engine {
 /// exactly this version: older or newer files are rejected (a format
 /// bump is cheap — the cache is a cache — and silent cross-version
 /// reinterpretation is how caches corrupt).
-inline constexpr std::uint32_t kCacheFormatVersion = 1;
+/// v2: each trace entry carries its domain label after the key (the
+/// core::domain axis); v1 files load as a clean cold cache.
+inline constexpr std::uint32_t kCacheFormatVersion = 2;
 
 /// 8-byte file magic.
 inline constexpr std::string_view kCacheMagic = "DLMCACHE";

@@ -145,6 +145,13 @@ scenario_calibration calibrate_scenario(const scenario& sc,
     }
     prefix += "|t0=" + format_full_precision(sc.t0);
     prefix += "|fit_end=" + std::to_string(info.fit_end);
+    // Same convention as scenario_cache_key: non-line domains suffix
+    // their canonical label, line keys stay byte-identical to before the
+    // domain axis existed.
+    {
+      const core::domain dom = make_domain(sc.domain);
+      if (!dom.is_line()) prefix += "|domain=" + dom.label();
+    }
     options.cache_find = [cache, prefix](std::span<const double> v) {
       return cache->find_value(prefix + vector_suffix(v));
     };
@@ -165,6 +172,7 @@ scenario_calibration calibrate_scenario(const scenario& sc,
   // must not steer the (d, K) fit either.
   core::dl_parameters start = slice.base_params;
   if (!info.fit_rate) start.r = make_rate("preset", slice.metric);
+  start.dom = make_domain(sc.domain);
 
   scenario_calibration result;
   result.fit = fit::calibrate_dl(window, start, options);

@@ -25,6 +25,9 @@ struct model_trace {
   /// Time step the solver actually used — differs from scenario.dt when a
   /// scheme clamps for stability (FTCS).  0 for models without a dt.
   double effective_dt = 0.0;
+  /// Canonical label of the domain the model solved on ("line" unless the
+  /// model supports domains and the scenario asked for another one).
+  std::string domain = "line";
 };
 
 /// Abstract diffusion predictor.  Implementations must be stateless and
@@ -55,6 +58,13 @@ class diffusion_model {
   /// the DL adapter.  Rate-using models that return false run their
   /// preset rate when a sweep lists a calibrate spec.
   [[nodiscard]] virtual bool supports_calibration() const { return false; }
+
+  /// Whether non-line domain specs ("grid2d:...", "comm:...") are
+  /// meaningful: the model solves on the requested core::domain.
+  /// `expand_sweep` collapses the domain axis to {"line"} for models that
+  /// return false, and non-line domains only pair with the strang-cn
+  /// scheme (the only one the domain solvers implement).
+  [[nodiscard]] virtual bool supports_domain() const { return false; }
 
   /// Solves the scenario on the slice and returns the predicted trace at
   /// integer distances 1..slice.max_distance and integer hours

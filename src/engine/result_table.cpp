@@ -23,6 +23,10 @@ const std::vector<std::string>& base_columns() {
 
 constexpr std::string_view kCacheColumns[] = {"fit_solves", "fit_hits"};
 constexpr std::string_view kTimingColumn = "wall_ms";
+/// Emitted right after the base columns, but only when some row solved a
+/// non-line domain — line-only sweeps keep their historical byte-exact
+/// CSV (and existing files stay parseable).
+constexpr std::string_view kDomainColumn = "domain";
 
 /// RFC-4180 quoting: quote when the field contains a comma, a quote or a
 /// line break; embedded quotes double.  Everything else passes through,
@@ -132,7 +136,7 @@ bool result_row::same_result(const result_row& other) const {
          fit_k == other.fit_k && fit_a == other.fit_a &&
          fit_b == other.fit_b && fit_c == other.fit_c &&
          fit_m == other.fit_m && fit_sse == other.fit_sse &&
-         fit_evals == other.fit_evals;
+         fit_evals == other.fit_evals && domain == other.domain;
 }
 
 result_table::result_table(std::vector<result_row> rows)
@@ -160,10 +164,17 @@ double result_table::total_wall_ms() const {
 }
 
 std::string result_table::to_csv(const csv_options& options) const {
+  const bool with_domain =
+      std::any_of(rows_.begin(), rows_.end(),
+                  [](const result_row& r) { return r.domain != "line"; });
   std::string out;
   for (const std::string& column : base_columns()) {
     if (!out.empty()) out += ',';
     out += column;
+  }
+  if (with_domain) {
+    out += ',';
+    out += kDomainColumn;
   }
   if (options.include_cache_stats) {
     for (const std::string_view column : kCacheColumns) {
@@ -197,6 +208,7 @@ std::string result_table::to_csv(const csv_options& options) const {
     out += ',' + csv_field(join_full_precision(r.fit_m));
     out += ',' + format_full_precision(r.fit_sse);
     out += ',' + std::to_string(r.fit_evals);
+    if (with_domain) out += ',' + csv_field(r.domain);
     if (options.include_cache_stats) {
       out += ',' + std::to_string(r.fit_solves);
       out += ',' + std::to_string(r.fit_hits);
@@ -229,6 +241,11 @@ result_table result_table::from_csv(std::string_view csv) {
       !std::equal(base.begin(), base.end(), header.begin()))
     throw bad_header();
   std::size_t at = base.size();
+  bool with_domain = false;
+  if (at < header.size() && header[at] == kDomainColumn) {
+    with_domain = true;
+    ++at;
+  }
   bool with_cache = false;
   if (at + 1 < header.size() && header[at] == kCacheColumns[0] &&
       header[at + 1] == kCacheColumns[1]) {
@@ -273,6 +290,7 @@ result_table result_table::from_csv(std::string_view csv) {
     r.fit_sse = parse_csv_double(f[20]);
     r.fit_evals = parse_csv_size(f[21]);
     std::size_t next = 22;
+    if (with_domain) r.domain = f[next++];
     if (with_cache) {
       r.fit_solves = parse_csv_size(f[next]);
       r.fit_hits = parse_csv_size(f[next + 1]);
@@ -285,21 +303,31 @@ result_table result_table::from_csv(std::string_view csv) {
 }
 
 std::string result_table::to_text() const {
-  eval::text_table table({"#", "model", "slice", "scheme", "pts/u", "dt",
-                          "rate", "accuracy", "cells", "fit sse", "evals",
-                          "ms"});
+  // Like the CSV, the text rendering only grows a domain column when some
+  // row solved a non-line domain — line-only tables keep the historical
+  // layout.
+  const bool with_domain =
+      std::any_of(rows_.begin(), rows_.end(),
+                  [](const result_row& r) { return r.domain != "line"; });
+  std::vector<std::string> header{"#",     "model",    "slice", "scheme",
+                                  "pts/u", "dt",       "rate",  "accuracy",
+                                  "cells", "fit sse",  "evals", "ms"};
+  if (with_domain) header.insert(header.begin() + 7, "domain");
+  eval::text_table table(header);
   for (const result_row& r : rows_) {
     const bool calibrated = r.fit_evals > 0;
-    table.add_row({std::to_string(r.index), r.model, r.slice, r.scheme,
-                   r.points_per_unit == 0 ? std::string("-")
-                                          : std::to_string(r.points_per_unit),
-                   r.dt == 0.0 ? std::string("-") : eval::text_table::num(r.dt),
-                   r.rate, eval::text_table::pct(r.accuracy),
-                   std::to_string(r.cells),
-                   calibrated ? eval::text_table::num(r.fit_sse, 4)
-                              : std::string("-"),
-                   calibrated ? std::to_string(r.fit_evals) : std::string("-"),
-                   eval::text_table::num(r.wall_ms, 2)});
+    std::vector<std::string> fields{
+        std::to_string(r.index), r.model, r.slice, r.scheme,
+        r.points_per_unit == 0 ? std::string("-")
+                               : std::to_string(r.points_per_unit),
+        r.dt == 0.0 ? std::string("-") : eval::text_table::num(r.dt),
+        r.rate, eval::text_table::pct(r.accuracy),
+        std::to_string(r.cells),
+        calibrated ? eval::text_table::num(r.fit_sse, 4) : std::string("-"),
+        calibrated ? std::to_string(r.fit_evals) : std::string("-"),
+        eval::text_table::num(r.wall_ms, 2)};
+    if (with_domain) fields.insert(fields.begin() + 7, r.domain);
+    table.add_row(std::move(fields));
   }
   return table.str();
 }

@@ -37,6 +37,11 @@ struct result_row {
   /// specs, the fitted "decay:<a>,<b>,<c>".  "-" when the model has no
   /// rate axis.
   std::string resolved_rate = "-";
+  /// Canonical label of the domain the model solved on (core::domain).
+  /// "line" for every model without a domain axis.  Emitted as a CSV
+  /// column only when some row is non-line, so line-only sweeps keep
+  /// their historical byte-exact CSV.
+  std::string domain = "line";
   double t0 = 0.0;
   double t_end = 0.0;
   std::size_t cells = 0;      ///< scored (distance, hour) cells

@@ -72,28 +72,43 @@ std::uint64_t slice_fingerprint(const dataset_slice& slice) {
   return hash;
 }
 
-/// Fails a make_rate parse: the reason, the offending spec verbatim, and
-/// the full accepted grammar (failures usually surface deep inside a
-/// sweep, where "unknown spec" alone is not attributable).
-[[noreturn]] void bad_rate_spec(const std::string& spec,
-                                const std::string& reason) {
-  throw std::invalid_argument("make_rate: " + reason + " in spec '" + spec +
-                              "'\n" + rate_spec_grammar());
+/// 1-based character position of a token inside its spec — every
+/// rejection names where the offending token starts, not just which spec
+/// failed, so a bad entry in a long multiplier or mixing list is
+/// attributable at a glance.
+std::string at_position(std::size_t offset) {
+  return " at position " + std::to_string(offset + 1);
 }
 
-double parse_double(std::string_view text, const std::string& spec) {
+/// Fails a make_rate parse: the reason, the offending token's position,
+/// the spec verbatim, and the full accepted grammar (failures usually
+/// surface deep inside a sweep, where "unknown spec" alone is not
+/// attributable).
+[[noreturn]] void bad_rate_spec(const std::string& spec,
+                                const std::string& reason,
+                                std::size_t offset = 0) {
+  throw std::invalid_argument("make_rate: " + reason + at_position(offset) +
+                              " in spec '" + spec + "'\n" +
+                              rate_spec_grammar());
+}
+
+double parse_double(std::string_view text, const std::string& spec,
+                    std::size_t offset) {
   double value = 0.0;
   const auto [ptr, ec] =
       std::from_chars(text.data(), text.data() + text.size(), value);
   if (ec != std::errc{} || ptr != text.data() + text.size())
-    bad_rate_spec(spec, "bad number '" + std::string(text) + "'");
+    bad_rate_spec(spec, "bad number '" + std::string(text) + "'", offset);
   return value;
 }
 
 /// The temporal subset of the grammar ("preset" resolved per metric).
+/// `offset` is where `body` starts inside `spec` (0 for a bare temporal
+/// spec, past the prefix for one nested in a spatial form).
 core::growth_rate make_temporal_rate(const std::string& body,
                                      social::distance_metric metric,
-                                     const std::string& spec) {
+                                     const std::string& spec,
+                                     std::size_t offset) {
   if (body == "preset" || body == "-") {
     return metric == social::distance_metric::friendship_hops
                ? core::growth_rate::paper_hops()
@@ -102,35 +117,79 @@ core::growth_rate make_temporal_rate(const std::string& body,
   if (body == "paper_hops") return core::growth_rate::paper_hops();
   if (body == "paper_interest") return core::growth_rate::paper_interest();
   if (body.starts_with("constant:")) {
-    const double value = parse_double(
-        std::string_view(body).substr(sizeof("constant:") - 1), spec);
-    if (value < 0.0) bad_rate_spec(spec, "negative constant rate");
+    const std::size_t at = sizeof("constant:") - 1;
+    const double value =
+        parse_double(std::string_view(body).substr(at), spec, offset + at);
+    if (value < 0.0)
+      bad_rate_spec(spec, "negative constant rate", offset + at);
     return core::growth_rate::constant(value);
   }
   if (body.starts_with("decay:")) {
-    const std::string_view params =
-        std::string_view(body).substr(sizeof("decay:") - 1);
+    const std::size_t at = sizeof("decay:") - 1;
+    const std::string_view params = std::string_view(body).substr(at);
     const std::size_t first = params.find(',');
     const std::size_t second =
         first == std::string_view::npos ? first : params.find(',', first + 1);
     if (first == std::string_view::npos || second == std::string_view::npos)
-      bad_rate_spec(spec, "decay form needs 3 comma-separated numbers");
-    const double a = parse_double(params.substr(0, first), spec);
-    const double b =
-        parse_double(params.substr(first + 1, second - first - 1), spec);
-    const double c = parse_double(params.substr(second + 1), spec);
+      bad_rate_spec(spec, "decay form needs 3 comma-separated numbers",
+                    offset + at);
+    const double a = parse_double(params.substr(0, first), spec, offset + at);
+    const double b = parse_double(params.substr(first + 1, second - first - 1),
+                                  spec, offset + at + first + 1);
+    const double c =
+        parse_double(params.substr(second + 1), spec, offset + at + second + 1);
     if (a < 0.0 || b <= 0.0 || c < 0.0)
-      bad_rate_spec(spec, "decay form needs a >= 0, b > 0, c >= 0");
+      bad_rate_spec(spec, "decay form needs a >= 0, b > 0, c >= 0",
+                    offset + at);
     return core::growth_rate::exponential_decay(a, b, c);
   }
   if (body.starts_with("calibrate"))
     bad_rate_spec(spec,
                   "'" + body +
                       "' is a calibration spec, not a concrete rate; it is "
-                      "resolved by engine::run_sweep before models solve");
+                      "resolved by engine::run_sweep before models solve",
+                  offset);
   if (body.starts_with("spatial:") || body.starts_with("per-hop:"))
-    bad_rate_spec(spec, "spatial forms cannot nest ('" + body + "')");
-  bad_rate_spec(spec, "unknown growth-rate form '" + body + "'");
+    bad_rate_spec(spec, "spatial forms cannot nest ('" + body + "')", offset);
+  bad_rate_spec(spec, "unknown growth-rate form '" + body + "'", offset);
+}
+
+/// Fails a make_domain parse, mirroring bad_rate_spec.
+[[noreturn]] void bad_domain_spec(const std::string& spec,
+                                  const std::string& reason,
+                                  std::size_t offset = 0) {
+  throw std::invalid_argument("make_domain: " + reason + at_position(offset) +
+                              " in spec '" + spec + "'\n" +
+                              domain_spec_grammar());
+}
+
+double parse_domain_double(std::string_view text, const std::string& spec,
+                           std::size_t offset) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size())
+    bad_domain_spec(spec, "bad number '" + std::string(text) + "'", offset);
+  return value;
+}
+
+/// Comma-separated doubles starting at `offset` inside `spec`.
+std::vector<double> parse_domain_list(std::string_view text,
+                                      const std::string& spec,
+                                      std::size_t offset) {
+  std::vector<double> values;
+  std::size_t at = 0;
+  while (true) {
+    const std::size_t comma = text.find(',', at);
+    const std::string_view piece = text.substr(
+        at, comma == std::string_view::npos ? comma : comma - at);
+    if (piece.empty())
+      bad_domain_spec(spec, "empty list entry", offset + at);
+    values.push_back(parse_domain_double(piece, spec, offset + at));
+    if (comma == std::string_view::npos) break;
+    at = comma + 1;
+  }
+  return values;
 }
 
 }  // namespace
@@ -298,11 +357,11 @@ bool is_spatial_rate_spec(const std::string& spec) {
 
 std::string spatial_base_spec(const std::string& spec) {
   if (spec.starts_with("spatial:")) {
-    const std::string_view body =
-        std::string_view(spec).substr(sizeof("spatial:") - 1);
+    const std::size_t at = sizeof("spatial:") - 1;
+    const std::string_view body = std::string_view(spec).substr(at);
     const std::size_t bar = body.find('|');
     if (bar == std::string_view::npos)
-      bad_rate_spec(spec, "spatial form needs '<base>|<m1>,<m2>,...'");
+      bad_rate_spec(spec, "spatial form needs '<base>|<m1>,<m2>,...'", at);
     return std::string(body.substr(0, bar));
   }
   if (spec.starts_with("per-hop:")) return "preset";
@@ -312,38 +371,148 @@ std::string spatial_base_spec(const std::string& spec) {
 core::rate_field make_rate(const std::string& spec,
                            social::distance_metric metric) {
   if (spec.starts_with("spatial:")) {
-    const std::string_view body =
-        std::string_view(spec).substr(sizeof("spatial:") - 1);
+    const std::size_t at = sizeof("spatial:") - 1;
+    const std::string_view body = std::string_view(spec).substr(at);
     const std::size_t bar = body.find('|');
     if (bar == std::string_view::npos)
-      bad_rate_spec(spec, "spatial form needs '<base>|<m1>,<m2>,...'");
+      bad_rate_spec(spec, "spatial form needs '<base>|<m1>,<m2>,...'", at);
     const std::string base(body.substr(0, bar));
-    if (base.empty()) bad_rate_spec(spec, "spatial form has an empty base");
+    if (base.empty())
+      bad_rate_spec(spec, "spatial form has an empty base", at);
     const std::vector<std::string> pieces =
         split_keep_empty(body.substr(bar + 1), ',');
     std::vector<double> multipliers;
     multipliers.reserve(pieces.size());
+    std::size_t piece_at = at + bar + 1;
     for (const std::string& piece : pieces) {
-      if (piece.empty()) bad_rate_spec(spec, "empty multiplier");
-      const double m = parse_double(piece, spec);
-      if (m < 0.0) bad_rate_spec(spec, "negative multiplier " + piece);
+      if (piece.empty()) bad_rate_spec(spec, "empty multiplier", piece_at);
+      const double m = parse_double(piece, spec, piece_at);
+      if (m < 0.0)
+        bad_rate_spec(spec, "negative multiplier " + piece, piece_at);
       multipliers.push_back(m);
+      piece_at += piece.size() + 1;
     }
     return core::rate_field::separable(
-        make_temporal_rate(base, metric, spec), std::move(multipliers));
+        make_temporal_rate(base, metric, spec, at), std::move(multipliers));
   }
   if (spec.starts_with("per-hop:")) {
-    const std::vector<std::string> pieces = split_keep_empty(
-        std::string_view(spec).substr(sizeof("per-hop:") - 1), ';');
+    const std::size_t at = sizeof("per-hop:") - 1;
+    const std::vector<std::string> pieces =
+        split_keep_empty(std::string_view(spec).substr(at), ';');
     std::vector<core::growth_rate> rates;
     rates.reserve(pieces.size());
+    std::size_t piece_at = at;
     for (const std::string& piece : pieces) {
-      if (piece.empty()) bad_rate_spec(spec, "empty per-hop entry");
-      rates.push_back(make_temporal_rate(piece, metric, spec));
+      if (piece.empty()) bad_rate_spec(spec, "empty per-hop entry", piece_at);
+      rates.push_back(make_temporal_rate(piece, metric, spec, piece_at));
+      piece_at += piece.size() + 1;
     }
     return core::rate_field::per_group(std::move(rates));
   }
-  return make_temporal_rate(spec, metric, spec);
+  return make_temporal_rate(spec, metric, spec, 0);
+}
+
+const std::string& domain_spec_grammar() {
+  static const std::string grammar =
+      "accepted domain specs:\n"
+      "  line                                1-D distance axis (default)\n"
+      "  grid2d:<y_min>,<y_max>              2-D distance x interest sheet "
+      "(ADI)\n"
+      "  comm:<K>                            K uncoupled per-community "
+      "lines\n"
+      "  comm:<K>|mix=<rate>                 uniform cross-community "
+      "mixing\n"
+      "  comm:<K>|mix=<m11>,...,<mKK>        full K*K mixing matrix "
+      "(row-major)\n"
+      "  comm:<K>|...|scale=<s1>,...,<sK>    per-community initial-mass "
+      "scales\n"
+      "  (non-line domains solve with the strang-cn scheme only)";
+  return grammar;
+}
+
+core::domain make_domain(const std::string& spec) {
+  if (spec.empty() || spec == "line" || spec == "-")
+    return core::domain::line();
+  if (spec.starts_with("grid2d:")) {
+    const std::size_t at = sizeof("grid2d:") - 1;
+    const std::string_view body = std::string_view(spec).substr(at);
+    const std::size_t comma = body.find(',');
+    if (comma == std::string_view::npos)
+      bad_domain_spec(spec, "grid2d form needs '<y_min>,<y_max>'", at);
+    const double y_min = parse_domain_double(body.substr(0, comma), spec, at);
+    const double y_max =
+        parse_domain_double(body.substr(comma + 1), spec, at + comma + 1);
+    if (!(y_min < y_max))
+      bad_domain_spec(spec, "grid2d needs y_min < y_max", at);
+    core::domain dom = core::domain::grid(y_min, y_max);
+    dom.validate();
+    return dom;
+  }
+  if (spec.starts_with("comm:")) {
+    const std::size_t at = sizeof("comm:") - 1;
+    const std::string_view body = std::string_view(spec).substr(at);
+    const std::size_t first_bar = body.find('|');
+    const std::string_view count_text = body.substr(0, first_bar);
+    unsigned long k = 0;
+    const auto [ptr, ec] = std::from_chars(
+        count_text.data(), count_text.data() + count_text.size(), k);
+    if (ec != std::errc{} || ptr != count_text.data() + count_text.size() ||
+        k == 0)
+      bad_domain_spec(
+          spec, "bad community count '" + std::string(count_text) + "'", at);
+    core::domain dom = core::domain::coupled(k);
+    // Optional |mix=... / |scale=... segments, in any order.
+    std::size_t seg_at = first_bar;
+    while (seg_at != std::string_view::npos) {
+      seg_at += 1;  // past the '|'
+      const std::size_t next_bar = body.find('|', seg_at);
+      const std::string_view segment = body.substr(
+          seg_at, next_bar == std::string_view::npos ? next_bar
+                                                     : next_bar - seg_at);
+      if (segment.empty()) {
+        bad_domain_spec(spec, "empty segment", at + seg_at);
+      } else if (segment.starts_with("mix=")) {
+        const std::size_t val_at = seg_at + sizeof("mix=") - 1;
+        const std::vector<double> values =
+            parse_domain_list(segment.substr(sizeof("mix=") - 1), spec,
+                              at + val_at);
+        if (values.size() == 1) {
+          if (!(values[0] >= 0.0))
+            bad_domain_spec(spec, "mixing rate must be >= 0", at + val_at);
+          // Only the mixing matrix: a scale= segment parsed earlier in
+          // the spec must survive.
+          dom.mixing = core::domain::coupled(k, values[0]).mixing;
+        } else if (values.size() == k * k) {
+          dom.mixing = values;
+        } else {
+          bad_domain_spec(spec,
+                          "mix= needs 1 rate or " + std::to_string(k * k) +
+                              " entries (K=" + std::to_string(k) + "), got " +
+                              std::to_string(values.size()),
+                          at + val_at);
+        }
+      } else if (segment.starts_with("scale=")) {
+        const std::size_t val_at = seg_at + sizeof("scale=") - 1;
+        const std::vector<double> values = parse_domain_list(
+            segment.substr(sizeof("scale=") - 1), spec, at + val_at);
+        if (values.size() != k)
+          bad_domain_spec(spec,
+                          "scale= needs one entry per community (K=" +
+                              std::to_string(k) + "), got " +
+                              std::to_string(values.size()),
+                          at + val_at);
+        dom.scales = values;
+      } else {
+        bad_domain_spec(spec,
+                        "unknown segment '" + std::string(segment) + "'",
+                        at + seg_at);
+      }
+      seg_at = next_bar;
+    }
+    dom.validate();
+    return dom;
+  }
+  bad_domain_spec(spec, "unknown domain form '" + spec + "'");
 }
 
 }  // namespace dlm::engine

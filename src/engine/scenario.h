@@ -121,6 +121,7 @@ struct scenario {
   std::size_t points_per_unit = 20;  ///< grid resolution (grid models)
   double dt = 0.02;                  ///< solver time step (DL)
   std::string rate = "preset";       ///< growth-rate spec (see make_rate)
+  std::string domain = "line";       ///< domain spec (see make_domain)
   double t0 = 1.0;              ///< observation hour (initial profile)
   double t_end = 6.0;           ///< last evaluated hour
   std::uint64_t seed = 20090601;  ///< RNG seed for stochastic models
@@ -142,6 +143,9 @@ struct sweep_spec {
   std::vector<std::size_t> grid = {20};  ///< points_per_unit values
   std::vector<double> dts = {0.02};
   std::vector<std::string> rates = {"preset"};
+  /// Domain specs (see make_domain).  Collapsed to {"line"} for models
+  /// without a domain axis; non-line domains pair only with strang_cn.
+  std::vector<std::string> domains = {"line"};
   double t0 = 1.0;
   double t_end = 6.0;
   std::uint64_t seed = 20090601;
@@ -182,5 +186,23 @@ struct sweep_spec {
 /// spatial-rate axis: the <base> of a "spatial:..." spec, "preset" for
 /// "per-hop:...".  Non-spatial specs pass through unchanged.
 [[nodiscard]] std::string spatial_base_spec(const std::string& spec);
+
+/// Domain spec parser (core::domain, see core/domain.h).  Accepted forms:
+///   "line" (or "" / "-")           — the classic 1-D distance axis
+///   "grid2d:<y_min>,<y_max>"       — 2-D distance × interest sheet,
+///       solved by the Peaceman–Rachford ADI variant of strang-cn
+///   "comm:<K>"                     — K uncoupled per-community 1-D lines
+///   "comm:<K>|mix=<rate>"          — uniform cross-community mixing
+///   "comm:<K>|mix=<m11>,...,<mKK>" — full K×K mixing matrix (row-major;
+///       entry (c,c2) is the flow rate from community c2 into c)
+///   "comm:<K>|...|scale=<s1>,...,<sK>" — per-community initial-profile
+///       scales (mix= and scale= segments compose in any order)
+/// Every rejection names the offending token's 1-based position, quotes
+/// the spec and lists this grammar (see domain_spec_grammar).
+[[nodiscard]] core::domain make_domain(const std::string& spec);
+
+/// The accepted `make_domain` grammar, one form per line — appended to
+/// every make_domain rejection.
+[[nodiscard]] const std::string& domain_spec_grammar();
 
 }  // namespace dlm::engine

@@ -67,6 +67,7 @@ struct batch_key {
   double dt = 0.0;
   double t0 = 0.0;
   double t_end = 0.0;
+  std::string domain;
 
   bool operator==(const batch_key&) const = default;
 };
@@ -121,7 +122,7 @@ std::vector<std::vector<std::size_t>> batch_sweep(
       continue;
     }
     const batch_key key{sc.model, sc.slice, sc.scheme, sc.points_per_unit,
-                        sc.dt,    sc.t0,    sc.t_end};
+                        sc.dt,    sc.t0,    sc.t_end,  sc.domain};
     const auto it = std::find_if(
         groups.begin(), groups.end(),
         [&](const group& g) { return g.key == key; });
@@ -154,7 +155,7 @@ std::vector<scenario> expand_sweep(const sweep_spec& spec,
   if (spec.models.empty())
     throw std::invalid_argument("expand_sweep: no models in sweep");
   if (spec.schemes.empty() || spec.grid.empty() || spec.dts.empty() ||
-      spec.rates.empty())
+      spec.rates.empty() || spec.domains.empty())
     throw std::invalid_argument("expand_sweep: empty sweep axis");
 
   std::vector<std::size_t> slices = spec.slices;
@@ -198,22 +199,44 @@ std::vector<scenario> expand_sweep(const sweep_spec& spec,
           rates.push_back(std::move(resolved));
       }
     }
+    // The domain axis: collapsed to {"line"} for models without a domain
+    // axis, otherwise validated eagerly (a bad spec fails the expansion,
+    // not a pool worker mid-sweep) and deduplicated — every line-spelling
+    // ("line", "", "-") canonicalizes to "line".
+    std::vector<std::string> domains;
+    for (const std::string& dom : model->supports_domain()
+                                      ? spec.domains
+                                      : std::vector<std::string>{"line"}) {
+      std::string resolved = make_domain(dom).is_line() ? "line" : dom;
+      if (std::find(domains.begin(), domains.end(), resolved) ==
+          domains.end())
+        domains.push_back(std::move(resolved));
+    }
     for (const std::size_t slice : slices) {
       for (const core::dl_scheme scheme : schemes) {
         for (const std::size_t grid : grids) {
           for (const double dt : dts) {
             for (const std::string& rate : rates) {
-              scenario sc;
-              sc.model = model_name;
-              sc.slice = slice;
-              sc.scheme = scheme;
-              sc.points_per_unit = grid;
-              sc.dt = dt;
-              sc.rate = rate;
-              sc.t0 = spec.t0;
-              sc.t_end = spec.t_end;
-              sc.seed = spec.seed;
-              scenarios.push_back(std::move(sc));
+              for (const std::string& dom : domains) {
+                // Non-line domains solve with strang-cn only; skip the
+                // combos other schemes would reject instead of enqueuing
+                // guaranteed failures.
+                if (dom != "line" &&
+                    scheme != core::dl_scheme::strang_cn)
+                  continue;
+                scenario sc;
+                sc.model = model_name;
+                sc.slice = slice;
+                sc.scheme = scheme;
+                sc.points_per_unit = grid;
+                sc.dt = dt;
+                sc.rate = rate;
+                sc.domain = dom;
+                sc.t0 = spec.t0;
+                sc.t_end = spec.t_end;
+                sc.seed = spec.seed;
+                scenarios.push_back(std::move(sc));
+              }
             }
           }
         }
@@ -284,6 +307,7 @@ sweep_result run_sweep(const scenario_context& context,
               : "-";
       row.t0 = sc.t0;
       row.t_end = sc.t_end;
+      row.domain = trace.domain;
       row.cells = cells;
       row.accuracy = accuracy;
       row.wall_ms = wall;

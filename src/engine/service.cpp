@@ -134,6 +134,8 @@ std::string parse_request_args(const std::vector<std::string>& tokens,
       if (!parse_double(value, args.sc.dt)) return bad_value();
     } else if (key == "rate") {
       args.sc.rate = value;
+    } else if (key == "domain") {
+      args.sc.domain = value;
     } else if (key == "t0") {
       if (!parse_double(value, args.sc.t0)) return bad_value();
     } else if (key == "t_end") {
@@ -168,6 +170,9 @@ std::string format_trace(const model_trace& trace) {
   std::string out = "ok trace rows=" + std::to_string(trace.distances.size()) +
                     " cols=" + std::to_string(trace.times.size()) +
                     " effective_dt=" + format_full_precision(trace.effective_dt);
+  // Appended only for non-line domains, so line responses keep their
+  // historical byte-exact shape.
+  if (trace.domain != "line") out += " domain=" + trace.domain;
   out += "\nx";
   for (const int d : trace.distances) out += ' ' + std::to_string(d);
   out += "\nt";

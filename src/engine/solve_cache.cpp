@@ -179,6 +179,13 @@ std::string scenario_cache_key(const scenario& sc, const dataset_slice& slice,
   key += std::isnan(sc.d_override) ? "-" : format_full_precision(sc.d_override);
   key += "|k=";
   key += std::isnan(sc.k_override) ? "-" : format_full_precision(sc.k_override);
+  // Canonical domain label, appended only for a non-line domain on a
+  // domain-capable model — 1-D keys stay byte-identical to every release
+  // before the domain axis existed, so persistent caches keep hitting.
+  if (model.supports_domain()) {
+    const core::domain dom = make_domain(sc.domain);
+    if (!dom.is_line()) key += "|domain=" + dom.label();
+  }
   return key;
 }
 

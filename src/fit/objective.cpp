@@ -48,6 +48,10 @@ double dl_sse(const core::dl_parameters& params,
     const int lo = static_cast<int>(std::lround(params.x_min));
     const int hi = static_cast<int>(std::lround(params.x_max));
     double acc = 0.0;
+    // Domain-agnostic by construction: at_integer_distances reduces a
+    // multi-block trace (2-D sheet rows, coupled communities) down to
+    // the distance axis, so the same SSE calibrates params.dom of any
+    // kind against per-distance observations.
     // One profile buffer reused across the observed hours — calibration
     // evaluates this objective hundreds of times per fit, so the solver's
     // allocation-free read path matters here.

@@ -58,6 +58,7 @@ std::string sample_bytes() {
 }
 
 bool traces_bitwise_equal(const model_trace& a, const model_trace& b) {
+  if (a.domain != b.domain) return false;
   if (a.distances != b.distances) return false;
   if (a.times.size() != b.times.size()) return false;
   for (std::size_t j = 0; j < a.times.size(); ++j)
@@ -98,7 +99,7 @@ void write_u32_at(std::string& bytes, std::size_t at, std::uint32_t v) {
     bytes[at + i] = static_cast<char>((v >> (8 * i)) & 0xFF);
 }
 
-// Fixed offsets of the v1 layout (see cache_io.h).
+// Fixed offsets of the file layout (see cache_io.h).
 constexpr std::size_t kVersionAt = 8;
 constexpr std::size_t kSectionHeaderBytes = 4 + 8 + 8;
 constexpr std::size_t kTraceSectionAt = 16;  // magic + version + count
@@ -226,6 +227,103 @@ TEST(CacheIo, FutureAndPastFormatVersionsAreRejected) {
   expect_rejected(past, "past version");
 }
 
+TEST(CacheIo, GenuineV1LayoutFileDegradesToACleanColdCache) {
+  // A byte-faithful v1 file (trace entries carry no domain string): the
+  // v2 loader must reject it whole — a clean cold start with
+  // load_rejected counted — never reinterpret v1 bytes through the v2
+  // layout.
+  const auto put_u32 = [](std::string& out, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  };
+  const auto put_u64 = [](std::string& out, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  };
+  const auto put_f64 = [&](std::string& out, double v) {
+    put_u64(out, std::bit_cast<std::uint64_t>(v));
+  };
+
+  std::string traces;
+  put_u64(traces, 1);  // one entry
+  const std::string key = "trace/v1";
+  put_u32(traces, static_cast<std::uint32_t>(key.size()));
+  traces += key;
+  // v1 entry: distances, times, effective_dt, blob — NO domain field.
+  put_u32(traces, 2);
+  put_u32(traces, 1);
+  put_u32(traces, static_cast<std::uint32_t>(-2));
+  put_u32(traces, 3);
+  put_f64(traces, 2.0);
+  put_f64(traces, 3.0);
+  put_f64(traces, 4.0);
+  put_f64(traces, 0.02);
+  for (int i = 0; i < 6; ++i) put_f64(traces, 0.5 * i);
+
+  std::string values;
+  put_u64(values, 0);
+
+  std::string bytes;
+  bytes += kCacheMagic;
+  put_u32(bytes, 1);  // v1
+  put_u32(bytes, 2);  // section count
+  const auto append_section = [&](std::uint32_t tag,
+                                  const std::string& payload) {
+    put_u32(bytes, tag);
+    put_u64(bytes, payload.size());
+    put_u64(bytes, cache_checksum(payload));
+    bytes += payload;
+  };
+  append_section(1, traces);
+  append_section(2, values);
+  expect_rejected(bytes, "v1 layout file");
+}
+
+TEST(CacheIo, V2RoundTripCarriesDomainLabelsAndA2dTraceBlob) {
+  // A trace as the 2-D ADI domain solver produces it: a non-line domain
+  // label riding a dense distances × hours blob.  Both must survive the
+  // round trip bitwise.
+  model_trace sheet;
+  sheet.domain = "grid2d:1,4";
+  for (int x = 1; x <= 6; ++x) sheet.distances.push_back(x);
+  sheet.times = {2.0, 3.0, 4.0, 5.0, 6.0};
+  sheet.predicted.resize(sheet.distances.size());
+  for (std::size_t i = 0; i < sheet.predicted.size(); ++i)
+    for (std::size_t j = 0; j < sheet.times.size(); ++j)
+      sheet.predicted[i].push_back(1.0 / (static_cast<double>(i * 5 + j) + 3.0));
+  sheet.effective_dt = 0.02;
+
+  model_trace comm = sample_trace(4.0);
+  comm.domain = "comm:3|mix=0.050000000000000003";
+
+  solve_cache original;
+  original.store_trace("trace/sheet", sheet);
+  original.store_trace("trace/comm", comm);
+  original.store_trace("trace/line", sample_trace(1.0));
+  const std::string bytes = serialize_cache(original);
+
+  solve_cache loaded;
+  const cache_load_result result = deserialize_cache(loaded, bytes);
+  ASSERT_TRUE(result.loaded) << result.error;
+  EXPECT_EQ(result.traces, 3u);
+
+  const std::shared_ptr<const model_trace> sheet_hit =
+      loaded.find_trace("trace/sheet");
+  ASSERT_NE(sheet_hit, nullptr);
+  EXPECT_EQ(sheet_hit->domain, "grid2d:1,4");
+  EXPECT_TRUE(traces_bitwise_equal(sheet, *sheet_hit));
+
+  const std::shared_ptr<const model_trace> comm_hit =
+      loaded.find_trace("trace/comm");
+  ASSERT_NE(comm_hit, nullptr);
+  EXPECT_TRUE(traces_bitwise_equal(comm, *comm_hit));
+
+  const std::shared_ptr<const model_trace> line_hit =
+      loaded.find_trace("trace/line");
+  ASSERT_NE(line_hit, nullptr);
+  EXPECT_EQ(line_hit->domain, "line");
+}
+
 TEST(CacheIo, ChecksumMismatchIsRejected) {
   // Flip one payload byte in each section without resealing.
   std::string trace_flip = sample_bytes();
@@ -246,16 +344,30 @@ TEST(CacheIo, OversizedDeclaredCountsAreRejected) {
   reseal_trace_section(bytes);
   expect_rejected(bytes, "oversized trace count");
 
-  // Oversized inner array count: the first entry's distance count.
-  // Offset: payload + entry count u64 + key length u32 + key bytes.
-  std::string inner = sample_bytes();
+  // Oversized inner lengths of the first entry.  v2 layout: entry count
+  // u64, then per entry key length u32 + key bytes + domain length u32 +
+  // domain bytes + distance count u32 + ...
   const std::size_t key_len_at = kTracePayloadAt + 8;
-  std::uint32_t key_len = 0;
-  for (int i = 0; i < 4; ++i)
-    key_len |= static_cast<std::uint32_t>(
-                   static_cast<unsigned char>(inner[key_len_at + i]))
-               << (8 * i);
-  write_u32_at(inner, key_len_at + 4 + key_len, 0xFFFFFFFu);
+  const auto read_u32 = [](const std::string& b, std::size_t at) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(b[at + i]))
+           << (8 * i);
+    return v;
+  };
+
+  // The domain string's declared length.
+  std::string dom = sample_bytes();
+  const std::size_t dom_len_at = key_len_at + 4 + read_u32(dom, key_len_at);
+  write_u32_at(dom, dom_len_at, 0xFFFFFFFu);
+  reseal_trace_section(dom);
+  expect_rejected(dom, "oversized domain length");
+
+  // The distance count, past the domain string.
+  std::string inner = sample_bytes();
+  const std::size_t dist_count_at =
+      dom_len_at + 4 + read_u32(inner, dom_len_at);
+  write_u32_at(inner, dist_count_at, 0xFFFFFFFu);
   reseal_trace_section(inner);
   expect_rejected(inner, "oversized distance count");
 }
