@@ -21,8 +21,19 @@
 // pass is served from the previous process's solves.
 //
 // Build & run:  ./build/examples/model_comparison [--cache-file dlm.cache]
+//
+// Batch mode (for scripting and sharded execution — see docs/sharding.md):
+//
+//   model_comparison --csv out.csv [--shard i/N] [--cache-file f]
+//
+// runs the sweep once (no demo passes), writes the CSV to the file (or
+// stdout when --shard is given without --csv) and exits.  With --shard
+// only that shard's scenarios run — rows keep their global sweep
+// indices, so N shard CSVs recombine through `dl_shard --merge` into
+// the exact bytes of the unsharded CSV.
 
 #include <cstdio>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <thread>
@@ -32,6 +43,7 @@
 #include "engine/cache_io.h"
 #include "engine/model_registry.h"
 #include "engine/scenario_runner.h"
+#include "engine/shard.h"
 #include "engine/solve_cache.h"
 #include "graph/generators.h"
 
@@ -39,15 +51,30 @@ int main(int argc, char** argv) {
   using namespace dlm;
 
   std::string cache_file;
+  std::string csv_path;
+  engine::shard_spec shard;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--cache-file" && i + 1 < argc) {
       cache_file = argv[++i];
+    } else if (arg == "--csv" && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else if (arg == "--shard" && i + 1 < argc) {
+      try {
+        shard = engine::parse_shard_spec(argv[++i]);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        return 2;
+      }
     } else {
-      std::fprintf(stderr, "usage: %s [--cache-file <path>]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--cache-file <path>] [--csv <path>] "
+                   "[--shard <i>/<N>[:policy]]\n",
+                   argv[0]);
       return 2;
     }
   }
+  const bool batch = !shard.is_all() || !csv_path.empty();
 
   num::rng rand(777);
   graph::digg_graph_params gp;
@@ -64,10 +91,11 @@ int main(int argc, char** argv) {
   cp.horizon_hours = 12;
   const std::vector<social::vote> votes =
       digg::simulate_cascade(followers, initiator, 0, 0, cp, rand);
-  std::printf("organic cascade: %zu votes in %d hours from initiator %u "
-              "(%zu followers)\n\n",
-              votes.size(), cp.horizon_hours, initiator,
-              followers.in_degree(initiator));
+  if (!batch)
+    std::printf("organic cascade: %zu votes in %d hours from initiator %u "
+                "(%zu followers)\n\n",
+                votes.size(), cp.horizon_hours, initiator,
+                followers.in_degree(initiator));
 
   const engine::scenario_context ctx = engine::scenario_context::from_cascade(
       std::move(followers), initiator, votes, cp.horizon_hours);
@@ -87,12 +115,62 @@ int main(int argc, char** argv) {
   spec.grid = {20, 40};
   spec.rates = {"preset", "constant:0.5", "spatial:preset|1.2,1,0.8,0.65",
                 "calibrate", "calibrate-spatial"};
+  // The core::domain axis rides along: non-line domains expand only
+  // under strang_cn, so the sweep covers the 2-D ADI sheet and the
+  // coupled communities without multiplying every scheme.
+  spec.domains = {"line", "grid2d:1,4", "comm:3|mix=0.05"};
   spec.t_end = cp.horizon_hours;
 
   const std::vector<engine::scenario> scenarios =
       engine::expand_sweep(spec, ctx);
-  std::printf("sweep: %zu scenarios over %zu model families\n\n",
-              scenarios.size(), spec.models.size());
+  if (!batch)
+    std::printf("sweep: %zu scenarios over %zu model families\n\n",
+                scenarios.size(), spec.models.size());
+
+  // ------------------------------------------------------- batch mode
+  // One deterministic pass, CSV out, exit status honest: an unwritable
+  // --cache-file or a failed flush is a nonzero exit, not a lost save.
+  if (batch) {
+    engine::runner_options options;
+    options.threads = 0;
+    options.calibration.coarse_steps = 3;
+    options.shard = shard;
+    std::optional<engine::persistent_cache> batch_persist;
+    if (!cache_file.empty()) {
+      batch_persist.emplace(cache_file);
+      if (!batch_persist->write_error().empty()) return 1;  // on stderr
+      options.cache = &batch_persist->cache();
+    }
+    const engine::sweep_result result =
+        engine::run_sweep(ctx, scenarios, options);
+    const std::string csv = result.table.to_csv();
+    if (csv_path.empty()) {
+      std::fwrite(csv.data(), 1, csv.size(), stdout);
+    } else {
+      std::ofstream out(csv_path, std::ios::binary | std::ios::trunc);
+      out.write(csv.data(), static_cast<std::streamsize>(csv.size()));
+      out.flush();
+      if (!out) {
+        std::fprintf(stderr, "%s: cannot write '%s'\n", argv[0],
+                     csv_path.c_str());
+        return 1;
+      }
+    }
+    std::fprintf(stderr, "shard %s: %zu of %zu scenarios -> %s\n",
+                 shard.label().c_str(), result.table.size(),
+                 scenarios.size(),
+                 csv_path.empty() ? "stdout" : csv_path.c_str());
+    if (batch_persist) {
+      try {
+        batch_persist->flush();
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s: cache flush failed: %s\n", argv[0],
+                     e.what());
+        return 1;
+      }
+    }
+    return 0;
+  }
 
   engine::runner_options serial;
   serial.threads = 1;
@@ -132,6 +210,7 @@ int main(int argc, char** argv) {
   engine::solve_cache* cache_ptr = &local_cache;
   if (!cache_file.empty()) {
     persist.emplace(cache_file);
+    if (!persist->write_error().empty()) return 1;  // reported on stderr
     cache_ptr = &persist->cache();
     const engine::cache_load_result& load = persist->startup_load();
     if (load.loaded)
@@ -182,5 +261,15 @@ int main(int argc, char** argv) {
               "communities):\n%s\n",
               domains.table.to_text().c_str());
 
-  return 0;  // persist's destructor flushes the cache file
+  if (persist) {
+    // Flush explicitly so an I/O failure is a nonzero exit instead of a
+    // best-effort destructor message.
+    try {
+      persist->flush();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: cache flush failed: %s\n", argv[0], e.what());
+      return 1;
+    }
+  }
+  return 0;
 }

@@ -350,6 +350,64 @@ cache_load_result load_cache(solve_cache& cache,
   return deserialize_cache(cache, bytes);
 }
 
+std::string probe_cache_writable(const std::filesystem::path& path) {
+  // Probe the exact file save_cache will write (the ".tmp" sibling) so a
+  // pass here means the later atomic save can at least open its target.
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  std::error_code ec;
+  const bool existed = std::filesystem::exists(tmp, ec);
+  {
+    // Append mode: an existing .tmp (a concurrent writer's in-flight
+    // save) is left intact, not truncated.
+    std::ofstream out(tmp, std::ios::binary | std::ios::app);
+    if (!out)
+      return "cache file '" + path.string() + "' is not writable (cannot "
+             "open '" + tmp.string() + "')";
+  }
+  if (!existed) std::filesystem::remove(tmp, ec);
+  return {};
+}
+
+cache_merge_result merge_cache_files(
+    solve_cache& into, std::span<const std::filesystem::path> paths) {
+  // Load every input into a scratch cache first: any missing or corrupt
+  // file aborts the whole merge before `into` is touched, mirroring the
+  // loader's own all-or-nothing contract.
+  std::vector<std::unique_ptr<solve_cache>> scratch;
+  cache_merge_result result;
+  for (const std::filesystem::path& path : paths) {
+    auto cache = std::make_unique<solve_cache>();
+    cache_load_result load = load_cache(*cache, path);
+    if (!load.loaded) {
+      if (load.file_missing)
+        throw std::runtime_error("merge_cache_files: input '" + path.string() +
+                                 "' does not exist");
+      throw std::runtime_error("merge_cache_files: input '" + path.string() +
+                               "' rejected: " + load.error);
+    }
+    result.loads.push_back(std::move(load));
+    scratch.push_back(std::move(cache));
+  }
+
+  for (const std::unique_ptr<solve_cache>& cache : scratch) {
+    for (solve_cache::trace_export& entry : cache->export_traces()) {
+      switch (into.merge_trace(entry.key, std::move(entry.trace))) {
+        case solve_cache::merge_outcome::inserted: ++result.merged_traces; break;
+        case solve_cache::merge_outcome::duplicate: ++result.duplicates; break;
+        case solve_cache::merge_outcome::conflict: ++result.conflicts; break;
+      }
+    }
+    for (const solve_cache::value_export& entry : cache->export_values()) {
+      switch (into.merge_value(entry.key, entry.value)) {
+        case solve_cache::merge_outcome::inserted: ++result.merged_values; break;
+        case solve_cache::merge_outcome::duplicate: ++result.duplicates; break;
+        case solve_cache::merge_outcome::conflict: ++result.conflicts; break;
+      }
+    }
+  }
+  return result;
+}
+
 persistent_cache::~persistent_cache() {
   try {
     flush();

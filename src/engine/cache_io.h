@@ -35,9 +35,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <filesystem>
+#include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "engine/solve_cache.h"
 
@@ -91,17 +94,61 @@ void save_cache(const solve_cache& cache, const std::filesystem::path& path);
 cache_load_result load_cache(solve_cache& cache,
                              const std::filesystem::path& path);
 
+/// Checks that save_cache(path) would succeed *now*, by opening (and, if
+/// newly created, removing) the same "<path>.tmp" file save_cache
+/// writes.  Returns an empty string when writable, otherwise a
+/// diagnostic naming the path — so a tool can refuse a doomed
+/// --cache-file at startup instead of discovering the unwritable
+/// directory after a long sweep.
+[[nodiscard]] std::string probe_cache_writable(
+    const std::filesystem::path& path);
+
+/// Outcome of merge_cache_files.
+struct cache_merge_result {
+  std::size_t merged_traces = 0;  ///< trace entries newly adopted
+  std::size_t merged_values = 0;  ///< value entries newly adopted
+  /// Entries present in more than one input with bitwise-identical
+  /// payloads — the expected overlap between shards of one sweep.
+  std::size_t duplicates = 0;
+  /// Same-key different-bits collisions (first input wins; see
+  /// cache_stats::merge_conflicts).
+  std::size_t conflicts = 0;
+  /// Per-input load outcomes, in input order.
+  std::vector<cache_load_result> loads;
+};
+
+/// Merges the cache files of N sweep shards into `into`, in input
+/// order: every file is loaded and verified *first* (checksums, bounds —
+/// the usual adversarial loader), then entries are merged through
+/// solve_cache::merge_trace/merge_value with canonical-key dedup and
+/// bitwise conflict detection.  All-or-nothing across files: a missing
+/// or rejected input throws std::runtime_error naming it, with `into`
+/// untouched.  Because shard caches hold exactly the entries their
+/// shard's scenarios produced — under canonical keys, serialized
+/// key-sorted — merging every shard of a partition reproduces the
+/// unsharded run's cache file byte for byte.
+cache_merge_result merge_cache_files(
+    solve_cache& into, std::span<const std::filesystem::path> paths);
+
 /// Load-on-construction / save-on-destruction wrapper: the wiring the
 /// sweep runner examples and tools use for `--cache-file`.  The
 /// destructor swallows save failures (a best-effort flush must not
 /// throw out of scope exit) — call flush() directly when the caller
-/// wants the error.
+/// wants the error.  The constructor probes writability up front
+/// (probe_cache_writable) and reports the problem on stderr *and*
+/// through write_error(), so callers can exit nonzero immediately
+/// instead of silently losing the save-on-exit after a long sweep.
 class persistent_cache {
  public:
   explicit persistent_cache(std::filesystem::path path,
                             std::size_t max_entries = 0)
       : path_(std::move(path)), cache_(max_entries) {
     load_ = load_cache(cache_, path_);
+    write_error_ = probe_cache_writable(path_);
+    if (!write_error_.empty())
+      std::fprintf(stderr,
+                   "persistent_cache: %s — the save-on-exit will fail\n",
+                   write_error_.c_str());
   }
   ~persistent_cache();
   persistent_cache(const persistent_cache&) = delete;
@@ -116,6 +163,13 @@ class persistent_cache {
     return load_;
   }
 
+  /// Why the constructor's writability probe failed; empty when the
+  /// cache file is writable.  Callers treating --cache-file as a
+  /// contract (not best-effort) should check this and exit nonzero.
+  [[nodiscard]] const std::string& write_error() const noexcept {
+    return write_error_;
+  }
+
   /// Saves now.  Throws std::runtime_error on I/O failure.
   void flush() { save_cache(cache_, path_); }
 
@@ -123,6 +177,7 @@ class persistent_cache {
   std::filesystem::path path_;
   solve_cache cache_;
   cache_load_result load_;
+  std::string write_error_;
 };
 
 }  // namespace dlm::engine

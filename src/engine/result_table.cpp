@@ -332,4 +332,31 @@ std::string result_table::to_text() const {
   return table.str();
 }
 
+result_table merge_tables(std::span<const result_table> shards) {
+  std::size_t total = 0;
+  for (const result_table& shard : shards) total += shard.size();
+  std::vector<result_row> rows;
+  rows.reserve(total);
+  for (const result_table& shard : shards)
+    rows.insert(rows.end(), shard.rows().begin(), shard.rows().end());
+  std::sort(rows.begin(), rows.end(),
+            [](const result_row& a, const result_row& b) {
+              return a.index < b.index;
+            });
+  // A valid partition sorts to exactly 0..total−1; the first slot that
+  // does not match pinpoints either an overlap or a gap.
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    if (rows[k].index == k) continue;
+    if (k > 0 && rows[k].index == rows[k - 1].index)
+      throw std::invalid_argument(
+          "merge_tables: scenario index " + std::to_string(rows[k].index) +
+          " appears in more than one shard");
+    throw std::invalid_argument(
+        "merge_tables: scenario index " + std::to_string(k) +
+        " is missing from the merged shards (dropped or truncated shard "
+        "table?)");
+  }
+  return result_table(std::move(rows));
+}
+
 }  // namespace dlm::engine

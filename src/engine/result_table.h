@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -114,5 +115,16 @@ class result_table {
  private:
   std::vector<result_row> rows_;
 };
+
+/// Recombines the per-shard tables of one partitioned sweep
+/// (engine/shard.h) into the unsharded table: rows are concatenated and
+/// ordered by their global scenario index, so the merged table's CSV and
+/// text renderings are byte-identical to the single-process run's —
+/// regardless of shard count, policy, or the order the shard tables are
+/// passed in.  Validates that the shards form an exact partition:
+/// throws std::invalid_argument when a scenario index appears in more
+/// than one shard or is missing entirely (a dropped or truncated shard
+/// CSV must not merge into a silently smaller table).
+[[nodiscard]] result_table merge_tables(std::span<const result_table> shards);
 
 }  // namespace dlm::engine

@@ -22,25 +22,6 @@ double elapsed_ms(clock::time_point start) {
       .count();
 }
 
-/// Mean prediction accuracy of a trace against the slice's observed
-/// surface, over cells with a nonzero observation (paper Eq. 8
-/// convention; zero-density cells carry no signal).
-std::pair<double, std::size_t> score_trace(const model_trace& trace,
-                                           const dataset_slice& slice) {
-  double sum = 0.0;
-  std::size_t cells = 0;
-  for (std::size_t i = 0; i < trace.distances.size(); ++i) {
-    for (std::size_t j = 0; j < trace.times.size(); ++j) {
-      const double actual = slice.actual_at(trace.distances[i],
-                                            static_cast<int>(trace.times[j]));
-      if (actual <= 0.0) continue;
-      sum += core::prediction_accuracy(trace.predicted[i][j], actual);
-      ++cells;
-    }
-  }
-  return {cells == 0 ? 0.0 : sum / static_cast<double>(cells), cells};
-}
-
 /// Solves through the cache when one is provided (the stored trace is
 /// keyed on the scenario's canonical identity, so a repeat — in this
 /// sweep or a later one — skips the PDE entirely).
@@ -73,6 +54,22 @@ struct batch_key {
 };
 
 }  // namespace
+
+std::pair<double, std::size_t> score_trace(const model_trace& trace,
+                                           const dataset_slice& slice) {
+  double sum = 0.0;
+  std::size_t cells = 0;
+  for (std::size_t i = 0; i < trace.distances.size(); ++i) {
+    for (std::size_t j = 0; j < trace.times.size(); ++j) {
+      const double actual = slice.actual_at(trace.distances[i],
+                                            static_cast<int>(trace.times[j]));
+      if (actual <= 0.0) continue;
+      sum += core::prediction_accuracy(trace.predicted[i][j], actual);
+      ++cells;
+    }
+  }
+  return {cells == 0 ? 0.0 : sum / static_cast<double>(cells), cells};
+}
 
 std::vector<std::vector<std::size_t>> batch_sweep(
     std::span<const scenario> scenarios, const model_registry& registry,
@@ -253,19 +250,33 @@ sweep_result run_sweep(const scenario_context& context,
       options.registry != nullptr ? *options.registry : default_registry();
   const clock::time_point sweep_start = clock::now();
 
+  // The explicit grouping step: every chunk runs as one pool task, so
+  // compatible scenarios of batch-capable models advance in lockstep on
+  // one worker while everything else stays a chunk of one.  With a
+  // non-trivial shard spec only the chunks this shard owns run — whole
+  // chunks, so the lockstep grouping inside the shard is exactly the
+  // unsharded run's.
+  const std::vector<std::vector<std::size_t>> chunks = shard_chunks(
+      batch_sweep(scenarios, registry, options.batch_width), options.shard);
+
+  // Owned global indices (ascending) and the global→row-slot mapping.
+  // Rows keep their global sweep index, so shard tables merge back into
+  // the unsharded table byte-identically (engine::merge_tables).
+  std::vector<std::size_t> owned;
+  for (const std::vector<std::size_t>& chunk : chunks)
+    owned.insert(owned.end(), chunk.begin(), chunk.end());
+  std::sort(owned.begin(), owned.end());
+  std::vector<std::size_t> local(scenarios.size(), 0);
+  for (std::size_t slot = 0; slot < owned.size(); ++slot)
+    local[owned[slot]] = slot;
+
   sweep_result result;
-  std::vector<result_row> rows(scenarios.size());
-  if (options.keep_traces) result.traces.resize(scenarios.size());
+  std::vector<result_row> rows(owned.size());
+  if (options.keep_traces) result.traces.resize(owned.size());
 
   std::mutex error_mutex;
   std::exception_ptr first_error;
   std::size_t first_error_index = 0;
-
-  // The explicit grouping step: every chunk runs as one pool task, so
-  // compatible scenarios of batch-capable models advance in lockstep on
-  // one worker while everything else stays a chunk of one.
-  const std::vector<std::vector<std::size_t>> chunks =
-      batch_sweep(scenarios, registry, options.batch_width);
 
   {
     thread_pool pool(options.threads);
@@ -288,7 +299,7 @@ sweep_result run_sweep(const scenario_context& context,
                               const dataset_slice& slice, model_trace& trace,
                               double wall) {
       const auto [accuracy, cells] = score_trace(trace, slice);
-      result_row& row = rows[i];
+      result_row& row = rows[local[i]];
       row.index = i;
       row.model = sc.model;
       row.slice = slice.name;
@@ -311,7 +322,7 @@ sweep_result run_sweep(const scenario_context& context,
       row.cells = cells;
       row.accuracy = accuracy;
       row.wall_ms = wall;
-      if (options.keep_traces) result.traces[i] = std::move(trace);
+      if (options.keep_traces) result.traces[local[i]] = std::move(trace);
     };
 
     const auto solve_one = [&](std::size_t i) {
@@ -320,7 +331,7 @@ sweep_result run_sweep(const scenario_context& context,
       const std::unique_ptr<diffusion_model> model = registry.make(sc.model);
 
       const clock::time_point start = clock::now();
-      result_row& row = rows[i];
+      result_row& row = rows[local[i]];
 
       // Calibrate rate specs: fit first, then solve the rewritten
       // scenario (resolved rate + fitted d/K overrides).  The coarse

@@ -10,12 +10,14 @@
 
 #include <cstddef>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "engine/diffusion_model.h"
 #include "engine/model_registry.h"
 #include "engine/result_table.h"
 #include "engine/scenario.h"
+#include "engine/shard.h"
 #include "engine/solve_cache.h"
 #include "fit/calibrate.h"
 
@@ -53,9 +55,18 @@ struct runner_options {
   /// 0 → auto (kDefaultBatchWidth); 1 → batching off (pure scalar path);
   /// N → fixed width N.  Results are bitwise identical at any width.
   std::size_t batch_width = 0;
+  /// The shard axis (engine/shard.h): run only the batch_sweep chunks
+  /// shard_chunks assigns to this shard.  Rows keep their *global* sweep
+  /// indices, so the N shard tables of a partition recombine through
+  /// engine::merge_tables into a table byte-identical to the unsharded
+  /// run.  Default 0/1: the whole sweep, sharding off.
+  shard_spec shard{};
 };
 
 struct sweep_result {
+  /// One row per executed scenario.  Unsharded, row i is scenario i; a
+  /// sharded run holds only the owned scenarios (ascending), each row
+  /// still carrying its global index.
   result_table table;
   /// Present iff runner_options::keep_traces; traces[i] belongs to
   /// table.row(i).
@@ -64,6 +75,14 @@ struct sweep_result {
   /// the serial sum).
   double wall_ms = 0.0;
 };
+
+/// Mean prediction accuracy of a trace against the slice's observed
+/// surface, over cells with a nonzero observation (paper Eq. 8
+/// convention; zero-density cells carry no signal).  Returns
+/// {accuracy, scored cell count}.  Exposed for the remote-shard executor
+/// (engine/shard.h), which scores server-solved traces locally.
+[[nodiscard]] std::pair<double, std::size_t> score_trace(
+    const model_trace& trace, const dataset_slice& slice);
 
 /// Expands the sweep into scenarios: slices × models × (the axes each
 /// model consumes).  Axes a model ignores are collapsed and recorded as

@@ -391,6 +391,8 @@ std::string dl_service::handle_request(const std::string& payload,
                " misses=" + std::to_string(stats.misses) +
                " evictions=" + std::to_string(stats.evictions) +
                " load_rejected=" + std::to_string(stats.load_rejected) +
+               " merged=" + std::to_string(stats.merged_entries) +
+               " merge_conflicts=" + std::to_string(stats.merge_conflicts) +
                " entries=" + std::to_string(cache_.size()) +
                " requests=" + std::to_string(requests_.load());
       }

@@ -16,7 +16,10 @@
 //
 //   ping                          → "ok pong"
 //   slices                        → "ok slices <name> ..."
-//   stats                         → "ok stats hits=... misses=... ..."
+//   stats                         → "ok stats hits=... misses=...
+//                                    evictions=... load_rejected=...
+//                                    merged=... merge_conflicts=...
+//                                    entries=... requests=..."
 //   solve model=dl slice=<name> [scheme= grid= dt= rate= t0= t_end=
 //         seed= d= k=]            → "ok trace rows=R cols=C
 //                                    effective_dt=E\nx ...\nt ...\n

@@ -1,11 +1,40 @@
 #include "engine/solve_cache.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 
 #include "engine/format.h"
 
 namespace dlm::engine {
+namespace {
+
+/// Bitwise double equality — the determinism contract is about bits,
+/// and NaN payloads must compare equal to themselves.
+bool bits_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+bool bits_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!bits_equal(a[i], b[i])) return false;
+  return true;
+}
+
+bool traces_bitwise_equal(const model_trace& a, const model_trace& b) {
+  if (a.domain != b.domain || a.distances != b.distances ||
+      !bits_equal(a.effective_dt, b.effective_dt) ||
+      !bits_equal(a.times, b.times) ||
+      a.predicted.size() != b.predicted.size())
+    return false;
+  for (std::size_t i = 0; i < a.predicted.size(); ++i)
+    if (!bits_equal(a.predicted[i], b.predicted[i])) return false;
+  return true;
+}
+
+}  // namespace
 
 void solve_cache::evict_overflow() {
   if (max_entries_ == 0) return;
@@ -99,6 +128,39 @@ std::vector<solve_cache::value_export> solve_cache::export_values() const {
               return a.key < b.key;
             });
   return out;
+}
+
+solve_cache::merge_outcome solve_cache::merge_trace(
+    const std::string& key, std::shared_ptr<const model_trace> trace) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = traces_.find(key);
+  if (it != traces_.end()) {
+    if (traces_bitwise_equal(*it->second.first, *trace))
+      return merge_outcome::duplicate;
+    ++stats_.merge_conflicts;
+    return merge_outcome::conflict;
+  }
+  lru_.emplace_front(entry_kind::trace, key);
+  traces_.emplace(key, std::make_pair(std::move(trace), lru_.begin()));
+  ++stats_.merged_entries;
+  evict_overflow();
+  return merge_outcome::inserted;
+}
+
+solve_cache::merge_outcome solve_cache::merge_value(const std::string& key,
+                                                    double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = values_.find(key);
+  if (it != values_.end()) {
+    if (bits_equal(it->second.first, value)) return merge_outcome::duplicate;
+    ++stats_.merge_conflicts;
+    return merge_outcome::conflict;
+  }
+  lru_.emplace_front(entry_kind::value, key);
+  values_.emplace(key, std::make_pair(value, lru_.begin()));
+  ++stats_.merged_entries;
+  evict_overflow();
+  return merge_outcome::inserted;
 }
 
 void solve_cache::count_load_rejected() {

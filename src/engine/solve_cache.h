@@ -48,6 +48,15 @@ struct cache_stats {
   /// truncation — see engine/cache_io.h).  Every rejection leaves the
   /// cache exactly as it was: no partial load, just this counter.
   std::size_t load_rejected = 0;
+  /// Entries inserted by merge_trace/merge_value (shard-cache merging —
+  /// see merge_cache_files in engine/cache_io.h).  Duplicates with a
+  /// bitwise-identical payload move neither counter.
+  std::size_t merged_entries = 0;
+  /// Merge collisions where the same canonical key carried a bitwise
+  /// *different* payload.  Always 0 for shards of one deterministic
+  /// sweep; nonzero means the merged caches came from diverging builds
+  /// or inputs (the first-inserted payload is kept).
+  std::size_t merge_conflicts = 0;
 };
 
 class solve_cache {
@@ -111,6 +120,24 @@ class solve_cache {
   /// Counts one rejected load attempt (see cache_stats::load_rejected);
   /// called by the cache_io loader, never by the cache itself.
   void count_load_rejected();
+
+  /// Outcome of merging one entry from another cache.
+  enum class merge_outcome {
+    inserted,   ///< key was new: entry adopted, merged_entries counted
+    duplicate,  ///< key present with a bitwise-identical payload: no-op
+    conflict    ///< key present with a different payload: first insert
+                ///< kept, merge_conflicts counted
+  };
+
+  /// Inserts an entry from another shard's cache.  Unlike import_trace,
+  /// the merge distinguishes a benign duplicate (both shards solved the
+  /// same scenario — payloads bitwise equal, by the determinism
+  /// contract) from a conflict (same key, different bits), and counts
+  /// merged_entries / merge_conflicts accordingly.  The LRU cap applies
+  /// to inserted entries as usual.
+  merge_outcome merge_trace(const std::string& key,
+                            std::shared_ptr<const model_trace> trace);
+  merge_outcome merge_value(const std::string& key, double value);
 
  private:
   /// Recency list: most recently used at the front.  Each node remembers

@@ -1,0 +1,697 @@
+// Sharded sweep driver — fork/exec N worker processes over one
+// deterministic sweep and merge their outputs byte-identically.
+//
+// The engine's scenario expansion is a deterministic indexed list and
+// engine::shard_chunks partitions it batch-chunk-aligned (see
+// engine/shard.h), so each worker process runs a disjoint slice of the
+// sweep with global scenario numbering intact.  This driver re-execs
+// itself as the workers, waits for them, and recombines:
+//
+//   * shard CSVs   → engine::merge_tables → one CSV, byte-identical to
+//                    the unsharded run's;
+//   * shard caches → engine::merge_cache_files → one cache file,
+//                    byte-identical to the unsharded run's.
+//
+// Modes:
+//
+//   dl_shard --shards N [--policy contiguous|strided]
+//            [--sweep bench|comparison] [--csv out.csv] [--text out.txt]
+//            [--cache-file out.cache] [--threads T] [--batch-width W]
+//       run the sweep as N local worker processes and merge.
+//
+//   dl_shard --worker i/N[:policy] --csv out.csv [--sweep ...]
+//            [--cache-file f] [--threads T] [--batch-width W]
+//            [--socket /path/dlm.sock]
+//       run one shard (the driver spawns these; also usable by hand —
+//       e.g. one per machine).  With --socket the shard's scenarios
+//       execute against a resident dl_serve server over the wire
+//       protocol instead of solving locally (engine::run_shard_remote).
+//
+//   dl_shard --merge out.csv in0.csv in1.csv ...
+//   dl_shard --merge-cache out.cache in0.cache in1.cache ...
+//       recombine shard outputs produced elsewhere (other machines,
+//       earlier runs).
+//
+//   dl_shard --bench [--bench-out BENCH_shard.json]
+//            [--bench-shards 1,2,4,8] [--bench-rates R]
+//       scaling report: scenarios/sec at each process count (workers
+//       pinned to 1 thread each), merge cost separately, and the
+//       byte-identity check against the 1-process run.  Honest by
+//       construction: the JSON records hardware_concurrency, so a
+//       single-core box showing ~1× is the expected reading there.
+//
+// Sweeps: "bench" is a self-contained DL surface (the dl_serve test
+// surface) × one scheme × 3 grids × R constant rates — pure solver
+// throughput.  "comparison" is examples/model_comparison's organic-
+// cascade sweep (every model family × schemes × grids × rates ×
+// domains, calibration included) — the full-diversity workload CI
+// byte-diffs against `model_comparison --shard`.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/dl_model.h"
+#include "digg/simulator.h"
+#include "engine/cache_io.h"
+#include "engine/format.h"
+#include "engine/scenario_runner.h"
+#include "engine/shard.h"
+#include "graph/generators.h"
+
+namespace {
+
+using namespace dlm;
+using clock_type = std::chrono::steady_clock;
+
+double elapsed_ms(clock_type::time_point start) {
+  return std::chrono::duration<double, std::milli>(clock_type::now() - start)
+      .count();
+}
+
+// ------------------------------------------------------------------ CLI
+
+const char* kUsage =
+    "usage: dl_shard --shards N [--policy contiguous|strided]\n"
+    "                [--sweep bench|comparison] [--csv out.csv]\n"
+    "                [--text out.txt] [--cache-file out.cache]\n"
+    "                [--threads T] [--batch-width W]\n"
+    "       dl_shard --worker <i>/<N>[:policy] --csv out.csv\n"
+    "                [--sweep ...] [--cache-file f] [--threads T]\n"
+    "                [--batch-width W] [--socket /path/dlm.sock]\n"
+    "       dl_shard --merge out.csv in0.csv in1.csv ...\n"
+    "       dl_shard --merge-cache out.cache in0.cache in1.cache ...\n"
+    "       dl_shard --bench [--bench-out BENCH_shard.json]\n"
+    "                [--bench-shards 1,2,4,8] [--bench-rates R]\n";
+
+/// CLI rejection in the spec-grammar style: the reason and the 1-based
+/// argv position of the offending argument, then the usage block.
+int bad_cli(const std::string& reason, int position) {
+  std::fprintf(stderr, "dl_shard: %s at position %d in command line\n\n%s",
+               reason.c_str(), position, kUsage);
+  return 2;
+}
+
+struct cli_options {
+  // driver
+  std::size_t shards = 0;
+  engine::shard_policy policy = engine::shard_policy::contiguous;
+  // worker
+  std::optional<engine::shard_spec> worker;
+  std::string socket_path;
+  // shared
+  std::string sweep = "bench";
+  std::string csv_path;
+  std::string text_path;
+  std::string cache_path;
+  std::size_t threads = 0;
+  std::size_t batch_width = 0;
+  // merge CLIs: out followed by inputs, argv positions kept for errors
+  bool merge_tables_mode = false;
+  bool merge_cache_mode = false;
+  std::vector<std::pair<std::string, int>> merge_files;
+  // bench
+  bool bench = false;
+  std::string bench_out = "BENCH_shard.json";
+  std::vector<std::size_t> bench_shards = {1, 2, 4, 8};
+  std::size_t bench_rates = 128;
+};
+
+// ----------------------------------------------------------- the sweeps
+
+struct sweep_setup {
+  engine::scenario_context context;
+  engine::sweep_spec spec;
+  fit::calibration_options calibration;
+};
+
+/// The dl_serve --test-surface slice: a surface generated by the DL
+/// model itself, so calibrate specs recover the generating parameters.
+engine::scenario_context make_test_surface() {
+  core::dl_parameters truth = core::dl_parameters::paper_hops(6.0);
+  truth.d = 0.06;
+  truth.k = 22.0;
+  const std::vector<double> initial{1.9, 0.8, 1.1, 0.6, 0.4, 0.3};
+  const core::dl_model model(truth, initial, 1.0, 6.0);
+  std::vector<std::vector<double>> surface(initial.size());
+  for (std::size_t i = 0; i < initial.size(); ++i) {
+    surface[i].push_back(initial[i]);
+    for (int t = 2; t <= 6; ++t)
+      surface[i].push_back(model.predict(static_cast<int>(i) + 1, t));
+  }
+  return engine::scenario_context::from_surface(
+      "bench", social::distance_metric::friendship_hops, std::move(surface),
+      core::dl_parameters::paper_hops(6.0));
+}
+
+/// Pure-throughput sweep for the scaling bench: one slice, one scheme,
+/// 3 grid resolutions × `rate_count` distinct constant rates (distinct
+/// cache keys, so no accidental dedup).
+sweep_setup make_bench_sweep(std::size_t rate_count) {
+  sweep_setup setup;
+  setup.context = make_test_surface();
+  setup.spec.models = {"dl"};
+  setup.spec.schemes = {core::dl_scheme::strang_cn};
+  setup.spec.grid = {80, 160, 320};
+  setup.spec.dts = {0.02};
+  setup.spec.rates.clear();
+  for (std::size_t k = 0; k < rate_count; ++k)
+    setup.spec.rates.push_back(
+        "constant:" + engine::format_full_precision(
+                          0.05 + 0.0025 * static_cast<double>(k)));
+  return setup;
+}
+
+/// examples/model_comparison's organic-cascade sweep, verbatim — the
+/// driver must expand the identical scenario list for its shard CSVs to
+/// merge byte-identically with that binary's `--shard` outputs.
+sweep_setup make_comparison_sweep() {
+  num::rng rand(777);
+  graph::digg_graph_params gp;
+  gp.users = 12000;
+  gp.attach = 6;
+  graph::digraph followers = graph::digg_follower_graph(gp, rand);
+  graph::node_id initiator = 0;
+  for (graph::node_id v = 0; v < followers.node_count(); ++v) {
+    if (followers.in_degree(v) > followers.in_degree(initiator)) initiator = v;
+  }
+  digg::cascade_params cp;
+  cp.horizon_hours = 12;
+  const std::vector<social::vote> votes =
+      digg::simulate_cascade(followers, initiator, 0, 0, cp, rand);
+
+  sweep_setup setup;
+  setup.context = engine::scenario_context::from_cascade(
+      std::move(followers), initiator, votes, cp.horizon_hours);
+  setup.spec.models = engine::default_registry().names();
+  setup.spec.schemes = {core::dl_scheme::ftcs, core::dl_scheme::strang_cn,
+                        core::dl_scheme::implicit_newton,
+                        core::dl_scheme::mol_rk4};
+  setup.spec.grid = {20, 40};
+  setup.spec.rates = {"preset", "constant:0.5",
+                      "spatial:preset|1.2,1,0.8,0.65", "calibrate",
+                      "calibrate-spatial"};
+  setup.spec.domains = {"line", "grid2d:1,4", "comm:3|mix=0.05"};
+  setup.spec.t_end = cp.horizon_hours;
+  setup.calibration.coarse_steps = 3;
+  return setup;
+}
+
+sweep_setup make_sweep(const std::string& name, std::size_t bench_rates) {
+  if (name == "bench") return make_bench_sweep(bench_rates);
+  if (name == "comparison") return make_comparison_sweep();
+  throw std::invalid_argument("unknown sweep '" + name +
+                              "' (bench, comparison)");
+}
+
+// ------------------------------------------------------------- file I/O
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw std::runtime_error("cannot open '" + path.string() + "'");
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::filesystem::path& path, std::string_view bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out)
+    throw std::runtime_error("cannot open '" + path.string() +
+                             "' for writing");
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out)
+    throw std::runtime_error("write to '" + path.string() + "' failed");
+}
+
+// ----------------------------------------------------- process spawning
+
+/// The path this binary was launched from, for re-exec'ing workers.
+std::string self_executable(const char* argv0) {
+  char buffer[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (n > 0) {
+    buffer[n] = '\0';
+    return buffer;
+  }
+  return argv0;
+}
+
+pid_t spawn(const std::string& exe, const std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 2);
+  argv.push_back(const_cast<char*>(exe.c_str()));
+  for (const std::string& arg : args)
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid < 0) throw std::runtime_error("fork failed");
+  if (pid == 0) {
+    ::execv(exe.c_str(), argv.data());
+    std::fprintf(stderr, "dl_shard: execv '%s' failed\n", exe.c_str());
+    ::_exit(127);
+  }
+  return pid;
+}
+
+/// Waits for every worker; returns the count that exited nonzero (each
+/// reported on stderr).
+std::size_t wait_all(const std::vector<pid_t>& pids) {
+  std::size_t failures = 0;
+  for (const pid_t pid : pids) {
+    int status = 0;
+    if (::waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "dl_shard: worker pid %d exited with status %d\n",
+                   static_cast<int>(pid),
+                   WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+      ++failures;
+    }
+  }
+  return failures;
+}
+
+// ------------------------------------------------------------- the merge
+
+engine::result_table merge_csv_files(
+    const std::vector<std::filesystem::path>& inputs) {
+  std::vector<engine::result_table> tables;
+  tables.reserve(inputs.size());
+  for (const std::filesystem::path& path : inputs)
+    tables.push_back(engine::result_table::from_csv(read_file(path)));
+  return engine::merge_tables(tables);
+}
+
+struct merged_cache_report {
+  engine::cache_merge_result merge;
+  std::uintmax_t file_bytes = 0;
+  std::size_t entries = 0;
+};
+
+merged_cache_report merge_cache_files_to(
+    const std::filesystem::path& out,
+    const std::vector<std::filesystem::path>& inputs) {
+  engine::solve_cache merged;
+  merged_cache_report report;
+  report.merge = engine::merge_cache_files(merged, inputs);
+  engine::save_cache(merged, out);
+  report.file_bytes = std::filesystem::file_size(out);
+  report.entries = merged.size();
+  return report;
+}
+
+// ---------------------------------------------------------- worker mode
+
+int run_worker(const cli_options& opt) {
+  const sweep_setup setup = make_sweep(opt.sweep, opt.bench_rates);
+  const std::vector<engine::scenario> scenarios =
+      engine::expand_sweep(setup.spec, setup.context);
+
+  engine::result_table table;
+  std::optional<engine::persistent_cache> persist;
+  if (!opt.socket_path.empty()) {
+    // Remote execution: this shard's scenarios run on a resident
+    // dl_serve server; only scoring happens here.  The server owns the
+    // warm cache, so --cache-file does not apply.
+    const std::vector<std::size_t> owned = engine::shard_scenarios(
+        scenarios, *opt.worker, engine::default_registry(), opt.batch_width);
+    table = engine::run_shard_remote(setup.context, scenarios, owned,
+                                     opt.socket_path);
+  } else {
+    engine::runner_options options;
+    options.threads = opt.threads;
+    options.batch_width = opt.batch_width;
+    options.shard = *opt.worker;
+    options.calibration = setup.calibration;
+    if (!opt.cache_path.empty()) {
+      persist.emplace(opt.cache_path);
+      if (!persist->write_error().empty()) return 1;  // already on stderr
+      options.cache = &persist->cache();
+    }
+    table = engine::run_sweep(setup.context, scenarios, options).table;
+  }
+
+  write_file(opt.csv_path, table.to_csv());
+  std::printf("worker %s: %zu of %zu scenarios -> %s\n",
+              opt.worker->label().c_str(), table.size(), scenarios.size(),
+              opt.csv_path.c_str());
+  if (persist) {
+    // Explicit flush so an I/O failure surfaces as a nonzero exit, not
+    // a destructor's best-effort stderr line.
+    try {
+      persist->flush();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "dl_shard: cache flush failed: %s\n", e.what());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------- driver mode
+
+struct shard_run_report {
+  double sweep_ms = 0.0;
+  double merge_ms = 0.0;
+  std::string merged_csv;
+  merged_cache_report cache;
+  std::size_t scenarios = 0;
+};
+
+/// Spawns `shards` workers over `opt`'s sweep, waits, merges their CSVs
+/// (and caches when opt.cache_path is set) and removes the per-worker
+/// temp files.  Throws on any worker or merge failure.
+shard_run_report run_sharded(const cli_options& opt, const std::string& exe,
+                             std::size_t shards, std::size_t scenario_count) {
+  shard_run_report report;
+  report.scenarios = scenario_count;
+
+  std::vector<std::filesystem::path> csvs;
+  std::vector<std::filesystem::path> caches;
+  std::vector<pid_t> pids;
+  const clock_type::time_point sweep_start = clock_type::now();
+  for (std::size_t i = 0; i < shards; ++i) {
+    std::string worker_spec =
+        std::to_string(i) + "/" + std::to_string(shards);
+    if (opt.policy == engine::shard_policy::strided) worker_spec += ":strided";
+    const std::string csv = opt.csv_path + ".shard" + std::to_string(i);
+    csvs.push_back(csv);
+    std::vector<std::string> args{"--worker",    worker_spec,
+                                  "--sweep",     opt.sweep,
+                                  "--csv",       csv,
+                                  "--threads",   std::to_string(opt.threads),
+                                  "--bench-rates",
+                                  std::to_string(opt.bench_rates)};
+    if (opt.batch_width != 0) {
+      args.push_back("--batch-width");
+      args.push_back(std::to_string(opt.batch_width));
+    }
+    if (!opt.cache_path.empty()) {
+      const std::string cache =
+          opt.cache_path + ".shard" + std::to_string(i);
+      caches.push_back(cache);
+      args.push_back("--cache-file");
+      args.push_back(cache);
+    }
+    pids.push_back(spawn(exe, args));
+  }
+  if (const std::size_t failures = wait_all(pids); failures > 0)
+    throw std::runtime_error(std::to_string(failures) +
+                             " worker(s) failed");
+  report.sweep_ms = elapsed_ms(sweep_start);
+
+  const clock_type::time_point merge_start = clock_type::now();
+  report.merged_csv = merge_csv_files(csvs).to_csv();
+  if (!caches.empty())
+    report.cache = merge_cache_files_to(opt.cache_path, caches);
+  report.merge_ms = elapsed_ms(merge_start);
+
+  std::error_code ec;
+  for (const std::filesystem::path& path : csvs)
+    std::filesystem::remove(path, ec);
+  for (const std::filesystem::path& path : caches)
+    std::filesystem::remove(path, ec);
+  return report;
+}
+
+int run_driver(const cli_options& opt, const std::string& exe) {
+  const sweep_setup setup = make_sweep(opt.sweep, opt.bench_rates);
+  const std::size_t scenario_count =
+      engine::expand_sweep(setup.spec, setup.context).size();
+
+  const shard_run_report report =
+      run_sharded(opt, exe, opt.shards, scenario_count);
+  write_file(opt.csv_path, report.merged_csv);
+  if (!opt.text_path.empty())
+    write_file(opt.text_path,
+               engine::result_table::from_csv(report.merged_csv).to_text());
+
+  std::printf("sweep '%s': %zu scenarios over %zu shard processes\n",
+              opt.sweep.c_str(), scenario_count, opt.shards);
+  std::printf("  sweep %.1f ms (%.1f scenarios/sec), merge %.1f ms\n",
+              report.sweep_ms,
+              report.sweep_ms > 0.0
+                  ? 1000.0 * static_cast<double>(scenario_count) /
+                        report.sweep_ms
+                  : 0.0,
+              report.merge_ms);
+  std::printf("  merged CSV -> %s\n", opt.csv_path.c_str());
+  if (!opt.cache_path.empty())
+    std::printf("  merged cache -> %s (%zu entries, %ju bytes, "
+                "%zu traces + %zu values adopted, %zu duplicates, "
+                "%zu conflicts)\n",
+                opt.cache_path.c_str(), report.cache.entries,
+                static_cast<std::uintmax_t>(report.cache.file_bytes),
+                report.cache.merge.merged_traces,
+                report.cache.merge.merged_values,
+                report.cache.merge.duplicates, report.cache.merge.conflicts);
+  return 0;
+}
+
+// ----------------------------------------------------------- bench mode
+
+int run_bench(const cli_options& opt, const std::string& exe) {
+  const sweep_setup setup = make_sweep("bench", opt.bench_rates);
+  const std::size_t scenario_count =
+      engine::expand_sweep(setup.spec, setup.context).size();
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("dl_shard_bench_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+
+  struct bench_run {
+    std::size_t shards = 0;
+    shard_run_report report;
+    bool csv_identical = true;
+  };
+  std::vector<bench_run> runs;
+  std::string reference_csv;
+  for (const std::size_t n : opt.bench_shards) {
+    cli_options worker_opt = opt;
+    worker_opt.sweep = "bench";
+    worker_opt.threads = 1;  // scale across processes, not threads
+    worker_opt.csv_path = (dir / ("n" + std::to_string(n) + ".csv")).string();
+    worker_opt.cache_path =
+        (dir / ("n" + std::to_string(n) + ".cache")).string();
+    bench_run run;
+    run.shards = n;
+    run.report = run_sharded(worker_opt, exe, n, scenario_count);
+    if (reference_csv.empty())
+      reference_csv = run.report.merged_csv;
+    else
+      run.csv_identical = run.report.merged_csv == reference_csv;
+    std::printf("bench: %zu shard(s): sweep %.1f ms, merge %.1f ms, "
+                "%.1f scenarios/sec, cache %ju bytes%s\n",
+                n, run.report.sweep_ms, run.report.merge_ms,
+                run.report.sweep_ms > 0.0
+                    ? 1000.0 * static_cast<double>(scenario_count) /
+                          run.report.sweep_ms
+                    : 0.0,
+                static_cast<std::uintmax_t>(run.report.cache.file_bytes),
+                run.csv_identical ? "" : "  [CSV MISMATCH]");
+    runs.push_back(std::move(run));
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+
+  // The JSON report.  hardware_concurrency is recorded because the
+  // scenarios/sec curve is only meaningful relative to it: N worker
+  // processes on fewer than N cores cannot and should not show N×.
+  std::string json = "{\n";
+  json += "  \"name\": \"dl_shard_scaling\",\n";
+  json += "  \"sweep\": \"bench\",\n";
+  json += "  \"scenarios\": " + std::to_string(scenario_count) + ",\n";
+  json += "  \"hardware_concurrency\": " +
+          std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  json += "  \"worker_threads_each\": 1,\n";
+  json += "  \"runs\": [\n";
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    const bench_run& run = runs[r];
+    const double sps = run.report.sweep_ms > 0.0
+                           ? 1000.0 * static_cast<double>(scenario_count) /
+                                 run.report.sweep_ms
+                           : 0.0;
+    json += "    {\"shards\": " + std::to_string(run.shards) +
+            ", \"sweep_ms\": " + engine::format_full_precision(
+                                     run.report.sweep_ms) +
+            ", \"merge_ms\": " + engine::format_full_precision(
+                                     run.report.merge_ms) +
+            ", \"scenarios_per_sec\": " + engine::format_full_precision(sps) +
+            ", \"cache_merge_bytes\": " +
+            std::to_string(run.report.cache.file_bytes) +
+            ", \"merged_cache_entries\": " +
+            std::to_string(run.report.cache.entries) +
+            ", \"merge_conflicts\": " +
+            std::to_string(run.report.cache.merge.conflicts) +
+            ", \"csv_identical_to_unsharded\": " +
+            (run.csv_identical ? "true" : "false") + "}";
+    json += r + 1 < runs.size() ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+  write_file(opt.bench_out, json);
+  std::printf("wrote %s\n", opt.bench_out.c_str());
+  return 0;
+}
+
+// ----------------------------------------------------------- merge CLIs
+
+int run_merge_tables(const cli_options& opt) {
+  const auto& files = opt.merge_files;
+  std::vector<engine::result_table> tables;
+  for (std::size_t i = 1; i < files.size(); ++i) {
+    std::string bytes;
+    try {
+      bytes = read_file(files[i].first);
+    } catch (const std::exception& e) {
+      return bad_cli(e.what(), files[i].second);
+    }
+    try {
+      tables.push_back(engine::result_table::from_csv(bytes));
+    } catch (const std::exception& e) {
+      return bad_cli("'" + files[i].first + "': " + e.what(),
+                     files[i].second);
+    }
+  }
+  const engine::result_table merged = engine::merge_tables(tables);
+  write_file(files[0].first, merged.to_csv());
+  std::printf("merged %zu shard CSVs (%zu rows) -> %s\n", tables.size(),
+              merged.size(), files[0].first.c_str());
+  return 0;
+}
+
+int run_merge_cache(const cli_options& opt) {
+  const auto& files = opt.merge_files;
+  std::vector<std::filesystem::path> inputs;
+  for (std::size_t i = 1; i < files.size(); ++i) {
+    if (!std::filesystem::exists(files[i].first))
+      return bad_cli("cannot open '" + files[i].first + "'",
+                     files[i].second);
+    inputs.push_back(files[i].first);
+  }
+  const merged_cache_report report =
+      merge_cache_files_to(files[0].first, inputs);
+  std::printf("merged %zu shard caches -> %s (%zu entries, %ju bytes, "
+              "%zu traces + %zu values adopted, %zu duplicates, "
+              "%zu conflicts)\n",
+              inputs.size(), files[0].first.c_str(), report.entries,
+              static_cast<std::uintmax_t>(report.file_bytes),
+              report.merge.merged_traces, report.merge.merged_values,
+              report.merge.duplicates, report.merge.conflicts);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli_options opt;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::exit(bad_cli(std::string(what) + " needs a value", i));
+      }
+      return argv[++i];
+    };
+    try {
+      if (arg == "--shards") {
+        opt.shards = std::stoul(next("--shards"));
+        if (opt.shards == 0)
+          return bad_cli("--shards must be positive", i);
+      } else if (arg == "--policy") {
+        const std::string value = next("--policy");
+        if (value == "contiguous") {
+          opt.policy = engine::shard_policy::contiguous;
+        } else if (value == "strided") {
+          opt.policy = engine::shard_policy::strided;
+        } else {
+          return bad_cli("unknown policy '" + value + "'", i);
+        }
+      } else if (arg == "--worker") {
+        opt.worker = engine::parse_shard_spec(next("--worker"));
+      } else if (arg == "--sweep") {
+        opt.sweep = next("--sweep");
+      } else if (arg == "--csv") {
+        opt.csv_path = next("--csv");
+      } else if (arg == "--text") {
+        opt.text_path = next("--text");
+      } else if (arg == "--cache-file") {
+        opt.cache_path = next("--cache-file");
+      } else if (arg == "--threads") {
+        opt.threads = std::stoul(next("--threads"));
+      } else if (arg == "--batch-width") {
+        opt.batch_width = std::stoul(next("--batch-width"));
+      } else if (arg == "--socket") {
+        opt.socket_path = next("--socket");
+      } else if (arg == "--bench") {
+        opt.bench = true;
+      } else if (arg == "--bench-out") {
+        opt.bench_out = next("--bench-out");
+      } else if (arg == "--bench-rates") {
+        opt.bench_rates = std::stoul(next("--bench-rates"));
+        if (opt.bench_rates == 0)
+          return bad_cli("--bench-rates must be positive", i);
+      } else if (arg == "--bench-shards") {
+        opt.bench_shards.clear();
+        for (const std::string& piece :
+             engine::split_keep_empty(next("--bench-shards"), ',')) {
+          const std::size_t n = std::stoul(piece);
+          if (n == 0) return bad_cli("shard count must be positive", i);
+          opt.bench_shards.push_back(n);
+        }
+      } else if (arg == "--merge" || arg == "--merge-cache") {
+        // Everything after is "out in0 in1 ..." — collected with argv
+        // positions so a bad file is named by where it sits.
+        (arg == "--merge" ? opt.merge_tables_mode : opt.merge_cache_mode) =
+            true;
+        for (++i; i < argc; ++i) opt.merge_files.emplace_back(argv[i], i);
+        if (opt.merge_files.size() < 2)
+          return bad_cli(arg + " needs an output and at least one input",
+                         argc - 1);
+      } else {
+        return bad_cli("unknown argument '" + arg + "'", i);
+      }
+    } catch (const std::exception& e) {
+      // std::stoul / parse_shard_spec rejections, positioned at the value.
+      return bad_cli(e.what(), i);
+    }
+  }
+
+  const int modes = (opt.shards > 0 ? 1 : 0) + (opt.worker ? 1 : 0) +
+                    (opt.merge_tables_mode ? 1 : 0) +
+                    (opt.merge_cache_mode ? 1 : 0) + (opt.bench ? 1 : 0);
+  if (modes != 1)
+    return bad_cli(
+        "exactly one of --shards, --worker, --merge, --merge-cache, "
+        "--bench is required",
+        argc > 1 ? 1 : 0);
+
+  try {
+    if (opt.merge_tables_mode) return run_merge_tables(opt);
+    if (opt.merge_cache_mode) return run_merge_cache(opt);
+    const std::string exe = self_executable(argv[0]);
+    if (opt.bench) return run_bench(opt, exe);
+    if (opt.worker) {
+      if (opt.csv_path.empty())
+        return bad_cli("--worker requires --csv", 1);
+      return run_worker(opt);
+    }
+    if (opt.csv_path.empty()) opt.csv_path = "dl_shard.csv";
+    return run_driver(opt, exe);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dl_shard: %s\n", e.what());
+    return 1;
+  }
+}
