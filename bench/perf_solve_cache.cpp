@@ -10,7 +10,9 @@
 // warm-from-disk bench extends the pair across a process boundary: load
 // the saved cache file into a fresh cache, re-run, zero solves — with
 // the file size (cache_file_bytes) and the bare save/load costs
-// reported alongside.
+// reported alongside.  The journal bench prices the WAL tax of the
+// crash-safety PR: journal_ns_per_entry and wal_bytes per appended
+// trace record.
 
 #include <benchmark/benchmark.h>
 
@@ -22,6 +24,7 @@
 #include "alloc_counter.h"
 #include "core/dl_model.h"
 #include "engine/cache_io.h"
+#include "engine/cache_journal.h"
 #include "engine/scenario_runner.h"
 #include "engine/solve_cache.h"
 
@@ -210,6 +213,45 @@ void BM_cache_load(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_cache_load)->Unit(benchmark::kMillisecond);
+
+void BM_journal_append(benchmark::State& state) {
+  // The WAL tax: per-insert cost of journaling a realistic trace record
+  // (engine/cache_journal.h), reported as journal_ns_per_entry so the
+  // sweep-throughput budget can be checked against it, plus wal_bytes —
+  // the on-disk growth per entry — so compaction cadence stays honest.
+  engine::model_trace trace;
+  trace.distances = {1, 2, 3, 4, 5, 6};
+  trace.times = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  trace.predicted.assign(trace.distances.size(),
+                         std::vector<double>(trace.times.size(), 0.25));
+  trace.effective_dt = 0.01;
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() /
+      ("dlm_perf_journal_" + std::to_string(::getpid()) + ".wal");
+  std::filesystem::remove(path);
+  std::size_t appended = 0;
+  std::uint64_t wal_bytes = 0;
+  const alloc_scope allocs(state);
+  {
+    engine::cache_journal journal(path);
+    for (auto _ : state) {
+      journal.append_trace("bench/journal/" + std::to_string(appended++),
+                           trace);
+      if (!journal.write_error().empty())
+        state.SkipWithError("journal append failed");
+    }
+    wal_bytes = journal.bytes();
+  }
+  // kIsIterationInvariantRate computes value * iterations / elapsed;
+  // inverted with value 1e-9 that is elapsed_ns / iterations.
+  state.counters["journal_ns_per_entry"] = benchmark::Counter(
+      1e-9, benchmark::Counter::kIsIterationInvariantRate |
+                benchmark::Counter::kInvert);
+  state.counters["wal_bytes"] =
+      benchmark::Counter(static_cast<double>(wal_bytes));
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_journal_append);
 
 void BM_calibration_sweep_uncached(benchmark::State& state) {
   // Baseline without any cache, for the no-regression comparison on the

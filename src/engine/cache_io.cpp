@@ -118,6 +118,53 @@ struct parsed_file {
   std::vector<std::pair<std::string, double>> values;
 };
 
+/// Parses one trace entry at `r`'s cursor — the shared step of the
+/// snapshot section parser and the journal record decoder
+/// (decode_trace_entry).  Returns an error message or empty.
+std::string parse_one_trace(reader& r, std::string& key, model_trace& trace) {
+  const std::uint32_t key_len = r.get_u32();
+  if (key_len > r.remaining()) return "trace key overruns section";
+  key = std::string(r.get_bytes(key_len));
+  const std::uint32_t domain_len = r.get_u32();
+  if (!r.ok() || domain_len > r.remaining())
+    return "trace domain overruns section";
+  trace.domain = std::string(r.get_bytes(domain_len));
+  const std::uint32_t n_dist = r.get_u32();
+  if (!r.ok() || n_dist > r.remaining() / 4)
+    return "trace distance count overruns section";
+  trace.distances.reserve(n_dist);
+  for (std::uint32_t d = 0; d < n_dist; ++d)
+    trace.distances.push_back(r.get_i32());
+  const std::uint32_t n_times = r.get_u32();
+  if (!r.ok() || n_times > r.remaining() / 8)
+    return "trace time count overruns section";
+  trace.times.reserve(n_times);
+  for (std::uint32_t t = 0; t < n_times; ++t)
+    trace.times.push_back(r.get_f64());
+  trace.effective_dt = r.get_f64();
+  const std::uint64_t cells =
+      static_cast<std::uint64_t>(n_dist) * static_cast<std::uint64_t>(n_times);
+  if (!r.ok() || cells > r.remaining() / 8)
+    return "trace blob overruns section";
+  trace.predicted.resize(n_dist);
+  for (std::uint32_t d = 0; d < n_dist; ++d) {
+    trace.predicted[d].reserve(n_times);
+    for (std::uint32_t t = 0; t < n_times; ++t)
+      trace.predicted[d].push_back(r.get_f64());
+  }
+  if (!r.ok()) return "truncated trace entry";
+  return {};
+}
+
+std::string parse_one_value(reader& r, std::string& key, double& value) {
+  const std::uint32_t key_len = r.get_u32();
+  if (key_len > r.remaining()) return "value key overruns section";
+  key = std::string(r.get_bytes(key_len));
+  value = r.get_f64();
+  if (!r.ok()) return "truncated value entry";
+  return {};
+}
+
 /// Parses the trace section payload.  Returns an error message or empty.
 std::string parse_trace_section(std::string_view payload, parsed_file& out) {
   reader r(payload);
@@ -131,38 +178,10 @@ std::string parse_trace_section(std::string_view payload, parsed_file& out) {
            " exceeds section capacity";
   out.traces.reserve(static_cast<std::size_t>(count));
   for (std::uint64_t i = 0; i < count; ++i) {
-    const std::uint32_t key_len = r.get_u32();
-    if (key_len > r.remaining()) return "trace key overruns section";
-    std::string key(r.get_bytes(key_len));
+    std::string key;
     model_trace trace;
-    const std::uint32_t domain_len = r.get_u32();
-    if (!r.ok() || domain_len > r.remaining())
-      return "trace domain overruns section";
-    trace.domain = std::string(r.get_bytes(domain_len));
-    const std::uint32_t n_dist = r.get_u32();
-    if (!r.ok() || n_dist > r.remaining() / 4)
-      return "trace distance count overruns section";
-    trace.distances.reserve(n_dist);
-    for (std::uint32_t d = 0; d < n_dist; ++d)
-      trace.distances.push_back(r.get_i32());
-    const std::uint32_t n_times = r.get_u32();
-    if (!r.ok() || n_times > r.remaining() / 8)
-      return "trace time count overruns section";
-    trace.times.reserve(n_times);
-    for (std::uint32_t t = 0; t < n_times; ++t)
-      trace.times.push_back(r.get_f64());
-    trace.effective_dt = r.get_f64();
-    const std::uint64_t cells =
-        static_cast<std::uint64_t>(n_dist) * static_cast<std::uint64_t>(n_times);
-    if (!r.ok() || cells > r.remaining() / 8)
-      return "trace blob overruns section";
-    trace.predicted.resize(n_dist);
-    for (std::uint32_t d = 0; d < n_dist; ++d) {
-      trace.predicted[d].reserve(n_times);
-      for (std::uint32_t t = 0; t < n_times; ++t)
-        trace.predicted[d].push_back(r.get_f64());
-    }
-    if (!r.ok()) return "truncated trace entry";
+    if (std::string error = parse_one_trace(r, key, trace); !error.empty())
+      return error;
     out.traces.emplace_back(std::move(key), std::move(trace));
   }
   if (!r.at_end()) return "trailing bytes in trace section";
@@ -178,11 +197,10 @@ std::string parse_value_section(std::string_view payload, parsed_file& out) {
            " exceeds section capacity";
   out.values.reserve(static_cast<std::size_t>(count));
   for (std::uint64_t i = 0; i < count; ++i) {
-    const std::uint32_t key_len = r.get_u32();
-    if (key_len > r.remaining()) return "value key overruns section";
-    std::string key(r.get_bytes(key_len));
-    const double value = r.get_f64();
-    if (!r.ok()) return "truncated value entry";
+    std::string key;
+    double value = 0.0;
+    if (std::string error = parse_one_value(r, key, value); !error.empty())
+      return error;
     out.values.emplace_back(std::move(key), value);
   }
   if (!r.at_end()) return "trailing bytes in value section";
@@ -207,39 +225,68 @@ std::uint64_t cache_checksum(std::string_view bytes) {
   return hash;
 }
 
+std::string encode_trace_entry(std::string_view key,
+                               const model_trace& trace) {
+  if (trace.predicted.size() != trace.distances.size())
+    throw std::runtime_error("cache_io: trace '" + std::string(key) +
+                             "' has a ragged predicted surface");
+  std::string out;
+  put_string(out, key);
+  put_string(out, trace.domain);
+  put_u32(out, static_cast<std::uint32_t>(trace.distances.size()));
+  for (const int d : trace.distances) put_i32(out, d);
+  put_u32(out, static_cast<std::uint32_t>(trace.times.size()));
+  for (const double t : trace.times) put_f64(out, t);
+  put_f64(out, trace.effective_dt);
+  for (const std::vector<double>& row : trace.predicted) {
+    if (row.size() != trace.times.size())
+      throw std::runtime_error("cache_io: trace '" + std::string(key) +
+                               "' has a ragged predicted surface");
+    for (const double v : row) put_f64(out, v);
+  }
+  return out;
+}
+
+std::string encode_value_entry(std::string_view key, double value) {
+  std::string out;
+  put_string(out, key);
+  put_f64(out, value);
+  return out;
+}
+
+std::string decode_trace_entry(std::string_view payload, std::string& key,
+                               model_trace& trace) {
+  reader r(payload);
+  trace = model_trace{};
+  if (std::string error = parse_one_trace(r, key, trace); !error.empty())
+    return error;
+  if (!r.at_end()) return "trailing bytes after trace entry";
+  return {};
+}
+
+std::string decode_value_entry(std::string_view payload, std::string& key,
+                               double& value) {
+  reader r(payload);
+  if (std::string error = parse_one_value(r, key, value); !error.empty())
+    return error;
+  if (!r.at_end()) return "trailing bytes after value entry";
+  return {};
+}
+
 std::string serialize_cache(const solve_cache& cache) {
   std::string traces;
   const std::vector<solve_cache::trace_export> trace_entries =
       cache.export_traces();
   put_u64(traces, trace_entries.size());
-  for (const solve_cache::trace_export& entry : trace_entries) {
-    const model_trace& trace = *entry.trace;
-    if (trace.predicted.size() != trace.distances.size())
-      throw std::runtime_error("cache_io: trace '" + entry.key +
-                               "' has a ragged predicted surface");
-    put_string(traces, entry.key);
-    put_string(traces, trace.domain);
-    put_u32(traces, static_cast<std::uint32_t>(trace.distances.size()));
-    for (const int d : trace.distances) put_i32(traces, d);
-    put_u32(traces, static_cast<std::uint32_t>(trace.times.size()));
-    for (const double t : trace.times) put_f64(traces, t);
-    put_f64(traces, trace.effective_dt);
-    for (const std::vector<double>& row : trace.predicted) {
-      if (row.size() != trace.times.size())
-        throw std::runtime_error("cache_io: trace '" + entry.key +
-                                 "' has a ragged predicted surface");
-      for (const double v : row) put_f64(traces, v);
-    }
-  }
+  for (const solve_cache::trace_export& entry : trace_entries)
+    traces += encode_trace_entry(entry.key, *entry.trace);
 
   std::string values;
   const std::vector<solve_cache::value_export> value_entries =
       cache.export_values();
   put_u64(values, value_entries.size());
-  for (const solve_cache::value_export& entry : value_entries) {
-    put_string(values, entry.key);
-    put_f64(values, entry.value);
-  }
+  for (const solve_cache::value_export& entry : value_entries)
+    values += encode_value_entry(entry.key, entry.value);
 
   std::string out;
   out.reserve(24 + 40 + traces.size() + values.size());
@@ -408,6 +455,77 @@ cache_merge_result merge_cache_files(
   return result;
 }
 
+std::filesystem::path cache_journal_path(
+    const std::filesystem::path& snapshot_path) {
+  return snapshot_path.string() + ".wal";
+}
+
+persistent_cache::persistent_cache(std::filesystem::path path,
+                                   std::size_t max_entries,
+                                   journal_options journal)
+    : path_(std::move(path)),
+      cache_(max_entries),
+      journal_options_(journal) {
+  load_ = load_cache(cache_, path_);
+  write_error_ = probe_cache_writable(path_);
+  if (!write_error_.empty())
+    std::fprintf(stderr,
+                 "persistent_cache: %s — the save-on-exit will fail\n",
+                 write_error_.c_str());
+  if (!journal_options_.enabled) return;
+
+  // Snapshot first, then the WAL on top: records that made it into a
+  // snapshot before a crash replay as benign first-insert-wins
+  // duplicates.
+  const std::filesystem::path wal = cache_journal_path(path_);
+  replay_ = replay_journal(cache_, wal);
+  try {
+    cache_journal::options jopt;
+    jopt.fsync_each = journal_options_.fsync_each;
+    jopt.torn_write_record = journal_options_.torn_write_record;
+    journal_ = std::make_unique<cache_journal>(wal, jopt);
+  } catch (const std::exception& e) {
+    // A journal that cannot open degrades to the plain save-on-exit
+    // wrapper — surfaced, not fatal.
+    if (write_error_.empty()) write_error_ = e.what();
+    std::fprintf(stderr, "persistent_cache: %s — journaling disabled\n",
+                 e.what());
+    return;
+  }
+  // Observe every winning insert from here on.  The observer runs
+  // outside the cache mutex (see solve_cache::set_write_observer), so
+  // the auto-checkpoint below may serialize the cache safely.
+  cache_journal* jrnl = journal_.get();
+  const std::uint64_t compact_bytes = journal_options_.compact_bytes;
+  solve_cache* cache = &cache_;
+  const std::filesystem::path snapshot = path_;
+  cache_.set_write_observer([jrnl, compact_bytes, cache, snapshot](
+                                const std::string& key,
+                                const model_trace* trace,
+                                const double* value) {
+    if (trace != nullptr) jrnl->append_trace(key, *trace);
+    if (value != nullptr) jrnl->append_value(key, *value);
+    if (compact_bytes != 0 && jrnl->bytes() > compact_bytes &&
+        jrnl->write_error().empty()) {
+      try {
+        jrnl->checkpoint([cache, &snapshot] { save_cache(*cache, snapshot); });
+      } catch (const std::exception& e) {
+        std::fprintf(stderr,
+                     "persistent_cache: auto-checkpoint of '%s' failed: %s\n",
+                     snapshot.string().c_str(), e.what());
+      }
+    }
+  });
+}
+
+void persistent_cache::flush() {
+  if (journal_ != nullptr) {
+    journal_->checkpoint([this] { save_cache(cache_, path_); });
+    return;
+  }
+  save_cache(cache_, path_);
+}
+
 persistent_cache::~persistent_cache() {
   try {
     flush();
@@ -415,6 +533,9 @@ persistent_cache::~persistent_cache() {
     std::fprintf(stderr, "persistent_cache: save to '%s' failed: %s\n",
                  path_.string().c_str(), e.what());
   }
+  // The observer holds the raw journal pointer; drop it before the
+  // journal member destructs.
+  cache_.set_write_observer({});
 }
 
 }  // namespace dlm::engine

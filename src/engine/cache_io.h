@@ -35,13 +35,15 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <cstdio>
 #include <filesystem>
+#include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "engine/cache_journal.h"
 #include "engine/solve_cache.h"
 
 namespace dlm::engine {
@@ -60,6 +62,32 @@ inline constexpr std::string_view kCacheMagic = "DLMCACHE";
 /// FNV-1a 64-bit checksum used for the per-section checksums — exposed
 /// so tests can re-seal deliberately corrupted payloads.
 [[nodiscard]] std::uint64_t cache_checksum(std::string_view bytes);
+
+// ------------------------------------------------------- entry codecs
+//
+// The per-entry byte layout of the two snapshot sections, exposed as
+// standalone codecs so the cache journal (engine/cache_journal.h) can
+// carry the identical bytes per record — one codec, one set of
+// corruption tests, no format drift between WAL and snapshot.
+
+/// One trace entry in the trace section's per-entry layout (key ·
+/// domain · distances · times · effective_dt · predicted blob).
+[[nodiscard]] std::string encode_trace_entry(std::string_view key,
+                                             const model_trace& trace);
+
+/// One value entry (key · value f64).
+[[nodiscard]] std::string encode_value_entry(std::string_view key,
+                                             double value);
+
+/// Parses one trace entry occupying exactly `payload`.  Bounds-checked
+/// like the snapshot loader.  Returns an error message, empty on
+/// success.
+[[nodiscard]] std::string decode_trace_entry(std::string_view payload,
+                                             std::string& key,
+                                             model_trace& trace);
+
+[[nodiscard]] std::string decode_value_entry(std::string_view payload,
+                                             std::string& key, double& value);
 
 /// Outcome of a load attempt.
 struct cache_load_result {
@@ -130,6 +158,25 @@ struct cache_merge_result {
 cache_merge_result merge_cache_files(
     solve_cache& into, std::span<const std::filesystem::path> paths);
 
+/// Journal configuration for persistent_cache (see
+/// engine/cache_journal.h and docs/robustness.md).
+struct journal_options {
+  /// Write-ahead journal every winning cache insert to "<path>.wal"
+  /// beside the snapshot, replayed over the snapshot on the next start
+  /// — a killed process loses at most the in-flight record instead of
+  /// every solve since startup.
+  bool enabled = false;
+  /// Auto-checkpoint (snapshot save + WAL reset) once the WAL exceeds
+  /// this many bytes; 0 disables auto-compaction (flush() and the
+  /// destructor still compact).
+  std::uint64_t compact_bytes = 4ull << 20;
+  /// fsync per record (cache_journal::options::fsync_each).
+  bool fsync_each = false;
+  /// Fault-injection passthrough (engine/fault.h):
+  /// fault_plan::torn_write_record.
+  std::optional<std::uint64_t> torn_write_record;
+};
+
 /// Load-on-construction / save-on-destruction wrapper: the wiring the
 /// sweep runner examples and tools use for `--cache-file`.  The
 /// destructor swallows save failures (a best-effort flush must not
@@ -138,18 +185,16 @@ cache_merge_result merge_cache_files(
 /// (probe_cache_writable) and reports the problem on stderr *and*
 /// through write_error(), so callers can exit nonzero immediately
 /// instead of silently losing the save-on-exit after a long sweep.
+///
+/// With journal_options::enabled the constructor additionally replays
+/// "<path>.wal" over the loaded snapshot and installs a cache write
+/// observer that appends every winning insert to the WAL as it
+/// happens; flush() becomes a checkpoint (snapshot + WAL reset).
 class persistent_cache {
  public:
   explicit persistent_cache(std::filesystem::path path,
-                            std::size_t max_entries = 0)
-      : path_(std::move(path)), cache_(max_entries) {
-    load_ = load_cache(cache_, path_);
-    write_error_ = probe_cache_writable(path_);
-    if (!write_error_.empty())
-      std::fprintf(stderr,
-                   "persistent_cache: %s — the save-on-exit will fail\n",
-                   write_error_.c_str());
-  }
+                            std::size_t max_entries = 0,
+                            journal_options journal = {});
   ~persistent_cache();
   persistent_cache(const persistent_cache&) = delete;
   persistent_cache& operator=(const persistent_cache&) = delete;
@@ -162,22 +207,39 @@ class persistent_cache {
   [[nodiscard]] const cache_load_result& startup_load() const noexcept {
     return load_;
   }
+  /// What the constructor's WAL replay saw (all-defaults when the
+  /// journal is disabled).
+  [[nodiscard]] const journal_replay_result& startup_replay() const noexcept {
+    return replay_;
+  }
+  /// The live journal, or null when disabled (or when opening the WAL
+  /// failed — reported through write_error()).
+  [[nodiscard]] cache_journal* journal() noexcept { return journal_.get(); }
 
-  /// Why the constructor's writability probe failed; empty when the
-  /// cache file is writable.  Callers treating --cache-file as a
-  /// contract (not best-effort) should check this and exit nonzero.
+  /// Why the constructor's writability probe (or WAL open) failed;
+  /// empty when the cache file is writable.  Callers treating
+  /// --cache-file as a contract (not best-effort) should check this
+  /// and exit nonzero.
   [[nodiscard]] const std::string& write_error() const noexcept {
     return write_error_;
   }
 
-  /// Saves now.  Throws std::runtime_error on I/O failure.
-  void flush() { save_cache(cache_, path_); }
+  /// Saves now — a plain snapshot save, or a journal checkpoint when
+  /// journaling.  Throws std::runtime_error on I/O failure.
+  void flush();
 
  private:
   std::filesystem::path path_;
   solve_cache cache_;
   cache_load_result load_;
+  journal_replay_result replay_;
+  std::unique_ptr<cache_journal> journal_;
+  journal_options journal_options_;
   std::string write_error_;
 };
+
+/// The WAL path persistent_cache uses for a given snapshot path.
+[[nodiscard]] std::filesystem::path cache_journal_path(
+    const std::filesystem::path& snapshot_path);
 
 }  // namespace dlm::engine

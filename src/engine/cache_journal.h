@@ -1,0 +1,158 @@
+// Append-only write-ahead journal for engine::solve_cache.
+//
+// The snapshot format (engine/cache_io.h) is save-on-exit: a process
+// SIGKILLed mid-sweep loses every solve since startup.  The journal
+// closes that window — every winning cache insert is appended to a WAL
+// beside the snapshot file as it happens, so a crash loses at most the
+// record being written.  On the next start the snapshot is loaded
+// first, then the WAL replayed on top (first insert wins, so a record
+// that also made it into a snapshot is a benign duplicate), and the
+// warm sweep re-runs with zero PDE solves for every journaled entry.
+//
+// File layout (integers little-endian, as in the snapshot format):
+//
+//   header : magic "DLMCJRNL" (8) · format version u32
+//   record : kind u32 (1 = trace, 2 = value) · payload bytes u64 ·
+//            FNV-1a-64 checksum of the payload u64 · payload
+//
+// Record payloads reuse the snapshot's per-entry byte layout exactly
+// (encode_trace_entry / encode_value_entry in engine/cache_io.h), so
+// the journal format version tracks kCacheFormatVersion.
+//
+// Replay is adversarial like the snapshot loader, but with the opposite
+// tail policy: a snapshot is all-or-nothing (it was written atomically,
+// so any defect means corruption), while a journal's last record is
+// *expected* to be torn when the writer died mid-append.  Replay
+// therefore applies the longest valid record prefix and reports the
+// tail; opening the journal for appending truncates that tail so new
+// records land on a clean boundary.  A file whose *header* is wrong
+// (bad magic, wrong version) is rejected wholesale — and never
+// truncated, because a foreign file is not ours to destroy.
+//
+// Compaction: checkpoint() holds the append lock while the caller
+// writes a fresh snapshot, then resets the WAL to an empty header.
+// Crash before the snapshot rename → the old snapshot + full WAL still
+// replay; crash between rename and reset → the WAL's records are
+// already in the snapshot and replay as duplicates.  No ordering loses
+// an entry.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "engine/solve_cache.h"
+
+namespace dlm::engine {
+
+/// 8-byte journal magic ("DLM Cache JouRNaL").
+inline constexpr std::string_view kJournalMagic = "DLMCJRNL";
+
+/// Journal format version.  Record payloads are snapshot v2 entries, so
+/// this tracks kCacheFormatVersion (engine/cache_io.h).
+inline constexpr std::uint32_t kJournalFormatVersion = 2;
+
+/// Outcome of replay_journal.
+struct journal_replay_result {
+  /// True iff the header was accepted (or the file is missing/empty —
+  /// both are a normal cold start) and the valid record prefix was
+  /// imported.  False only for a rejected header or unreadable file.
+  bool replayed = false;
+  /// True when the file simply does not exist.
+  bool file_missing = false;
+  std::size_t traces = 0;  ///< trace records imported
+  std::size_t values = 0;  ///< value records imported
+  /// True when trailing bytes after the valid prefix were ignored (a
+  /// torn final record — the expected shape after a crash mid-append).
+  bool torn_tail = false;
+  /// Bytes of the valid prefix (header + whole records); what the
+  /// journal truncates to before appending.
+  std::uint64_t valid_bytes = 0;
+  /// Total file bytes observed.
+  std::uint64_t file_bytes = 0;
+  /// Why the file was rejected (replayed == false), or what the torn
+  /// tail's defect was (replayed == true, torn_tail == true).
+  std::string error;
+};
+
+/// Loads the WAL at `path` into `cache`: header verified, then every
+/// record applied in order through import_trace/import_value (first
+/// insert wins) until the first torn or corrupt record, whose tail is
+/// reported but not imported.  A missing or empty file replays as
+/// clean-and-empty.  A bad header counts cache_stats::load_rejected and
+/// leaves the cache untouched.  Never modifies the file.
+journal_replay_result replay_journal(solve_cache& cache,
+                                     const std::filesystem::path& path);
+
+/// The appender.  One instance owns the WAL file of one process;
+/// appends are serialized internally and flushed to the OS per record
+/// (surviving process death; machine-crash durability would need
+/// fsync_each).
+class cache_journal {
+ public:
+  struct options {
+    /// fsync after every record: durable against power loss, not just
+    /// process death.  Off by default — the failure domain this layer
+    /// hardens is crashed/killed processes, and per-record fsync costs
+    /// milliseconds on spinning disks.
+    bool fsync_each = false;
+    /// Fault injection (engine/fault.h, "torn-write:journal@rec<k>"):
+    /// write only the first half of the k-th appended record (0-based,
+    /// this instance), flush it, and latch write_error().
+    std::optional<std::uint64_t> torn_write_record;
+  };
+
+  /// Opens `path` for appending: a missing or empty file gets a fresh
+  /// header; an existing journal has its torn tail truncated so new
+  /// records start on a clean boundary.  Throws std::runtime_error on
+  /// an unopenable path or a file whose header is not a journal (a
+  /// foreign file must not be appended to, let alone truncated).
+  explicit cache_journal(std::filesystem::path path)
+      : cache_journal(std::move(path), options()) {}
+  cache_journal(std::filesystem::path path, options opt);
+  ~cache_journal();
+  cache_journal(const cache_journal&) = delete;
+  cache_journal& operator=(const cache_journal&) = delete;
+
+  /// Appends one record.  Failures latch write_error() and turn further
+  /// appends into no-ops — a sick journal must not take the sweep down
+  /// with it (the snapshot save-on-exit still runs).
+  void append_trace(std::string_view key, const model_trace& trace);
+  void append_value(std::string_view key, double value);
+
+  /// Current file size (header + records), in bytes.
+  [[nodiscard]] std::uint64_t bytes() const;
+  /// Records appended by this instance (excludes pre-existing ones).
+  [[nodiscard]] std::size_t appended_records() const;
+  /// First append failure, or empty.  Latching: once set, the journal
+  /// is dead for this process.
+  [[nodiscard]] std::string write_error() const;
+  [[nodiscard]] const std::filesystem::path& path() const noexcept {
+    return path_;
+  }
+
+  /// Compaction barrier: runs `write_snapshot` (the caller's
+  /// save_cache) under the append lock, then resets the WAL to an empty
+  /// header.  Every record is in the snapshot or in the post-reset WAL
+  /// — never lost (see the crash-ordering note in the file comment).
+  /// Throws whatever `write_snapshot` throws, leaving the WAL intact.
+  void checkpoint(const std::function<void()>& write_snapshot);
+
+ private:
+  void append_record(std::uint32_t kind, const std::string& payload);
+
+  mutable std::mutex mutex_;
+  std::filesystem::path path_;
+  options opt_;
+  int fd_ = -1;
+  std::uint64_t bytes_ = 0;
+  std::size_t appended_ = 0;
+  std::string write_error_;
+};
+
+}  // namespace dlm::engine

@@ -1,0 +1,247 @@
+#include "engine/fault.h"
+
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string_view>
+#include <thread>
+
+namespace dlm::engine {
+namespace {
+
+/// Fails a parse_fault_plan parse, mirroring parse_shard_spec: the
+/// reason, the offending token's 1-based character position, the plan
+/// verbatim, and the full accepted grammar.
+[[noreturn]] void bad_fault_plan(const std::string& spec,
+                                 const std::string& reason,
+                                 std::size_t offset = 0) {
+  throw std::invalid_argument("parse_fault_plan: " + reason + " at position " +
+                              std::to_string(offset + 1) + " in fault plan '" +
+                              spec + "'\n" + fault_plan_grammar());
+}
+
+std::size_t parse_fault_size(std::string_view text, const std::string& spec,
+                             const std::string& what, std::size_t offset) {
+  std::size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size() || text.empty())
+    bad_fault_plan(spec, "bad " + what + " '" + std::string(text) + "'",
+                   offset);
+  return value;
+}
+
+/// Parses one ';'-separated piece of the plan; `base` is the piece's
+/// offset in the full spec, so rejection positions stay global.
+fault_point parse_one_fault(std::string_view piece, const std::string& spec,
+                            std::size_t base) {
+  if (piece.empty()) bad_fault_plan(spec, "empty fault", base);
+
+  fault_point point;
+  const std::size_t colon = piece.find(':');
+  if (colon == std::string_view::npos)
+    bad_fault_plan(spec, "missing ':' between fault kind and subject", base);
+  const std::string_view kind = piece.substr(0, colon);
+  if (kind == "crash") {
+    point.kind = fault_kind::crash;
+  } else if (kind == "hang") {
+    point.kind = fault_kind::hang;
+  } else if (kind == "torn-write") {
+    point.kind = fault_kind::torn_write;
+  } else {
+    bad_fault_plan(spec, "unknown fault kind '" + std::string(kind) + "'",
+                   base);
+  }
+
+  std::string_view body = piece.substr(colon + 1);
+  std::size_t body_base = base + colon + 1;
+  // Optional "|tries=<n>" suffix, shared by every kind.
+  const std::size_t bar = body.find('|');
+  if (bar != std::string_view::npos) {
+    const std::string_view suffix = body.substr(bar + 1);
+    const std::size_t suffix_base = body_base + bar + 1;
+    if (!suffix.starts_with("tries="))
+      bad_fault_plan(spec,
+                     "unknown fault option '" + std::string(suffix) + "'",
+                     suffix_base);
+    point.tries = parse_fault_size(suffix.substr(6), spec, "tries count",
+                                   suffix_base + 6);
+    if (point.tries == 0)
+      bad_fault_plan(spec, "tries count must be positive", suffix_base + 6);
+    body = body.substr(0, bar);
+  }
+
+  const std::size_t at = body.find('@');
+  if (at == std::string_view::npos)
+    bad_fault_plan(spec, "missing '@' between fault subject and site",
+                   body_base);
+  const std::string_view subject = body.substr(0, at);
+  const std::string_view site = body.substr(at + 1);
+  const std::size_t site_base = body_base + at + 1;
+
+  if (point.kind == fault_kind::torn_write) {
+    if (subject != "journal")
+      bad_fault_plan(
+          spec, "torn-write subject must be 'journal', got '" +
+                    std::string(subject) + "'",
+          body_base);
+    if (!site.starts_with("rec"))
+      bad_fault_plan(spec,
+                     "torn-write site must be 'rec<k>', got '" +
+                         std::string(site) + "'",
+                     site_base);
+    point.site =
+        parse_fault_size(site.substr(3), spec, "record index", site_base + 3);
+    return point;
+  }
+
+  if (!subject.starts_with("worker"))
+    bad_fault_plan(spec,
+                   "fault subject must be 'worker<i>', got '" +
+                       std::string(subject) + "'",
+                   body_base);
+  point.worker = parse_fault_size(subject.substr(6), spec, "worker index",
+                                  body_base + 6);
+  if (!site.starts_with("chunk"))
+    bad_fault_plan(spec,
+                   "fault site must be 'chunk<j>', got '" + std::string(site) +
+                       "'",
+                   site_base);
+  point.site =
+      parse_fault_size(site.substr(5), spec, "chunk index", site_base + 5);
+  return point;
+}
+
+bool armed(const fault_point& point, std::size_t attempt) {
+  return point.tries == 0 || attempt <= point.tries;
+}
+
+}  // namespace
+
+std::string fault_plan::label() const {
+  std::string out;
+  for (const fault_point& point : points_) {
+    if (!out.empty()) out += ';';
+    switch (point.kind) {
+      case fault_kind::crash:
+        out += "crash:worker" + std::to_string(point.worker) + "@chunk" +
+               std::to_string(point.site);
+        break;
+      case fault_kind::hang:
+        out += "hang:worker" + std::to_string(point.worker) + "@chunk" +
+               std::to_string(point.site);
+        break;
+      case fault_kind::torn_write:
+        out += "torn-write:journal@rec" + std::to_string(point.site);
+        break;
+    }
+    if (point.tries != 0) out += "|tries=" + std::to_string(point.tries);
+  }
+  return out;
+}
+
+bool fault_plan::should_crash(std::size_t worker, std::size_t chunk,
+                              std::size_t attempt) const {
+  for (const fault_point& point : points_)
+    if (point.kind == fault_kind::crash && point.worker == worker &&
+        point.site == chunk && armed(point, attempt))
+      return true;
+  return false;
+}
+
+bool fault_plan::should_hang(std::size_t worker, std::size_t chunk,
+                             std::size_t attempt) const {
+  for (const fault_point& point : points_)
+    if (point.kind == fault_kind::hang && point.worker == worker &&
+        point.site == chunk && armed(point, attempt))
+      return true;
+  return false;
+}
+
+std::optional<std::uint64_t> fault_plan::torn_write_record(
+    std::size_t attempt) const {
+  for (const fault_point& point : points_)
+    if (point.kind == fault_kind::torn_write && armed(point, attempt))
+      return point.site;
+  return std::nullopt;
+}
+
+const std::string& fault_plan_grammar() {
+  static const std::string grammar =
+      "accepted fault plan forms (';'-separated, each optionally "
+      "'|tries=<n>' to fire on attempts 1..n only):\n"
+      "  crash:worker<i>@chunk<j>      worker of shard i aborts (SIGABRT) "
+      "when starting its j-th chunk (0-based)\n"
+      "  hang:worker<i>@chunk<j>       worker of shard i sleeps instead of "
+      "running the chunk, until the supervisor timeout kills it\n"
+      "  torn-write:journal@rec<k>     the cache journal writes half of its "
+      "k-th appended record (0-based) and latches a write error";
+  return grammar;
+}
+
+fault_plan parse_fault_plan(const std::string& spec) {
+  if (spec.empty()) bad_fault_plan(spec, "empty fault plan");
+  std::vector<fault_point> points;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t semi = spec.find(';', start);
+    const std::size_t len =
+        (semi == std::string::npos ? spec.size() : semi) - start;
+    points.push_back(
+        parse_one_fault(std::string_view(spec).substr(start, len), spec,
+                        start));
+    if (semi == std::string::npos) break;
+    start = semi + 1;
+  }
+  return fault_plan(std::move(points));
+}
+
+std::size_t worker_attempt_from_env() {
+  const char* text = std::getenv(kWorkerAttemptEnv);
+  if (text == nullptr) return 1;
+  std::size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text, text + std::string_view(text).size(), value);
+  if (ec != std::errc{} || *ptr != '\0' || value == 0) return 1;
+  return value;
+}
+
+std::function<void(std::size_t)> make_fault_hook(fault_plan plan,
+                                                 std::size_t worker,
+                                                 std::size_t attempt,
+                                                 double hang_seconds) {
+  bool relevant = false;
+  for (const fault_point& point : plan.points())
+    if (point.kind != fault_kind::torn_write && point.worker == worker &&
+        armed(point, attempt))
+      relevant = true;
+  if (!relevant) return {};
+  return [plan = std::move(plan), worker, attempt,
+          hang_seconds](std::size_t chunk) {
+    if (plan.should_crash(worker, chunk, attempt)) {
+      std::fprintf(stderr,
+                   "fault: worker %zu crashing at chunk %zu (attempt %zu)\n",
+                   worker, chunk, attempt);
+      std::fflush(stderr);
+      std::abort();
+    }
+    if (plan.should_hang(worker, chunk, attempt)) {
+      std::fprintf(stderr,
+                   "fault: worker %zu hanging at chunk %zu (attempt %zu)\n",
+                   worker, chunk, attempt);
+      std::fflush(stderr);
+      // Sleep in slices so the worker stays killable and a forgotten
+      // timeout eventually unwedges itself.
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(hang_seconds));
+      while (std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  };
+}
+
+}  // namespace dlm::engine

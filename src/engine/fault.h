@@ -1,0 +1,125 @@
+// Deterministic fault injection for the failure-domain layer.
+//
+// Robustness code that only runs when hardware actually fails is
+// robustness code that has never run.  A fault_plan is a parsed,
+// deterministic schedule of failures — "crash worker 2 when it starts
+// its chunk 3", "hang worker 1 at chunk 0", "tear the 5th journal
+// record" — threaded through the supervisor (engine/supervisor.h), the
+// cache journal (engine/cache_journal.h) and the shard driver
+// (tools/dl_shard --fault) so every recovery path is exercised by tests
+// on every CI run, not hoped-for.
+//
+// Spec grammar (one or more faults, ';'-separated):
+//
+//   crash:worker<i>@chunk<j>[|tries=<n>]
+//       the worker running shard i calls std::abort() (SIGABRT) when it
+//       starts the j-th chunk it owns (0-based, submission order);
+//   hang:worker<i>@chunk<j>[|tries=<n>]
+//       the worker sleeps instead of running the chunk — the shape a
+//       wedged NFS mount or a livelocked dependency presents — until
+//       the supervisor's per-shard timeout kills it;
+//   torn-write:journal@rec<k>[|tries=<n>]
+//       the cache journal writes only the first half of the k-th record
+//       it appends (0-based, per journal instance), flushes, and latches
+//       its write error — the on-disk shape a power cut mid-append
+//       leaves behind.
+//
+// `tries=<n>` arms the fault on attempts 1..n only (the supervisor
+// numbers attempts from 1 and exports the current attempt to workers in
+// the DLM_WORKER_ATTEMPT environment variable), so a retried worker
+// succeeds — the knob that makes retry-with-backoff testable.  Without
+// it a fault fires on every attempt.
+//
+// Parsing follows the repo's spec-grammar convention (make_rate,
+// make_domain, parse_shard_spec): rejections name the reason, the
+// offending token's 1-based character position in the full plan string,
+// the spec verbatim, and the accepted grammar.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dlm::engine {
+
+enum class fault_kind { crash, hang, torn_write };
+
+/// One scheduled failure.
+struct fault_point {
+  fault_kind kind = fault_kind::crash;
+  /// crash/hang: the 0-based shard (worker) index.  Unused for
+  /// torn_write (the journal is per process).
+  std::size_t worker = 0;
+  /// crash/hang: the 0-based chunk ordinal within the worker's own chunk
+  /// list.  torn_write: the 0-based record ordinal within the journal
+  /// instance's appends.
+  std::size_t site = 0;
+  /// Fire on attempts 1..tries only; 0 = every attempt.
+  std::size_t tries = 0;
+
+  bool operator==(const fault_point&) const = default;
+};
+
+/// A parsed fault schedule.  Default-constructed: no faults.
+class fault_plan {
+ public:
+  fault_plan() = default;
+  explicit fault_plan(std::vector<fault_point> points)
+      : points_(std::move(points)) {}
+
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+  [[nodiscard]] const std::vector<fault_point>& points() const noexcept {
+    return points_;
+  }
+
+  /// Canonical rendering — parse_fault_plan(label()) round-trips.
+  [[nodiscard]] std::string label() const;
+
+  /// True when a crash/hang fault is armed for (worker, chunk) at the
+  /// given 1-based attempt.
+  [[nodiscard]] bool should_crash(std::size_t worker, std::size_t chunk,
+                                  std::size_t attempt) const;
+  [[nodiscard]] bool should_hang(std::size_t worker, std::size_t chunk,
+                                 std::size_t attempt) const;
+
+  /// The record ordinal of an armed torn-write fault at the given
+  /// attempt, or nullopt — passed to cache_journal via
+  /// journal_options::torn_write_record.
+  [[nodiscard]] std::optional<std::uint64_t> torn_write_record(
+      std::size_t attempt) const;
+
+ private:
+  std::vector<fault_point> points_;
+};
+
+/// The accepted spec forms, one per line — appended verbatim to every
+/// parse_fault_plan rejection.
+[[nodiscard]] const std::string& fault_plan_grammar();
+
+/// Parses a ';'-separated fault plan (grammar above).  Throws
+/// std::invalid_argument with a 1-based position on any defect.
+[[nodiscard]] fault_plan parse_fault_plan(const std::string& spec);
+
+/// Environment variable through which the supervisor tells a worker
+/// which attempt it is (1-based).  Absent → attempt 1.
+inline constexpr const char* kWorkerAttemptEnv = "DLM_WORKER_ATTEMPT";
+
+/// Reads kWorkerAttemptEnv; 1 when unset or unparsable.
+[[nodiscard]] std::size_t worker_attempt_from_env();
+
+/// Builds the runner_options::on_chunk_start hook that arms `plan`'s
+/// crash/hang faults for shard `worker` at `attempt`: crash prints one
+/// stderr line and calls std::abort() (so the supervisor's diagnostic
+/// names SIGABRT); hang sleeps `hang_seconds` — long past any sane
+/// per-shard timeout, finite so a forgotten timeout cannot wedge CI
+/// forever.  Returns an empty function when the plan holds no
+/// crash/hang fault for this worker (so callers can skip installing
+/// the hook entirely).
+[[nodiscard]] std::function<void(std::size_t)> make_fault_hook(
+    fault_plan plan, std::size_t worker, std::size_t attempt,
+    double hang_seconds = 600.0);
+
+}  // namespace dlm::engine

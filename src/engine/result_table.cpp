@@ -359,4 +359,36 @@ result_table merge_tables(std::span<const result_table> shards) {
   return result_table(std::move(rows));
 }
 
+partial_merge merge_tables_partial(std::span<const result_table> shards,
+                                   std::size_t total) {
+  std::size_t present = 0;
+  for (const result_table& shard : shards) present += shard.size();
+  std::vector<result_row> rows;
+  rows.reserve(present);
+  for (const result_table& shard : shards)
+    rows.insert(rows.end(), shard.rows().begin(), shard.rows().end());
+  std::sort(rows.begin(), rows.end(),
+            [](const result_row& a, const result_row& b) {
+              return a.index < b.index;
+            });
+  partial_merge out;
+  std::size_t next = 0;  // the smallest index not yet accounted for
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    if (k > 0 && rows[k].index == rows[k - 1].index)
+      throw std::invalid_argument(
+          "merge_tables_partial: scenario index " +
+          std::to_string(rows[k].index) + " appears in more than one shard");
+    if (rows[k].index >= total)
+      throw std::invalid_argument(
+          "merge_tables_partial: scenario index " +
+          std::to_string(rows[k].index) + " is out of range for a sweep of " +
+          std::to_string(total) + " scenarios");
+    for (; next < rows[k].index; ++next) out.missing.push_back(next);
+    next = rows[k].index + 1;
+  }
+  for (; next < total; ++next) out.missing.push_back(next);
+  out.table = result_table(std::move(rows));
+  return out;
+}
+
 }  // namespace dlm::engine

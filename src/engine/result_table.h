@@ -127,4 +127,26 @@ class result_table {
 /// CSV must not merge into a silently smaller table).
 [[nodiscard]] result_table merge_tables(std::span<const result_table> shards);
 
+/// Outcome of merge_tables_partial.
+struct partial_merge {
+  /// The completed rows, ordered by global scenario index.  Each row's
+  /// CSV line is byte-identical to the same row of the unsharded run
+  /// (rows render independently, so a missing sibling changes nothing).
+  result_table table;
+  /// Global scenario indices with no row in any input shard, ascending
+  /// — the machine-readable gap a degraded merge must report (the
+  /// dl_shard --allow-partial manifest).  Empty iff the shards form an
+  /// exact partition.
+  std::vector<std::size_t> missing;
+};
+
+/// Like merge_tables, but for the surviving shards of a partially failed
+/// run (dl_shard --allow-partial): rows are merged and sorted as usual,
+/// and gaps are *reported* instead of rejected.  `total` is the full
+/// sweep's scenario count.  Still throws std::invalid_argument on a
+/// duplicated index or an index >= total — those are corruption, not
+/// degradation.
+[[nodiscard]] partial_merge merge_tables_partial(
+    std::span<const result_table> shards, std::size_t total);
+
 }  // namespace dlm::engine

@@ -434,7 +434,10 @@ sweep_result run_sweep(const scenario_context& context,
     };
 
     for (std::size_t c = 0; c < chunks.size(); ++c)
-      pool.submit([&, c] { run_chunk(chunks[c]); });
+      pool.submit([&, c] {
+        if (options.on_chunk_start) options.on_chunk_start(c);
+        run_chunk(chunks[c]);
+      });
     pool.wait();
   }
   if (first_error) {

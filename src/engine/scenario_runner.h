@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <span>
 #include <utility>
 #include <vector>
@@ -61,6 +62,12 @@ struct runner_options {
   /// engine::merge_tables into a table byte-identical to the unsharded
   /// run.  Default 0/1: the whole sweep, sharding off.
   shard_spec shard{};
+  /// Called on the executing pool thread just before each chunk runs,
+  /// with the chunk's 0-based position in this run's chunk list.  The
+  /// fault-injection harness (engine/fault.h) hangs its crash/hang
+  /// hooks here; anything else (progress reporting) works too.  Must be
+  /// thread-safe — chunks run concurrently.
+  std::function<void(std::size_t)> on_chunk_start;
 };
 
 struct sweep_result {

@@ -1,6 +1,7 @@
 #include "engine/service.h"
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -34,6 +35,11 @@ bool read_exact(int fd, void* buf, std::size_t n) {
     if (r == 0) return false;
     if (r < 0) {
       if (errno == EINTR) continue;
+      // SO_RCVTIMEO expiry: the peer stalled mid-frame (or went idle
+      // past the configured window) — drop it rather than pin the
+      // worker thread.
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw std::runtime_error("dl_service: recv timed out");
       throw_errno("dl_service: recv");
     }
     got += static_cast<std::size_t>(r);
@@ -50,6 +56,8 @@ void write_all(int fd, const void* buf, std::size_t n) {
     const ssize_t r = ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw std::runtime_error("dl_service: send timed out");
       throw_errno("dl_service: send");
     }
     sent += static_cast<std::size_t>(r);
@@ -276,8 +284,48 @@ dl_service::dl_service(scenario_context context, service_options options)
       cache_(options_.cache_max_entries) {
   if (options_.socket_path.empty())
     throw std::invalid_argument("dl_service: socket_path is required");
-  if (!options_.cache_file.empty())
+  if (!options_.cache_file.empty()) {
     startup_load_ = load_cache(cache_, options_.cache_file);
+    if (options_.journal) {
+      // Snapshot first, WAL on top (first insert wins), then journal
+      // every winning insert from here on — the same crash-safety
+      // wiring as persistent_cache (engine/cache_io.h).
+      const std::filesystem::path wal =
+          cache_journal_path(options_.cache_file);
+      replay_journal(cache_, wal);
+      try {
+        journal_ = std::make_unique<cache_journal>(wal);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "dl_service: %s — journaling disabled\n",
+                     e.what());
+      }
+      if (journal_ != nullptr) {
+        cache_journal* jrnl = journal_.get();
+        const std::uint64_t compact = options_.journal_compact_bytes;
+        solve_cache* cache = &cache_;
+        const std::string snapshot = options_.cache_file;
+        cache_.set_write_observer([jrnl, compact, cache, snapshot](
+                                      const std::string& key,
+                                      const model_trace* trace,
+                                      const double* value) {
+          if (trace != nullptr) jrnl->append_trace(key, *trace);
+          if (value != nullptr) jrnl->append_value(key, *value);
+          if (compact != 0 && jrnl->bytes() > compact &&
+              jrnl->write_error().empty()) {
+            try {
+              jrnl->checkpoint([cache, &snapshot] {
+                save_cache(*cache, snapshot);
+              });
+            } catch (const std::exception& e) {
+              std::fprintf(stderr,
+                           "dl_service: auto-checkpoint of '%s' failed: %s\n",
+                           snapshot.c_str(), e.what());
+            }
+          }
+        });
+      }
+    }
+  }
   pool_ = std::make_unique<thread_pool>(options_.threads);
 
   listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
@@ -321,6 +369,16 @@ void dl_service::accept_loop() {
       if (errno == EINTR) continue;
       return;  // listen socket shut down: the service is stopping
     }
+    if (options_.io_timeout_sec > 0) {
+      timeval tv{};
+      tv.tv_sec = static_cast<time_t>(options_.io_timeout_sec);
+      tv.tv_usec = static_cast<suseconds_t>(
+          (options_.io_timeout_sec - static_cast<double>(tv.tv_sec)) * 1e6);
+      // Best effort: a kernel that refuses the option leaves the
+      // historical blocking behaviour.
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
     const std::lock_guard<std::mutex> lock(conn_mutex_);
     if (stop_requested_.load()) {
       ::close(fd);
@@ -341,7 +399,10 @@ void dl_service::serve_connection(connection* conn) {
     try {
       status = read_frame(conn->fd, payload, options_.max_frame_bytes);
     } catch (...) {
-      break;  // socket error: drop the connection
+      // Socket error or I/O timeout: drop the connection (a clean EOF
+      // is frame_status::closed below and is not a drop).
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      break;
     }
     if (status == frame_status::closed) break;
     std::string reply;
@@ -354,6 +415,7 @@ void dl_service::serve_connection(connection* conn) {
     try {
       write_frame(conn->fd, reply);
     } catch (...) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
       break;
     }
     requests_.fetch_add(1, std::memory_order_relaxed);
@@ -374,11 +436,19 @@ std::string dl_service::handle_request(const std::string& payload,
     if (tokens.empty()) return "err empty request";
     const std::string& verb = tokens[0];
 
-    if (verb == "ping" || verb == "slices" || verb == "stats" ||
-        verb == "flush" || verb == "shutdown") {
+    if (verb == "ping" || verb == "health" || verb == "slices" ||
+        verb == "stats" || verb == "flush" || verb == "shutdown") {
       if (tokens.size() > 1)
         return "err verb '" + verb + "' takes no arguments";
       if (verb == "ping") return "ok pong";
+      if (verb == "health") {
+        // Liveness for supervisors: a reply at all means the accept and
+        // worker machinery is up; the journal state distinguishes
+        // healthy from degraded-but-serving.
+        if (journal_ != nullptr && !journal_->write_error().empty())
+          return "ok degraded journal_error=" + journal_->write_error();
+        return "ok healthy";
+      }
       if (verb == "slices") {
         std::string reply = "ok slices";
         for (const std::string& name : context_.slice_names())
@@ -394,13 +464,18 @@ std::string dl_service::handle_request(const std::string& payload,
                " merged=" + std::to_string(stats.merged_entries) +
                " merge_conflicts=" + std::to_string(stats.merge_conflicts) +
                " entries=" + std::to_string(cache_.size()) +
-               " requests=" + std::to_string(requests_.load());
+               " requests=" + std::to_string(requests_.load()) +
+               " dropped=" + std::to_string(dropped_.load());
       }
       if (verb == "flush") {
         if (options_.cache_file.empty())
           return "err no cache file configured";
         const std::lock_guard<std::mutex> lock(flush_mutex_);
-        save_cache(cache_, options_.cache_file);
+        if (journal_ != nullptr)
+          journal_->checkpoint(
+              [this] { save_cache(cache_, options_.cache_file); });
+        else
+          save_cache(cache_, options_.cache_file);
         return "ok flushed " + std::to_string(cache_.size()) +
                " entries to " + options_.cache_file;
       }
@@ -410,8 +485,8 @@ std::string dl_service::handle_request(const std::string& payload,
 
     if (verb != "solve" && verb != "predict" && verb != "calibrate")
       return "err unknown verb '" + verb +
-             "' (ping, slices, stats, solve, predict, calibrate, flush, "
-             "shutdown)";
+             "' (ping, health, slices, stats, solve, predict, calibrate, "
+             "flush, shutdown)";
 
     request_args args;
     if (std::string error = parse_request_args(tokens, args); !error.empty())
@@ -547,16 +622,24 @@ void dl_service::do_stop() {
 
   ::unlink(options_.socket_path.c_str());
 
-  // Every request has drained: flush the warm cache to disk.
+  // Every request has drained: flush the warm cache to disk (a journal
+  // checkpoint when journaling, so the WAL resets alongside).
   if (!options_.cache_file.empty()) {
     const std::lock_guard<std::mutex> lock(flush_mutex_);
     try {
-      save_cache(cache_, options_.cache_file);
+      if (journal_ != nullptr)
+        journal_->checkpoint(
+            [this] { save_cache(cache_, options_.cache_file); });
+      else
+        save_cache(cache_, options_.cache_file);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "dl_service: cache flush to '%s' failed: %s\n",
                    options_.cache_file.c_str(), e.what());
     }
   }
+  // The observer holds a raw pointer into journal_; nothing inserts
+  // after the drain, but uninstall it anyway before the member dies.
+  cache_.set_write_observer({});
 }
 
 void dl_service::stop() {

@@ -85,6 +85,21 @@ struct service_options {
   fit::calibration_options calibration{};
   /// Model registry; null → default_registry().
   const model_registry* registry = nullptr;
+  /// Per-connection socket I/O timeout in seconds (SO_RCVTIMEO /
+  /// SO_SNDTIMEO on each accepted connection): a client that stalls
+  /// mid-frame is dropped instead of pinning its worker thread forever.
+  /// 0 disables (the historical blocking behaviour).  Note the receive
+  /// timeout also bounds *idle* time between requests — pick a value
+  /// comfortably above the client's think time, or have clients
+  /// reconnect (engine::remote_options does, transparently).
+  double io_timeout_sec = 0.0;
+  /// Write-ahead journal the resident cache to "<cache_file>.wal" (see
+  /// engine/cache_journal.h): a SIGKILLed service loses at most the
+  /// in-flight record instead of everything since the last flush.
+  bool journal = false;
+  /// Auto-checkpoint threshold for the journal (journal_options
+  /// semantics); 0 disables auto-compaction.
+  std::uint64_t journal_compact_bytes = 4ull << 20;
 };
 
 // --------------------------------------------------------------- framing
@@ -168,6 +183,11 @@ class dl_service {
   [[nodiscard]] std::size_t requests_served() const noexcept {
     return requests_.load();
   }
+  /// Connections dropped on a socket error or I/O timeout (not clean
+  /// client EOFs) — surfaced in the "stats" verb as dropped=N.
+  [[nodiscard]] std::size_t connections_dropped() const noexcept {
+    return dropped_.load();
+  }
 
  private:
   struct connection {
@@ -204,6 +224,11 @@ class dl_service {
 
   std::mutex flush_mutex_;  ///< serializes "flush" verb vs shutdown flush
   std::atomic<std::size_t> requests_{0};
+  std::atomic<std::size_t> dropped_{0};
+  /// Live WAL when options_.journal is on (null otherwise); the cache's
+  /// write observer holds a raw pointer into it, so do_stop() clears
+  /// the observer before this member dies.
+  std::unique_ptr<cache_journal> journal_;
 };
 
 }  // namespace dlm::engine

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <charconv>
 #include <chrono>
+#include <cstdio>
 #include <cmath>
 #include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string_view>
+#include <thread>
 #include <utility>
 
 #include "core/dl_solver.h"
@@ -309,9 +311,36 @@ result_table run_shard_remote(const scenario_context& context,
                               std::span<const scenario> scenarios,
                               std::span<const std::size_t> owned,
                               const std::string& socket_path,
-                              const model_registry& registry) {
+                              const model_registry& registry,
+                              const remote_options& remote) {
   using clock = std::chrono::steady_clock;
-  service_client client(socket_path);
+
+  // Lazily (re)connected so a connection-level failure — including the
+  // very first connect — retries with backoff.  "err" replies return
+  // normally and are never retried (see remote_options).  A re-sent
+  // request is safe by the protocol's purity: the reply depends only on
+  // the request and the slice data.
+  std::unique_ptr<service_client> client;
+  const auto request = [&](const std::string& payload) -> std::string {
+    double backoff = remote.backoff_initial_ms;
+    for (std::size_t attempt = 0;; ++attempt) {
+      try {
+        if (client == nullptr)
+          client = std::make_unique<service_client>(socket_path);
+        return client->request(payload);
+      } catch (const std::exception& e) {
+        client.reset();  // the connection is suspect: reconnect next try
+        if (attempt >= remote.retries) throw;
+        std::fprintf(stderr,
+                     "run_shard_remote: %s; retrying in %.0f ms "
+                     "(attempt %zu of %zu)\n",
+                     e.what(), backoff, attempt + 1, remote.retries + 1);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff));
+        backoff *= remote.backoff_multiplier;
+      }
+    }
+  };
 
   // Model instances memoized per name: only capability flags are needed.
   std::vector<std::pair<std::string, std::unique_ptr<diffusion_model>>> models;
@@ -350,7 +379,7 @@ result_table run_shard_remote(const scenario_context& context,
     const bool calibrated = model.uses_rate() && is_calibrate_spec(sc.rate);
     std::string solve_req = "solve" + request_tail(sc, slice, model);
     if (calibrated) {
-      const std::string reply = client.request(
+      const std::string reply = request(
           "calibrate rate=" + sc.rate + request_tail(sc, slice, model));
       if (reply.starts_with("err")) fail(reply);
       const fit_reply fit = parse_fit_reply(reply);
@@ -374,7 +403,7 @@ result_table run_shard_remote(const scenario_context& context,
         solve_req += " k=" + format_full_precision(sc.k_override);
     }
 
-    const std::string reply = client.request(solve_req);
+    const std::string reply = request(solve_req);
     if (reply.starts_with("err")) fail(reply);
     const model_trace trace = parse_trace_reply(reply);
     const auto [accuracy, cells] = score_trace(trace, slice);

@@ -86,6 +86,20 @@ struct shard_spec {
     const model_registry& registry = default_registry(),
     std::size_t batch_width = 0);
 
+/// Connection-resilience knobs for run_shard_remote.
+struct remote_options {
+  /// Retries after a *connection-level* failure (connect refused, server
+  /// closed mid-request, I/O timeout) — each retry reconnects and
+  /// re-sends.  Safe to repeat: a reply is a pure function of the
+  /// request, so a re-send can only reproduce the same bytes.  "err"
+  /// replies are protocol answers, not connection failures, and are
+  /// never retried.  0 (default): the historical fail-on-first-error.
+  std::size_t retries = 0;
+  /// Backoff before retry r is initial * multiplier^(r-1) milliseconds.
+  double backoff_initial_ms = 50.0;
+  double backoff_multiplier = 2.0;
+};
+
 /// Executes the owned scenarios of one shard against a resident
 /// dl_serve server (engine/service.h) instead of solving locally: each
 /// scenario becomes one "solve" request — calibrate specs first issue a
@@ -102,6 +116,7 @@ struct shard_spec {
 [[nodiscard]] result_table run_shard_remote(
     const scenario_context& context, std::span<const scenario> scenarios,
     std::span<const std::size_t> owned, const std::string& socket_path,
-    const model_registry& registry = default_registry());
+    const model_registry& registry = default_registry(),
+    const remote_options& remote = {});
 
 }  // namespace dlm::engine

@@ -69,11 +69,20 @@ void solve_cache::store_trace(const std::string& key, model_trace trace) {
 
 void solve_cache::import_trace(const std::string& key,
                                std::shared_ptr<const model_trace> trace) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  if (traces_.contains(key)) return;  // first insert wins
-  lru_.emplace_front(entry_kind::trace, key);
-  traces_.emplace(key, std::make_pair(std::move(trace), lru_.begin()));
-  evict_overflow();
+  std::shared_ptr<const model_trace> inserted = std::move(trace);
+  std::shared_ptr<const write_observer> observer;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (traces_.contains(key)) return;  // first insert wins
+    lru_.emplace_front(entry_kind::trace, key);
+    traces_.emplace(key, std::make_pair(inserted, lru_.begin()));
+    evict_overflow();
+    observer = observer_;
+  }
+  // Outside the lock (see set_write_observer): even an entry the LRU cap
+  // evicted immediately is still observed — journaling it is harmless,
+  // replay re-applies the cap.
+  if (observer != nullptr) (*observer)(key, inserted.get(), nullptr);
 }
 
 std::optional<double> solve_cache::find_value(const std::string& key) {
@@ -93,11 +102,16 @@ void solve_cache::store_value(const std::string& key, double value) {
 }
 
 void solve_cache::import_value(const std::string& key, double value) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  if (values_.contains(key)) return;  // first insert wins
-  lru_.emplace_front(entry_kind::value, key);
-  values_.emplace(key, std::make_pair(value, lru_.begin()));
-  evict_overflow();
+  std::shared_ptr<const write_observer> observer;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (values_.contains(key)) return;  // first insert wins
+    lru_.emplace_front(entry_kind::value, key);
+    values_.emplace(key, std::make_pair(value, lru_.begin()));
+    evict_overflow();
+    observer = observer_;
+  }
+  if (observer != nullptr) (*observer)(key, nullptr, &value);
 }
 
 std::vector<solve_cache::trace_export> solve_cache::export_traces() const {
@@ -132,35 +146,54 @@ std::vector<solve_cache::value_export> solve_cache::export_values() const {
 
 solve_cache::merge_outcome solve_cache::merge_trace(
     const std::string& key, std::shared_ptr<const model_trace> trace) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = traces_.find(key);
-  if (it != traces_.end()) {
-    if (traces_bitwise_equal(*it->second.first, *trace))
-      return merge_outcome::duplicate;
-    ++stats_.merge_conflicts;
-    return merge_outcome::conflict;
+  std::shared_ptr<const model_trace> inserted = std::move(trace);
+  std::shared_ptr<const write_observer> observer;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = traces_.find(key);
+    if (it != traces_.end()) {
+      if (traces_bitwise_equal(*it->second.first, *inserted))
+        return merge_outcome::duplicate;
+      ++stats_.merge_conflicts;
+      return merge_outcome::conflict;
+    }
+    lru_.emplace_front(entry_kind::trace, key);
+    traces_.emplace(key, std::make_pair(inserted, lru_.begin()));
+    ++stats_.merged_entries;
+    evict_overflow();
+    observer = observer_;
   }
-  lru_.emplace_front(entry_kind::trace, key);
-  traces_.emplace(key, std::make_pair(std::move(trace), lru_.begin()));
-  ++stats_.merged_entries;
-  evict_overflow();
+  if (observer != nullptr) (*observer)(key, inserted.get(), nullptr);
   return merge_outcome::inserted;
 }
 
 solve_cache::merge_outcome solve_cache::merge_value(const std::string& key,
                                                     double value) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = values_.find(key);
-  if (it != values_.end()) {
-    if (bits_equal(it->second.first, value)) return merge_outcome::duplicate;
-    ++stats_.merge_conflicts;
-    return merge_outcome::conflict;
+  std::shared_ptr<const write_observer> observer;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = values_.find(key);
+    if (it != values_.end()) {
+      if (bits_equal(it->second.first, value)) return merge_outcome::duplicate;
+      ++stats_.merge_conflicts;
+      return merge_outcome::conflict;
+    }
+    lru_.emplace_front(entry_kind::value, key);
+    values_.emplace(key, std::make_pair(value, lru_.begin()));
+    ++stats_.merged_entries;
+    evict_overflow();
+    observer = observer_;
   }
-  lru_.emplace_front(entry_kind::value, key);
-  values_.emplace(key, std::make_pair(value, lru_.begin()));
-  ++stats_.merged_entries;
-  evict_overflow();
+  if (observer != nullptr) (*observer)(key, nullptr, &value);
   return merge_outcome::inserted;
+}
+
+void solve_cache::set_write_observer(write_observer observer) {
+  auto shared =
+      observer ? std::make_shared<const write_observer>(std::move(observer))
+               : std::shared_ptr<const write_observer>();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  observer_ = std::move(shared);
 }
 
 void solve_cache::count_load_rejected() {

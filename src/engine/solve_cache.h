@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -139,6 +140,20 @@ class solve_cache {
                             std::shared_ptr<const model_trace> trace);
   merge_outcome merge_value(const std::string& key, double value);
 
+  /// Write observation hook — the wiring the cache journal
+  /// (engine/cache_journal.h) uses to append every winning insert as it
+  /// happens.  Called once per *new* entry (store/import/merge alike;
+  /// duplicates and conflicts do not fire), with exactly one of `trace`
+  /// / `value` non-null.  Invoked *outside* the cache mutex, so the
+  /// observer may call back into the cache (e.g. a journal checkpoint
+  /// serializing it) without deadlocking; consequently two concurrent
+  /// inserts may observe in either order — the journal replays through
+  /// first-insert-wins imports, so order does not matter.  Pass an
+  /// empty function to uninstall.
+  using write_observer = std::function<void(
+      const std::string& key, const model_trace* trace, const double* value)>;
+  void set_write_observer(write_observer observer);
+
  private:
   /// Recency list: most recently used at the front.  Each node remembers
   /// which map owns its key so eviction can erase the right entry.
@@ -159,6 +174,11 @@ class solve_cache {
   std::unordered_map<std::string, std::pair<double, lru_list::iterator>>
       values_;
   cache_stats stats_;
+  /// Swapped atomically under the mutex, invoked outside it: an insert
+  /// snapshots the shared_ptr while locked and calls through it after
+  /// unlocking, so set_write_observer never races a running callback's
+  /// destruction.
+  std::shared_ptr<const write_observer> observer_;
 };
 
 /// Resolves a growth-rate spec to its canonical form: "preset" names the

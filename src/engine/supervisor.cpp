@@ -1,0 +1,211 @@
+#include "engine/supervisor.h"
+
+#include <signal.h>
+#include <string.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
+namespace dlm::engine {
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+/// Live supervision state of one worker.
+struct worker_state {
+  const worker_command* command = nullptr;
+  pid_t pid = -1;  ///< -1 while not running
+  std::size_t attempts = 0;
+  clock::time_point deadline;  ///< per-attempt timeout (when enabled)
+  clock::time_point retry_at;  ///< earliest next launch (backoff)
+  bool waiting_retry = false;
+  bool done = false;
+  worker_outcome outcome;
+};
+
+pid_t launch(const worker_command& command, std::size_t attempt) {
+  const pid_t pid = ::fork();
+  if (pid < 0)
+    throw std::runtime_error("supervise: fork failed for " + command.label +
+                             ": " + ::strerror(errno));
+  if (pid > 0) return pid;
+
+  // Child.  Only async-signal-safe-ish work before exec; on any failure
+  // _exit (never return into the parent's stack).
+  for (const std::string& pair : command.env) {
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos) continue;
+    ::setenv(pair.substr(0, eq).c_str(), pair.c_str() + eq + 1, 1);
+  }
+  ::setenv(kSupervisorAttemptEnv, std::to_string(attempt).c_str(), 1);
+
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(command.exe.c_str()));
+  for (const std::string& arg : command.args)
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  argv.push_back(nullptr);
+  ::execv(command.exe.c_str(), argv.data());
+  std::fprintf(stderr, "supervise: exec '%s' failed: %s\n",
+               command.exe.c_str(), ::strerror(errno));
+  ::_exit(127);
+}
+
+std::string describe_wait_status(int status) {
+  if (WIFEXITED(status))
+    return "exited with status " + std::to_string(WEXITSTATUS(status));
+  if (WIFSIGNALED(status)) {
+    const int sig = WTERMSIG(status);
+    const char* name = ::strsignal(sig);
+    return "killed by signal " + std::to_string(sig) + " (" +
+           (name != nullptr ? name : "unknown") + ")";
+  }
+  return "ended with wait status " + std::to_string(status);
+}
+
+/// SIGKILLs a running worker and reaps it (blocking — the kill makes
+/// the wait prompt).
+void kill_and_reap(worker_state& w) {
+  if (w.pid < 0) return;
+  ::kill(w.pid, SIGKILL);
+  int status = 0;
+  while (::waitpid(w.pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  w.pid = -1;
+}
+
+}  // namespace
+
+supervision_report supervise(std::span<const worker_command> commands,
+                             const supervisor_options& options) {
+  std::vector<worker_state> workers(commands.size());
+  for (std::size_t i = 0; i < commands.size(); ++i) {
+    workers[i].command = &commands[i];
+    workers[i].outcome.label = commands[i].label;
+  }
+
+  const auto start_attempt = [&options](worker_state& w) {
+    ++w.attempts;
+    w.outcome.attempts = w.attempts;
+    w.pid = launch(*w.command, w.attempts);
+    w.waiting_retry = false;
+    if (options.timeout_sec > 0)
+      w.deadline = clock::now() + std::chrono::duration_cast<clock::duration>(
+                                      std::chrono::duration<double>(
+                                          options.timeout_sec));
+  };
+
+  // A failed attempt either schedules a retry or finalizes the outcome.
+  // Returns true when the worker is finally failed (retries exhausted).
+  const auto attempt_failed = [&options](worker_state& w,
+                                         std::string diagnostic,
+                                         bool timed_out) {
+    w.pid = -1;
+    w.outcome.timed_out = timed_out;
+    if (w.attempts <= options.max_retries) {
+      double backoff = options.backoff_initial_ms;
+      for (std::size_t r = 1; r < w.attempts; ++r)
+        backoff *= options.backoff_multiplier;
+      std::fprintf(stderr,
+                   "supervise: %s %s (attempt %zu); retrying in %.0f ms\n",
+                   w.command->label.c_str(), diagnostic.c_str(), w.attempts,
+                   backoff);
+      w.retry_at = clock::now() + std::chrono::duration_cast<clock::duration>(
+                                      std::chrono::duration<double,
+                                                            std::milli>(
+                                          backoff));
+      w.waiting_retry = true;
+      return false;
+    }
+    w.done = true;
+    w.outcome.succeeded = false;
+    w.outcome.diagnostic = std::move(diagnostic) + " (attempt " +
+                           std::to_string(w.attempts) + " of " +
+                           std::to_string(options.max_retries + 1) + ")";
+    return true;
+  };
+
+  // Take every still-live worker down after a fail-fast trigger.
+  const auto terminate_survivors = [&workers](const std::string& culprit) {
+    for (worker_state& w : workers) {
+      if (w.done) continue;
+      kill_and_reap(w);
+      w.done = true;
+      w.outcome.succeeded = false;
+      w.outcome.diagnostic =
+          "terminated: sibling worker " + culprit + " failed";
+    }
+  };
+
+  for (worker_state& w : workers) start_attempt(w);
+
+  const auto poll_sleep = std::chrono::duration<double, std::milli>(
+      options.poll_interval_ms > 0 ? options.poll_interval_ms : 10.0);
+  while (true) {
+    bool any_live = false;
+    for (worker_state& w : workers) {
+      if (w.done) continue;
+      any_live = true;
+
+      if (w.waiting_retry) {
+        if (clock::now() >= w.retry_at) start_attempt(w);
+        continue;
+      }
+
+      int status = 0;
+      const pid_t reaped = ::waitpid(w.pid, &status, WNOHANG);
+      if (reaped == w.pid) {
+        if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+          w.pid = -1;
+          w.done = true;
+          w.outcome.succeeded = true;
+          continue;
+        }
+        if (attempt_failed(w, describe_wait_status(status),
+                           /*timed_out=*/false) &&
+            options.fail_fast) {
+          terminate_survivors(w.command->label);
+          break;
+        }
+        continue;
+      }
+      if (reaped < 0 && errno != EINTR && errno != EAGAIN) {
+        // Lost track of the child (should not happen): fail the worker
+        // rather than spin forever.
+        if (attempt_failed(w, std::string("waitpid failed: ") +
+                                  ::strerror(errno),
+                           /*timed_out=*/false) &&
+            options.fail_fast) {
+          terminate_survivors(w.command->label);
+          break;
+        }
+        continue;
+      }
+
+      if (options.timeout_sec > 0 && clock::now() >= w.deadline) {
+        kill_and_reap(w);
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "timed out after %g s (killed)",
+                      options.timeout_sec);
+        if (attempt_failed(w, buf, /*timed_out=*/true) && options.fail_fast) {
+          terminate_survivors(w.command->label);
+          break;
+        }
+      }
+    }
+    if (!any_live) break;
+    std::this_thread::sleep_for(poll_sleep);
+  }
+
+  supervision_report report;
+  report.outcomes.reserve(workers.size());
+  for (worker_state& w : workers) report.outcomes.push_back(w.outcome);
+  return report;
+}
+
+}  // namespace dlm::engine

@@ -19,9 +19,13 @@
 #include <bit>
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "engine/cache_journal.h"
 #include "engine/solve_cache.h"
 
 namespace {
@@ -417,6 +421,321 @@ TEST(CacheIo, LoadRespectsTheLruCap) {
   EXPECT_TRUE(result.loaded) << result.error;
   EXPECT_EQ(capped.size(), 2u);
   EXPECT_EQ(capped.stats().evictions, 2u);
+}
+
+// ------------------------------------------------ journal (WAL) matrix
+//
+// The write-ahead journal (engine/cache_journal.h) has the opposite
+// tail policy from the snapshot: the last record is *expected* to be
+// torn after a crash, so replay applies the longest valid prefix — but
+// a file whose header is foreign must be rejected wholesale and never
+// modified.  The matrix below walks every cut point, flips checksums
+// mid-file, injects the torn-write fault, and pins the snapshot
+// equivalence that makes compaction safe.
+
+std::filesystem::path journal_test_path(const std::string& tag) {
+  return std::filesystem::temp_directory_path() /
+         ("dlm_journal_test_" + tag + "_" + std::to_string(::getpid()) +
+          ".wal");
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::filesystem::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Builds a four-record WAL (trace, value, trace, value) at `path` and
+/// returns the record-end byte offsets (boundaries[0] is the header
+/// end), so cut-point tests know exactly which prefix holds how many
+/// whole records.
+std::vector<std::uint64_t> write_sample_journal(
+    const std::filesystem::path& path) {
+  std::filesystem::remove(path);
+  std::vector<std::uint64_t> boundaries;
+  cache_journal journal(path);
+  boundaries.push_back(journal.bytes());
+  journal.append_trace("trace/a", sample_trace(1.0));
+  boundaries.push_back(journal.bytes());
+  journal.append_value("value/x", 0.1);
+  boundaries.push_back(journal.bytes());
+  journal.append_trace("trace/b", sample_trace(2.0));
+  boundaries.push_back(journal.bytes());
+  journal.append_value("value/y", 1.0 / 3.0);
+  boundaries.push_back(journal.bytes());
+  EXPECT_TRUE(journal.write_error().empty()) << journal.write_error();
+  EXPECT_EQ(journal.appended_records(), 4u);
+  return boundaries;
+}
+
+TEST(CacheJournal, AppendAndReplayRoundTripIsBitwise) {
+  const std::filesystem::path path = journal_test_path("roundtrip");
+  write_sample_journal(path);
+
+  solve_cache cache;
+  const journal_replay_result result = replay_journal(cache, path);
+  EXPECT_TRUE(result.replayed) << result.error;
+  EXPECT_FALSE(result.file_missing);
+  EXPECT_FALSE(result.torn_tail) << result.error;
+  EXPECT_EQ(result.traces, 2u);
+  EXPECT_EQ(result.values, 2u);
+  EXPECT_EQ(result.valid_bytes, result.file_bytes);
+  EXPECT_EQ(cache.stats().load_rejected, 0u);
+
+  const std::shared_ptr<const model_trace> hit = cache.find_trace("trace/a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_TRUE(traces_bitwise_equal(sample_trace(1.0), *hit));
+  const std::optional<double> value = cache.find_value("value/y");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(1.0 / 3.0),
+            std::bit_cast<std::uint64_t>(*value));
+  std::filesystem::remove(path);
+}
+
+TEST(CacheJournal, MissingWalIsACleanColdStart) {
+  solve_cache cache;
+  const journal_replay_result result =
+      replay_journal(cache, "/nonexistent/dlm/journal.wal");
+  EXPECT_TRUE(result.replayed);
+  EXPECT_TRUE(result.file_missing);
+  EXPECT_EQ(cache.stats().load_rejected, 0u);
+}
+
+TEST(CacheJournal, ZeroLengthWalIsACleanColdStart) {
+  const std::filesystem::path path = journal_test_path("zero");
+  write_file(path, "");
+  solve_cache cache;
+  const journal_replay_result result = replay_journal(cache, path);
+  EXPECT_TRUE(result.replayed) << result.error;
+  EXPECT_FALSE(result.torn_tail);
+  EXPECT_EQ(result.traces + result.values, 0u);
+  EXPECT_EQ(cache.stats().load_rejected, 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(CacheJournal, EveryTornTailReplaysTheLongestValidPrefix) {
+  const std::filesystem::path path = journal_test_path("cuts");
+  const std::vector<std::uint64_t> boundaries = write_sample_journal(path);
+  const std::string bytes = read_file(path);
+  ASSERT_EQ(bytes.size(), boundaries.back());
+
+  const std::filesystem::path cut_path = journal_test_path("cut_prefix");
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const std::string label = "cut at " + std::to_string(len);
+    write_file(cut_path, bytes.substr(0, len));
+
+    // Whole records fully contained in the prefix.
+    std::size_t whole = 0;
+    while (whole + 1 < boundaries.size() && boundaries[whole + 1] <= len)
+      ++whole;
+    const bool at_boundary =
+        len == 0 || (len >= boundaries.front() && boundaries[whole] == len);
+
+    solve_cache cache;
+    const journal_replay_result result = replay_journal(cache, cut_path);
+    EXPECT_TRUE(result.replayed) << label << ": " << result.error;
+    EXPECT_EQ(result.torn_tail, !at_boundary) << label;
+    EXPECT_EQ(result.traces + result.values, len < boundaries.front()
+                                                 ? 0u
+                                                 : whole)
+        << label;
+    EXPECT_EQ(cache.size(), len < boundaries.front() ? 0u : whole) << label;
+    EXPECT_EQ(cache.stats().load_rejected, 0u) << label;
+
+    // Opening the cut file for appending truncates to the valid prefix,
+    // and the journal stays appendable.
+    {
+      cache_journal journal(cut_path);
+      EXPECT_EQ(journal.bytes(), std::max<std::uint64_t>(
+                                     result.valid_bytes, 12u))
+          << label;
+      journal.append_value("value/new", 4.0);
+      EXPECT_TRUE(journal.write_error().empty()) << label;
+    }
+    solve_cache after;
+    const journal_replay_result replay_after = replay_journal(after, cut_path);
+    EXPECT_TRUE(replay_after.replayed) << label;
+    EXPECT_FALSE(replay_after.torn_tail) << label << ": "
+                                         << replay_after.error;
+    EXPECT_EQ(after.size(), (len < boundaries.front() ? 0u : whole) + 1)
+        << label;
+  }
+  std::filesystem::remove(path);
+  std::filesystem::remove(cut_path);
+}
+
+TEST(CacheJournal, ChecksumFlipMidFileDropsThatRecordAndItsSuccessors) {
+  const std::filesystem::path path = journal_test_path("flip");
+  const std::vector<std::uint64_t> boundaries = write_sample_journal(path);
+  std::string bytes = read_file(path);
+  // Flip one payload byte inside the SECOND record: the first record
+  // must replay, the flipped one and everything after it must not —
+  // records never apply out of order across a defect.
+  bytes[static_cast<std::size_t>(boundaries[2]) - 1] ^= 0x01;
+  write_file(path, bytes);
+
+  solve_cache cache;
+  const journal_replay_result result = replay_journal(cache, path);
+  EXPECT_TRUE(result.replayed);
+  EXPECT_TRUE(result.torn_tail);
+  EXPECT_EQ(result.error, "record checksum mismatch");
+  EXPECT_EQ(result.valid_bytes, boundaries[1]);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_NE(cache.find_trace("trace/a"), nullptr);
+  EXPECT_EQ(cache.find_value("value/x"), std::nullopt);
+  std::filesystem::remove(path);
+}
+
+TEST(CacheJournal, ForeignFileIsRejectedWholeAndNeverModified) {
+  const std::filesystem::path path = journal_test_path("foreign");
+  const std::string foreign = "NOTAJRNL but twelve+ bytes of someone else's";
+  write_file(path, foreign);
+
+  solve_cache cache;
+  const journal_replay_result result = replay_journal(cache, path);
+  EXPECT_FALSE(result.replayed);
+  EXPECT_EQ(result.error, "bad magic");
+  EXPECT_EQ(cache.stats().load_rejected, 1u);
+  EXPECT_EQ(read_file(path), foreign) << "replay modified a foreign file";
+
+  EXPECT_THROW(cache_journal{path}, std::runtime_error);
+  EXPECT_EQ(read_file(path), foreign)
+      << "the appender truncated a foreign file";
+  std::filesystem::remove(path);
+}
+
+TEST(CacheJournal, WrongVersionIsRejectedWholeAndNeverModified) {
+  const std::filesystem::path path = journal_test_path("version");
+  std::string bytes(kJournalMagic);
+  write_u32_at(bytes.append(4, '\0'), 8, kJournalFormatVersion + 7);
+  write_file(path, bytes);
+
+  solve_cache cache;
+  const journal_replay_result result = replay_journal(cache, path);
+  EXPECT_FALSE(result.replayed);
+  EXPECT_EQ(cache.stats().load_rejected, 1u);
+  EXPECT_THROW(cache_journal{path}, std::runtime_error);
+  EXPECT_EQ(read_file(path), bytes);
+  std::filesystem::remove(path);
+}
+
+TEST(CacheJournal, TornWriteFaultLatchesAndLeavesAReplayableWal) {
+  const std::filesystem::path path = journal_test_path("torn_fault");
+  std::filesystem::remove(path);
+  {
+    cache_journal::options opt;
+    opt.torn_write_record = 1;  // tear the second append
+    cache_journal journal(path, opt);
+    journal.append_trace("trace/a", sample_trace(1.0));
+    EXPECT_TRUE(journal.write_error().empty());
+    journal.append_value("value/x", 0.1);  // torn: half the bytes land
+    EXPECT_EQ(journal.write_error(),
+              "fault injection: torn write at record 1");
+    EXPECT_EQ(journal.appended_records(), 1u);
+    journal.append_value("value/y", 0.2);  // latched: must be a no-op
+    EXPECT_EQ(journal.appended_records(), 1u);
+  }
+  // The half-written record is exactly the shape replay truncates.
+  solve_cache cache;
+  const journal_replay_result result = replay_journal(cache, path);
+  EXPECT_TRUE(result.replayed);
+  EXPECT_TRUE(result.torn_tail);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_NE(cache.find_trace("trace/a"), nullptr);
+  std::filesystem::remove(path);
+}
+
+TEST(CacheJournal, ReplayOverSnapshotThenCompactMatchesSnapshotOnlyBytes) {
+  // The compaction contract: (snapshot ∪ WAL) replayed into a cache must
+  // serialize to the same bytes as a cache holding all entries directly
+  // — and after checkpoint() the snapshot alone must reproduce them.
+  const std::filesystem::path snapshot =
+      std::filesystem::temp_directory_path() /
+      ("dlm_journal_compact_" + std::to_string(::getpid()) + ".bin");
+  const std::filesystem::path wal = cache_journal_path(snapshot);
+  std::filesystem::remove(snapshot);
+  std::filesystem::remove(wal);
+
+  // Half the entries in the snapshot, half in the WAL — seeds matching
+  // fill_sample_cache's key→trace assignment exactly.
+  solve_cache snapshot_half;
+  snapshot_half.store_trace("trace/a", sample_trace(2.0));
+  snapshot_half.store_value("value/x", 0.1);
+  save_cache(snapshot_half, snapshot);
+  {
+    cache_journal journal(wal);
+    journal.append_trace("trace/b", sample_trace(1.0));
+    journal.append_value("value/y", 1.0 / 3.0);
+  }
+
+  solve_cache everything;
+  fill_sample_cache(everything);
+  const std::string want = serialize_cache(everything);
+
+  solve_cache replayed;
+  ASSERT_TRUE(load_cache(replayed, snapshot).loaded);
+  ASSERT_TRUE(replay_journal(replayed, wal).replayed);
+  EXPECT_EQ(serialize_cache(replayed), want)
+      << "snapshot+WAL diverged from the direct cache";
+
+  // Checkpoint: snapshot rewritten with everything, WAL reset to header.
+  {
+    cache_journal journal(wal);
+    journal.checkpoint([&] { save_cache(replayed, snapshot); });
+    EXPECT_EQ(journal.bytes(), 12u);
+  }
+  solve_cache compacted;
+  ASSERT_TRUE(load_cache(compacted, snapshot).loaded);
+  EXPECT_EQ(serialize_cache(compacted), want);
+  solve_cache wal_after;
+  const journal_replay_result post = replay_journal(wal_after, wal);
+  EXPECT_TRUE(post.replayed);
+  EXPECT_EQ(wal_after.size(), 0u) << "checkpoint left records in the WAL";
+  std::filesystem::remove(snapshot);
+  std::filesystem::remove(wal);
+}
+
+TEST(CacheJournal, PersistentCacheJournalsEveryInsertAsItHappens) {
+  const std::filesystem::path snapshot =
+      std::filesystem::temp_directory_path() /
+      ("dlm_persist_journal_" + std::to_string(::getpid()) + ".bin");
+  const std::filesystem::path wal = cache_journal_path(snapshot);
+  std::filesystem::remove(snapshot);
+  std::filesystem::remove(wal);
+
+  journal_options jopt;
+  jopt.enabled = true;
+  {
+    persistent_cache persist(snapshot, 0, jopt);
+    ASSERT_NE(persist.journal(), nullptr) << persist.write_error();
+    persist.cache().store_trace("t", sample_trace(1.0));
+    persist.cache().store_value("v", 2.0);
+    // The WAL already holds both inserts — before any flush.
+    EXPECT_EQ(persist.journal()->appended_records(), 2u);
+    solve_cache replayed;
+    const journal_replay_result mid = replay_journal(replayed, wal);
+    EXPECT_TRUE(mid.replayed);
+    EXPECT_EQ(replayed.size(), 2u)
+        << "inserts not journaled as they happened";
+  }  // destructor checkpoints: snapshot complete, WAL reset
+  {
+    persistent_cache persist(snapshot, 0, jopt);
+    EXPECT_TRUE(persist.startup_load().loaded);
+    EXPECT_EQ(persist.startup_load().traces, 1u);
+    EXPECT_EQ(persist.startup_load().values, 1u);
+    EXPECT_EQ(persist.startup_replay().traces +
+                  persist.startup_replay().values,
+              0u)
+        << "destructor checkpoint left records in the WAL";
+    EXPECT_NE(persist.cache().find_trace("t"), nullptr);
+  }
+  std::filesystem::remove(snapshot);
+  std::filesystem::remove(wal);
 }
 
 TEST(CacheIo, PersistentCacheLoadsOnConstructionAndSavesOnDestruction) {

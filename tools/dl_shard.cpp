@@ -17,7 +17,20 @@
 //   dl_shard --shards N [--policy contiguous|strided]
 //            [--sweep bench|comparison] [--csv out.csv] [--text out.txt]
 //            [--cache-file out.cache] [--threads T] [--batch-width W]
-//       run the sweep as N local worker processes and merge.
+//            [--timeout S] [--retries R] [--backoff MS] [--allow-partial]
+//            [--manifest out.json] [--journal] [--fault PLAN]
+//       run the sweep as N local worker processes and merge.  Workers
+//       run under engine::supervise: a crashed worker's diagnostic
+//       names the signal and shard, a hung worker is killed after
+//       --timeout seconds, failures retry up to --retries times with
+//       exponential backoff.  By default any finally-failed worker
+//       aborts the run (and its siblings); with --allow-partial the
+//       completed shards still merge — each surviving row byte-
+//       identical to the unsharded run's — and a JSON manifest records
+//       per-worker outcomes plus the missing sweep indices.  --journal
+//       write-ahead-journals each worker's cache ("<cache>.wal", see
+//       engine/cache_journal.h); --fault injects deterministic
+//       failures (engine/fault.h grammar) for tests and drills.
 //
 //   dl_shard --worker i/N[:policy] --csv out.csv [--sweep ...]
 //            [--cache-file f] [--threads T] [--batch-width W]
@@ -47,7 +60,6 @@
 // domains, calibration included) — the full-diversity workload CI
 // byte-diffs against `model_comparison --shard`.
 
-#include <sys/wait.h>
 #include <unistd.h>
 
 #include <chrono>
@@ -64,9 +76,11 @@
 #include "core/dl_model.h"
 #include "digg/simulator.h"
 #include "engine/cache_io.h"
+#include "engine/fault.h"
 #include "engine/format.h"
 #include "engine/scenario_runner.h"
 #include "engine/shard.h"
+#include "engine/supervisor.h"
 #include "graph/generators.h"
 
 namespace {
@@ -85,10 +99,13 @@ const char* kUsage =
     "usage: dl_shard --shards N [--policy contiguous|strided]\n"
     "                [--sweep bench|comparison] [--csv out.csv]\n"
     "                [--text out.txt] [--cache-file out.cache]\n"
-    "                [--threads T] [--batch-width W]\n"
+    "                [--threads T] [--batch-width W] [--timeout S]\n"
+    "                [--retries R] [--backoff MS] [--allow-partial]\n"
+    "                [--manifest out.json] [--journal] [--fault PLAN]\n"
     "       dl_shard --worker <i>/<N>[:policy] --csv out.csv\n"
     "                [--sweep ...] [--cache-file f] [--threads T]\n"
     "                [--batch-width W] [--socket /path/dlm.sock]\n"
+    "                [--journal] [--fault PLAN]\n"
     "       dl_shard --merge out.csv in0.csv in1.csv ...\n"
     "       dl_shard --merge-cache out.cache in0.cache in1.cache ...\n"
     "       dl_shard --bench [--bench-out BENCH_shard.json]\n"
@@ -116,6 +133,14 @@ struct cli_options {
   std::string cache_path;
   std::size_t threads = 0;
   std::size_t batch_width = 0;
+  // failure domain (driver: supervision; worker: fault arming + journal)
+  double timeout_sec = 0.0;
+  std::size_t retries = 0;
+  double backoff_ms = 100.0;
+  bool allow_partial = false;
+  std::string manifest_path;  ///< default: "<csv>.manifest.json"
+  bool journal = false;
+  std::string fault_spec;
   // merge CLIs: out followed by inputs, argv positions kept for errors
   bool merge_tables_mode = false;
   bool merge_cache_mode = false;
@@ -248,38 +273,29 @@ std::string self_executable(const char* argv0) {
   return argv0;
 }
 
-pid_t spawn(const std::string& exe, const std::vector<std::string>& args) {
-  std::vector<char*> argv;
-  argv.reserve(args.size() + 2);
-  argv.push_back(const_cast<char*>(exe.c_str()));
-  for (const std::string& arg : args)
-    argv.push_back(const_cast<char*>(arg.c_str()));
-  argv.push_back(nullptr);
-  const pid_t pid = ::fork();
-  if (pid < 0) throw std::runtime_error("fork failed");
-  if (pid == 0) {
-    ::execv(exe.c_str(), argv.data());
-    std::fprintf(stderr, "dl_shard: execv '%s' failed\n", exe.c_str());
-    ::_exit(127);
-  }
-  return pid;
-}
-
-/// Waits for every worker; returns the count that exited nonzero (each
-/// reported on stderr).
-std::size_t wait_all(const std::vector<pid_t>& pids) {
-  std::size_t failures = 0;
-  for (const pid_t pid : pids) {
-    int status = 0;
-    if (::waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
-        WEXITSTATUS(status) != 0) {
-      std::fprintf(stderr, "dl_shard: worker pid %d exited with status %d\n",
-                   static_cast<int>(pid),
-                   WIFEXITED(status) ? WEXITSTATUS(status) : -1);
-      ++failures;
+/// Minimal JSON string escaping for the partial-run manifest (worker
+/// diagnostics carry signal names and quoted paths).
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
     }
   }
-  return failures;
+  return out;
 }
 
 // ------------------------------------------------------------- the merge
@@ -318,6 +334,13 @@ int run_worker(const cli_options& opt) {
   const std::vector<engine::scenario> scenarios =
       engine::expand_sweep(setup.spec, setup.context);
 
+  // Injected faults arm against this shard's index and the attempt
+  // number the supervisor exported (1 when run by hand).
+  engine::fault_plan fault;
+  if (!opt.fault_spec.empty())
+    fault = engine::parse_fault_plan(opt.fault_spec);
+  const std::size_t attempt = engine::worker_attempt_from_env();
+
   engine::result_table table;
   std::optional<engine::persistent_cache> persist;
   if (!opt.socket_path.empty()) {
@@ -334,8 +357,13 @@ int run_worker(const cli_options& opt) {
     options.batch_width = opt.batch_width;
     options.shard = *opt.worker;
     options.calibration = setup.calibration;
+    options.on_chunk_start =
+        engine::make_fault_hook(fault, opt.worker->index, attempt);
     if (!opt.cache_path.empty()) {
-      persist.emplace(opt.cache_path);
+      engine::journal_options jopt;
+      jopt.enabled = opt.journal;
+      jopt.torn_write_record = fault.torn_write_record(attempt);
+      persist.emplace(opt.cache_path, 0, jopt);
       if (!persist->write_error().empty()) return 1;  // already on stderr
       options.cache = &persist->cache();
     }
@@ -355,6 +383,15 @@ int run_worker(const cli_options& opt) {
       std::fprintf(stderr, "dl_shard: cache flush failed: %s\n", e.what());
       return 1;
     }
+    // A latched journal error (real I/O trouble or an injected
+    // torn-write) also fails the worker — the snapshot flushed above,
+    // but the crash-safety contract did not hold this run.
+    if (persist->journal() != nullptr &&
+        !persist->journal()->write_error().empty()) {
+      std::fprintf(stderr, "dl_shard: journal error: %s\n",
+                   persist->journal()->write_error().c_str());
+      return 1;
+    }
   }
   return 0;
 }
@@ -367,11 +404,18 @@ struct shard_run_report {
   std::string merged_csv;
   merged_cache_report cache;
   std::size_t scenarios = 0;
+  /// Per-worker supervision outcomes, in shard order.
+  engine::supervision_report workers;
+  /// Sweep indices missing from the merge (always empty unless
+  /// allow_partial let a run with failed workers through).
+  std::vector<std::size_t> missing;
 };
 
-/// Spawns `shards` workers over `opt`'s sweep, waits, merges their CSVs
-/// (and caches when opt.cache_path is set) and removes the per-worker
-/// temp files.  Throws on any worker or merge failure.
+/// Runs `shards` supervised workers over `opt`'s sweep, merges their
+/// CSVs (and caches when opt.cache_path is set) and removes the
+/// per-worker temp files.  Without allow_partial, any finally-failed
+/// worker throws (its diagnostic naming the signal/timeout and shard);
+/// with it, the completed shards merge and `missing` lists the gap.
 shard_run_report run_sharded(const cli_options& opt, const std::string& exe,
                              std::size_t shards, std::size_t scenario_count) {
   shard_run_report report;
@@ -379,8 +423,7 @@ shard_run_report run_sharded(const cli_options& opt, const std::string& exe,
 
   std::vector<std::filesystem::path> csvs;
   std::vector<std::filesystem::path> caches;
-  std::vector<pid_t> pids;
-  const clock_type::time_point sweep_start = clock_type::now();
+  std::vector<engine::worker_command> commands;
   for (std::size_t i = 0; i < shards; ++i) {
     std::string worker_spec =
         std::to_string(i) + "/" + std::to_string(shards);
@@ -403,26 +446,112 @@ shard_run_report run_sharded(const cli_options& opt, const std::string& exe,
       caches.push_back(cache);
       args.push_back("--cache-file");
       args.push_back(cache);
+      if (opt.journal) args.push_back("--journal");
     }
-    pids.push_back(spawn(exe, args));
+    if (!opt.fault_spec.empty()) {
+      args.push_back("--fault");
+      args.push_back(opt.fault_spec);
+    }
+    engine::worker_command command;
+    command.exe = exe;
+    command.args = std::move(args);
+    command.label = "worker " + worker_spec;
+    commands.push_back(std::move(command));
   }
-  if (const std::size_t failures = wait_all(pids); failures > 0)
-    throw std::runtime_error(std::to_string(failures) +
-                             " worker(s) failed");
+
+  engine::supervisor_options sup;
+  sup.timeout_sec = opt.timeout_sec;
+  sup.max_retries = opt.retries;
+  sup.backoff_initial_ms = opt.backoff_ms;
+  sup.fail_fast = !opt.allow_partial;
+  const clock_type::time_point sweep_start = clock_type::now();
+  report.workers = engine::supervise(commands, sup);
   report.sweep_ms = elapsed_ms(sweep_start);
 
+  const auto cleanup = [&] {
+    std::error_code ec;
+    for (const std::filesystem::path& path : csvs)
+      std::filesystem::remove(path, ec);
+    for (const std::filesystem::path& path : caches) {
+      std::filesystem::remove(path, ec);
+      std::filesystem::remove(engine::cache_journal_path(path), ec);
+    }
+  };
+
+  if (!report.workers.all_succeeded() && !opt.allow_partial) {
+    cleanup();
+    std::string what;
+    for (const engine::worker_outcome& o : report.workers.failures()) {
+      if (!what.empty()) what += "; ";
+      what += o.label + ": " + o.diagnostic;
+    }
+    throw std::runtime_error(what);
+  }
+
+  // Merge what completed.  On full success this is the historical
+  // exact-partition merge (a gap there is corruption and still throws);
+  // a partial run merges the surviving shards and records the gap.
   const clock_type::time_point merge_start = clock_type::now();
-  report.merged_csv = merge_csv_files(csvs).to_csv();
-  if (!caches.empty())
-    report.cache = merge_cache_files_to(opt.cache_path, caches);
+  std::vector<std::filesystem::path> good_csvs;
+  std::vector<std::filesystem::path> good_caches;
+  for (std::size_t i = 0; i < shards; ++i) {
+    if (!report.workers.outcomes[i].succeeded) continue;
+    good_csvs.push_back(csvs[i]);
+    if (!caches.empty()) good_caches.push_back(caches[i]);
+  }
+  if (report.workers.all_succeeded()) {
+    report.merged_csv = merge_csv_files(good_csvs).to_csv();
+  } else {
+    std::vector<engine::result_table> tables;
+    tables.reserve(good_csvs.size());
+    for (const std::filesystem::path& path : good_csvs)
+      tables.push_back(engine::result_table::from_csv(read_file(path)));
+    engine::partial_merge partial =
+        engine::merge_tables_partial(tables, scenario_count);
+    report.merged_csv = partial.table.to_csv();
+    report.missing = std::move(partial.missing);
+  }
+  if (!good_caches.empty())
+    report.cache = merge_cache_files_to(opt.cache_path, good_caches);
   report.merge_ms = elapsed_ms(merge_start);
 
-  std::error_code ec;
-  for (const std::filesystem::path& path : csvs)
-    std::filesystem::remove(path, ec);
-  for (const std::filesystem::path& path : caches)
-    std::filesystem::remove(path, ec);
+  cleanup();
   return report;
+}
+
+/// The machine-readable outcome record of an --allow-partial run: which
+/// workers finished (with attempts and diagnostics) and exactly which
+/// global sweep indices are missing from the merged CSV.  Documented in
+/// docs/robustness.md; CI parses it after an injected worker crash.
+std::string render_manifest(const cli_options& opt,
+                            const shard_run_report& report,
+                            std::size_t shards) {
+  std::string json = "{\n";
+  json += "  \"sweep\": \"" + json_escape(opt.sweep) + "\",\n";
+  json += "  \"scenarios\": " + std::to_string(report.scenarios) + ",\n";
+  json += "  \"shards\": " + std::to_string(shards) + ",\n";
+  json += std::string("  \"policy\": \"") +
+          (opt.policy == engine::shard_policy::strided ? "strided"
+                                                       : "contiguous") +
+          "\",\n";
+  json += "  \"workers\": [\n";
+  for (std::size_t i = 0; i < report.workers.outcomes.size(); ++i) {
+    const engine::worker_outcome& o = report.workers.outcomes[i];
+    json += "    {\"shard\": " + std::to_string(i) +
+            ", \"succeeded\": " + (o.succeeded ? "true" : "false") +
+            ", \"attempts\": " + std::to_string(o.attempts) +
+            ", \"timed_out\": " + (o.timed_out ? "true" : "false") +
+            ", \"diagnostic\": \"" + json_escape(o.diagnostic) + "\"}";
+    json += i + 1 < report.workers.outcomes.size() ? ",\n" : "\n";
+  }
+  json += "  ],\n";
+  json += "  \"missing_indices\": [";
+  for (std::size_t k = 0; k < report.missing.size(); ++k) {
+    if (k > 0) json += ", ";
+    json += std::to_string(report.missing[k]);
+  }
+  json += "]\n}\n";
+  return json;
 }
 
 int run_driver(const cli_options& opt, const std::string& exe) {
@@ -436,6 +565,19 @@ int run_driver(const cli_options& opt, const std::string& exe) {
   if (!opt.text_path.empty())
     write_file(opt.text_path,
                engine::result_table::from_csv(report.merged_csv).to_text());
+  if (opt.allow_partial) {
+    const std::string manifest = opt.manifest_path.empty()
+                                     ? opt.csv_path + ".manifest.json"
+                                     : opt.manifest_path;
+    write_file(manifest, render_manifest(opt, report, opt.shards));
+    std::printf("  manifest -> %s\n", manifest.c_str());
+  }
+  if (!report.missing.empty())
+    std::printf("  PARTIAL: %zu of %zu scenarios missing (%zu worker(s) "
+                "failed); completed rows are byte-identical to the "
+                "unsharded run's\n",
+                report.missing.size(), scenario_count,
+                report.workers.failures().size());
 
   std::printf("sweep '%s': %zu scenarios over %zu shard processes\n",
               opt.sweep.c_str(), scenario_count, opt.shards);
@@ -635,6 +777,27 @@ int main(int argc, char** argv) {
         opt.batch_width = std::stoul(next("--batch-width"));
       } else if (arg == "--socket") {
         opt.socket_path = next("--socket");
+      } else if (arg == "--timeout") {
+        opt.timeout_sec = std::stod(next("--timeout"));
+        if (opt.timeout_sec < 0)
+          return bad_cli("--timeout must be non-negative", i);
+      } else if (arg == "--retries") {
+        opt.retries = std::stoul(next("--retries"));
+      } else if (arg == "--backoff") {
+        opt.backoff_ms = std::stod(next("--backoff"));
+        if (opt.backoff_ms < 0)
+          return bad_cli("--backoff must be non-negative", i);
+      } else if (arg == "--allow-partial") {
+        opt.allow_partial = true;
+      } else if (arg == "--manifest") {
+        opt.manifest_path = next("--manifest");
+      } else if (arg == "--journal") {
+        opt.journal = true;
+      } else if (arg == "--fault") {
+        // Parsed here so a bad plan is rejected at the command line
+        // (with the grammar), not inside a worker.
+        opt.fault_spec = next("--fault");
+        (void)engine::parse_fault_plan(opt.fault_spec);
       } else if (arg == "--bench") {
         opt.bench = true;
       } else if (arg == "--bench-out") {
